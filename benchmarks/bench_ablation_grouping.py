@@ -1,0 +1,49 @@
+"""Ablation — grouping-feature contributions (§III-E design choices).
+
+Times the aggregation stage under the full policy versus the
+wallet-only baseline of prior work, and scores both against corpus
+ground truth: the experiment the paper's authors could only approximate
+by manual verification.
+"""
+
+from repro.analysis.validation import aggregation_quality
+from repro.core.aggregation import GroupingPolicy
+from repro.core.pipeline import MeasurementPipeline
+from repro.reporting.render import format_table
+
+
+def bench_ablation_wallet_only_baseline(benchmark, tiny_world):
+    def run_baseline():
+        return MeasurementPipeline(
+            tiny_world, policy=GroupingPolicy.wallet_only()).run()
+
+    baseline = benchmark.pedantic(run_baseline, rounds=1, iterations=1)
+    full = MeasurementPipeline(tiny_world).run()
+    base_scores = aggregation_quality(tiny_world, baseline)
+    full_scores = aggregation_quality(tiny_world, full)
+    assert base_scores.recall <= full_scores.recall
+    print()
+    print(format_table(
+        ["policy", "#campaigns", "precision", "recall", "F1"],
+        [["full (paper)", len(full.campaigns),
+          f"{full_scores.precision:.3f}", f"{full_scores.recall:.3f}",
+          f"{full_scores.f1:.3f}"],
+         ["wallet-only (prior work)", len(baseline.campaigns),
+          f"{base_scores.precision:.3f}", f"{base_scores.recall:.3f}",
+          f"{base_scores.f1:.3f}"]],
+        title="Ablation: grouping policy"))
+
+
+def bench_ablation_av_threshold(benchmark, tiny_world):
+    """The paper's future-work question: 10 AV positives vs 5."""
+    def run_greedy():
+        return MeasurementPipeline(tiny_world, positives_threshold=5).run()
+
+    greedy = benchmark.pedantic(run_greedy, rounds=1, iterations=1)
+    strict = MeasurementPipeline(tiny_world, positives_threshold=10).run()
+    assert greedy.stats.miners >= strict.stats.miners
+    print()
+    print(f"AV>=10: {strict.stats.miners} miners; "
+          f"AV>=5: {greedy.stats.miners} miners "
+          f"(+{greedy.stats.miners - strict.stats.miners} from the "
+          "greedier threshold)")

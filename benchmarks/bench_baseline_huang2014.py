@@ -1,0 +1,37 @@
+"""Huang et al. (2014) baseline vs this methodology (§VII, Table XII).
+
+Paper context: the only prior binary-mining study clustered BTC wallets
+through the public ledger; the approach reads wallet income directly on
+Bitcoin but is impossible on Monero, whose ledger hides everything.
+"""
+
+from repro.baselines.huang2014 import (
+    attempt_on_monero,
+    run_huang2014_baseline,
+)
+
+
+def _wallets(world, coin):
+    return [w for c in world.ground_truth if c.coin == coin
+            for w in c.identifiers]
+
+
+def bench_huang2014_on_btc(benchmark, bench_world):
+    wallets = _wallets(bench_world, "BTC")
+    result = benchmark.pedantic(
+        lambda: run_huang2014_baseline(bench_world, wallets),
+        rounds=1, iterations=1)
+    assert result.wallets_analyzed > 0
+    assert result.total_usd < 5000   # §IV-B: negligible BTC earnings
+    print()
+    print(f"Huang-2014 on BTC: {result.wallets_analyzed} wallets, "
+          f"{result.total_btc:.4f} BTC (~{result.total_usd:.0f} USD), "
+          f"{result.operations} ledger-clustered operations")
+
+
+def bench_huang2014_fails_on_monero(benchmark, bench_world):
+    wallets = _wallets(bench_world, "XMR")
+    message = benchmark(attempt_on_monero, wallets)
+    assert "opaque" in message
+    print()
+    print(f"Huang-2014 on XMR: blocked -> {message!r}")

@@ -1,0 +1,40 @@
+"""Operator economics and the opacity gap (§II / §IV-C / §VIII).
+
+Extensions of the paper's analysis: the ROI arithmetic behind "low cost
+and high return of investment", and a bound on the revenue hidden
+behind opaque pools like minergate.
+"""
+
+import datetime
+
+from repro.analysis.opacity import estimate_opacity_gap
+from repro.botnet.economics import campaign_roi
+from repro.botnet.population import BotnetConfig, BotnetSimulator
+from repro.common.rng import DeterministicRNG
+
+
+def bench_operator_roi(benchmark):
+    simulator = BotnetSimulator(
+        BotnetConfig(initial_installs=2000, target_cap=2000,
+                     max_resupplies=6),
+        DeterministicRNG(2019))
+    trace = simulator.run(datetime.date(2017, 3, 1),
+                          datetime.date(2018, 9, 1))
+    economics = benchmark(campaign_roi, simulator, trace)
+    assert economics.roi > 3.0   # §VIII: high return on investment
+    print()
+    print(f"operator ROI: {economics.installs} installs, "
+          f"cost ${economics.total_cost:,.0f}, "
+          f"revenue ${economics.revenue_usd:,.0f} "
+          f"({economics.mined_xmr:.0f} XMR) -> {economics.roi:.1f}x")
+
+
+def bench_opacity_gap(benchmark, bench_result):
+    gap = benchmark(estimate_opacity_gap, bench_result)
+    assert gap.opaque_identifiers > 0
+    print()
+    print(f"opacity gap: {gap.opaque_identifiers} identifiers invisible "
+          f"(vs {gap.measured_identifiers} measured); hidden XMR "
+          f"between {gap.estimated_hidden_xmr_median:.0f} (median bound) "
+          f"and {gap.estimated_hidden_xmr_mean:.0f} (mean bound); "
+          f"undercount >= {gap.undercount_fraction_median*100:.1f}%")

@@ -1,0 +1,48 @@
+"""§VI countermeasures, measured (discussion section made executable).
+
+Not a numbered exhibit, but the paper's concluding analysis: blacklists
+leak through CNAMEs/proxies, wallet reporting only bites botnet-scale
+wallets at cooperative pools, and faster PoW cadences shrink the
+ecosystem's mining time.
+"""
+
+from repro.defense.blacklist import BlacklistDefense
+from repro.defense.fork_policy import compare_cadences
+from repro.defense.intervention import WalletReportingCampaign
+
+
+def bench_blacklist_efficacy(benchmark, bench_world, bench_result):
+    defense = BlacklistDefense(bench_world.pool_directory)
+    report = benchmark(defense.evaluate, bench_result.miner_records(),
+                       bench_result.proxy_ips)
+    assert report.total_miners > 0
+    assert report.evaded_by_cname > 0  # the paper's evasion exists
+    print()
+    print(f"blacklist: {report.blocked}/{report.total_miners} blocked; "
+          f"evasions cname={report.evaded_by_cname} "
+          f"proxy={report.evaded_by_proxy} raw-ip={report.evaded_by_raw_ip}")
+
+
+def bench_wallet_intervention(benchmark, bench_world, bench_result):
+    campaign = WalletReportingCampaign(bench_world.pool_directory)
+    report = benchmark.pedantic(
+        lambda: campaign.run(bench_result), rounds=1, iterations=1)
+    assert report.wallets_reported > 0
+    assert report.wallets_banned >= 1
+    assert "dwarfpool" not in report.bans_by_pool  # non-cooperative
+    print()
+    print(f"intervention: {report.wallets_banned}/"
+          f"{report.wallets_reported} banned; by pool: "
+          f"{report.bans_by_pool}; disrupted "
+          f"{report.disrupted_run_rate:.1f} XMR/day")
+
+
+def bench_fork_cadence_counterfactual(benchmark, bench_world):
+    outcomes = benchmark(compare_cadences, bench_world.ground_truth)
+    none, historical, quarterly = outcomes
+    assert none.retained_fraction == 1.0
+    assert quarterly.retained_fraction <= historical.retained_fraction
+    print()
+    print("fork cadence -> mining-days retained: "
+          f"none=100% historical={historical.retained_fraction*100:.0f}% "
+          f"quarterly={quarterly.retained_fraction*100:.0f}%")

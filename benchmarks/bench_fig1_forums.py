@@ -1,0 +1,16 @@
+"""Fig. 1 — forum mining-thread shares per coin per year.
+
+Paper: Bitcoin dominates early; Monero is the most-discussed mining
+coin by 2018.
+"""
+
+from repro.analysis import fig1_forum_trends
+from repro.reporting.render import render_fig1
+
+
+def bench_fig1_forum_trends(benchmark, bench_world):
+    shares = benchmark(fig1_forum_trends, bench_world.forum_corpus)
+    assert max(shares[2018], key=shares[2018].get) == "Monero"
+    assert max(shares[2012], key=shares[2012].get) == "Bitcoin"
+    print()
+    print(render_fig1(shares))

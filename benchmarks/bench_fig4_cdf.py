@@ -1,0 +1,27 @@
+"""Fig. 4 — CDFs of samples, wallets and earnings per campaign.
+
+Paper: the distributions are heavily skewed — 99% of campaigns earn
+less than 100 XMR while the top campaign alone holds ~22% of all
+earnings.
+"""
+
+from repro.analysis import fig4_cdf
+from repro.analysis.exhibits import cdf_quantile
+
+
+def bench_fig4_cdf(benchmark, bench_result):
+    cdf = benchmark(fig4_cdf, bench_result)
+    small_share = cdf_quantile(cdf["earnings_xmr"], 100.0)
+    assert small_share > 0.7
+    assert cdf["samples"][0] >= 1
+    assert max(cdf["wallets"]) >= 4  # multi-wallet campaigns exist
+    print()
+    print("Fig 4 CDF checkpoints:")
+    for name, series in cdf.items():
+        if not series:
+            continue
+        n = len(series)
+        print(f"  {name:<13s} n={n:<5d} p50={series[n // 2]:.1f} "
+              f"p90={series[int(n * 0.9)]:.1f} max={series[-1]:.1f}")
+    print(f"  campaigns earning <100 XMR: {small_share*100:.1f}% "
+          "(paper: 99%)")

@@ -1,0 +1,34 @@
+"""Fig. 6a / 6b — structure of the Freebuf and USA-138 campaigns.
+
+Paper: Freebuf is held together by identifiers + ancestors + the three
+CNAME aliases (xt.freebuf.info, x.alibuf.com, xmr.honker.info); USA-138
+bridges two clusters through the host 221.9.251.236 and carries one
+Electroneum wallet next to three Monero ones.
+"""
+
+from repro.analysis import fig6_campaign_structure
+
+
+def _campaign(world, result, label):
+    truth = next(c for c in world.ground_truth if c.label == label)
+    return result.campaign_for_wallet(truth.identifiers[0])
+
+
+def bench_fig6_freebuf(benchmark, bench_world, bench_result):
+    campaign = _campaign(bench_world, bench_result, "Freebuf")
+    structure = benchmark(fig6_campaign_structure, bench_result, campaign)
+    assert structure["wallets"] == 7
+    assert set(structure["cname_aliases"]) >= {
+        "xt.freebuf.info", "x.alibuf.com", "xmr.honker.info"}
+    print()
+    print("Freebuf structure:", structure)
+
+
+def bench_fig6_usa138(benchmark, bench_world, bench_result):
+    campaign = _campaign(bench_world, bench_result, "USA-138")
+    structure = benchmark(fig6_campaign_structure, bench_result, campaign)
+    assert set(structure["coins"]) == {"ETN", "XMR"}
+    assert "221.9.251.236" in structure["hosting_ips"]
+    assert "xmr.usa-138.com" in structure["cname_aliases"]
+    print()
+    print("USA-138 structure:", structure)

@@ -1,0 +1,57 @@
+"""Fig. 6c / 7 / 8 — per-wallet payment timelines and interventions.
+
+Paper: Freebuf's payments collapse after the October 2018 wallet bans
+plus the PoW change ('nearly turning it off'); USA-138 survives the
+October fork and keeps receiving payments from crypto-pool.
+"""
+
+from repro.analysis import fig7_payment_timeline
+from repro.analysis.exhibits import monthly_payment_series
+
+
+def _campaign(world, result, label):
+    truth = next(c for c in world.ground_truth if c.label == label)
+    return result.campaign_for_wallet(truth.identifiers[0])
+
+
+def _monthly_totals(result, campaign):
+    monthly = monthly_payment_series(
+        fig7_payment_timeline(result, campaign))
+    totals = {}
+    for series in monthly.values():
+        for month, amount in series.items():
+            totals[month] = totals.get(month, 0.0) + amount
+    return totals
+
+
+def bench_fig7_freebuf_timeline(benchmark, bench_world, bench_result):
+    campaign = _campaign(bench_world, bench_result, "Freebuf")
+    timeline = benchmark(fig7_payment_timeline, bench_result, campaign)
+    assert timeline
+    totals = _monthly_totals(bench_result, campaign)
+    before = [v for m, v in totals.items() if "2018-04" <= m < "2018-10"]
+    after = [v for m, v in totals.items() if m >= "2018-11"]
+    assert max(after) < max(before) * 0.5  # the Fig. 8 collapse
+    print()
+    print("Freebuf payments per month around the intervention:")
+    for month in sorted(m for m in totals if "2018-06" <= m <= "2019-02"):
+        bar = "#" * max(1, int(totals[month] / 60))
+        print(f"  {month}  {totals[month]:>8.0f}  {bar}")
+
+
+def bench_fig7_usa138_survives(benchmark, bench_world, bench_result):
+    campaign = _campaign(bench_world, bench_result, "USA-138")
+    timeline = benchmark(fig7_payment_timeline, bench_result, campaign)
+    totals = _monthly_totals(bench_result, campaign)
+    post_fork = [m for m in totals if m >= "2018-11"]
+    assert post_fork  # still paid after the October 2018 fork
+    pools_late = {
+        pool
+        for payments in timeline.values()
+        for when, _, pool in payments
+        if when.isoformat() >= "2018-11"
+    }
+    assert "crypto-pool" in pools_late  # moved back to crypto-pool
+    print()
+    print(f"USA-138 active months after Oct-2018 fork: {len(post_fork)}; "
+          f"late pools: {sorted(pools_late)}")

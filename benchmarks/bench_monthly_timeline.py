@@ -1,0 +1,34 @@
+"""Ecosystem monthly revenue narrative (§VII context).
+
+The paper summarises its payments as more than 1M USD per month over
+4.5 years of operation.  At bench scale the absolute level shrinks, but
+the narrative shape must hold: revenue ramps with the 2017 rally, peaks
+around the January 2018 price spike, and collapses after the October
+2018 fork + interventions.
+"""
+
+from repro.analysis.timeline import (
+    monthly_ecosystem_series,
+    peak_month,
+)
+
+
+def bench_monthly_timeline(benchmark, bench_result):
+    series = benchmark(monthly_ecosystem_series, bench_result)
+    assert series
+    peak = peak_month(series, key="usd_paid")
+    # the USD peak lands in the late-2017 / early-2018 price regime
+    assert "2017-06" <= peak.month <= "2018-06", peak.month
+    mid_2018 = max((p.xmr_paid for p in series
+                    if "2018-04" <= p.month <= "2018-09"), default=0)
+    early_2019 = max((p.xmr_paid for p in series
+                      if p.month >= "2019-01"), default=0)
+    assert early_2019 < mid_2018   # the post-fork collapse
+    print()
+    print(f"monthly series: {len(series)} months; USD peak in "
+          f"{peak.month} (${peak.usd_paid:,.0f})")
+    print("XMR/month around the October 2018 fork:")
+    for point in series:
+        if "2018-07" <= point.month <= "2019-02":
+            bar = "#" * max(1, int(point.xmr_paid / mid_2018 * 40))
+            print(f"  {point.month}  {point.xmr_paid:>9.0f}  {bar}")

@@ -1,0 +1,24 @@
+"""Wallet-rotation detection (extension of the Table IV observation).
+
+The paper notes operators rotate wallets after bans and that minexmr
+publishes per-wallet hashrate histories; composing the two yields a
+hand-over detector.  The bench runs it over the measured world and
+checks it corroborates known campaigns (Freebuf's post-fork rotation).
+"""
+
+from repro.analysis.rotation import detect_rotations, score_against_campaigns
+
+
+def bench_rotation_detection(benchmark, bench_result):
+    candidates = benchmark(detect_rotations, bench_result, "minexmr")
+    scores = score_against_campaigns(candidates, bench_result)
+    assert scores["inside_campaign"] >= 1  # Freebuf's rotation is found
+    print()
+    print(f"rotation candidates at minexmr: {len(candidates)} "
+          f"({scores['inside_campaign']} corroborate campaigns, "
+          f"{scores['across_campaigns']} cross-campaign leads)")
+    for candidate in candidates[:5]:
+        print(f"  {candidate.from_wallet[:10]}... -> "
+              f"{candidate.to_wallet[:10]}... on "
+              f"{candidate.handover_date} "
+              f"(rate similarity {candidate.rate_similarity:.2f})")

@@ -1,0 +1,68 @@
+"""Substrate micro-benchmarks.
+
+Not paper exhibits — throughput numbers for the hot building blocks, so
+performance regressions in the substrates (which bound how large a
+scenario is practical) are caught by the bench suite.
+"""
+
+from repro.binfmt.codegen import pseudo_code
+from repro.binfmt.entropy import shannon_entropy
+from repro.common.rng import DeterministicRNG
+from repro.fuzzyhash.ctph import compare, compute
+from repro.pools.pool import MiningPool, PoolConfig
+from repro.stratum.channel import make_channel_pair
+from repro.stratum.client import StratumClient
+from repro.stratum.server import StratumServerSession
+from repro.wallets.detect import extract_identifiers
+from repro.yarm.builtin import builtin_miner_rules
+
+_RNG = DeterministicRNG(99)
+_DATA_4K = pseudo_code(_RNG, 4096)
+_DATA_4K_B = bytearray(_DATA_4K)
+_DATA_4K_B[100:108] = b"XXXXXXXX"
+_DATA_4K_B = bytes(_DATA_4K_B)
+
+
+def bench_ctph_compute_4k(benchmark):
+    fh = benchmark(compute, _DATA_4K)
+    assert fh.signature
+
+
+def bench_ctph_compare(benchmark):
+    h1, h2 = compute(_DATA_4K), compute(_DATA_4K_B)
+    score = benchmark(compare, h1, h2)
+    assert score >= 85
+
+
+def bench_entropy_4k(benchmark):
+    value = benchmark(shannon_entropy, _DATA_4K)
+    assert 0 < value < 8
+
+
+def bench_yara_scan(benchmark):
+    rules = builtin_miner_rules()
+    data = _DATA_4K + b"stratum+tcp://pool.minexmr.com:4444"
+    matches = benchmark(rules.scan, data)
+    assert matches
+
+
+def bench_identifier_extraction(benchmark):
+    text = ("xmrig.exe -o stratum+tcp://pool.minexmr.com:4444 "
+            "-u 48jTZcLDToL45LcfM7tsVZWTWMBQEcyPLoqLzJsYEBqKHGgCn9i"
+            "DJXSGwrugBJRSZvtQuyUWAUxknQNfXZPfUBTZJz2x3Gs -p x") * 3
+    found = benchmark(extract_identifiers, text)
+    assert isinstance(found, list)
+
+
+def bench_stratum_session_throughput(benchmark):
+    """Login + 50 shares over the in-memory wire, per round."""
+    def session():
+        client_end, server_end = make_channel_pair()
+        pool = MiningPool(PoolConfig("perf"))
+        StratumServerSession(server_end, pool, src_ip="10.0.0.1")
+        client = StratumClient(client_end, "W")
+        client.connect()
+        return client.mine(50)
+
+    accepted = benchmark(session)
+    assert accepted == 50

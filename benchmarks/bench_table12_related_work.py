@@ -1,0 +1,20 @@
+"""Table XII — comparison with related measurement studies.
+
+A static comparison table (prior web-cryptojacking and BTC studies)
+with this reproduction's own measurement appended as the last row.
+"""
+
+from repro.analysis import table12_related_work
+from repro.reporting.render import format_table
+
+
+def bench_table12_related_work(benchmark, bench_result):
+    rows = benchmark(table12_related_work, bench_result)
+    assert len(rows) == 7
+    assert rows[-1]["work"] == "This reproduction"
+    print()
+    print(format_table(
+        ["work", "focus", "analyzed", "detected", "profits"],
+        [[r["work"], r["focus"], r["analyzed"], r["detected"],
+          r["profits"]] for r in rows],
+        title="Table XII: related work"))

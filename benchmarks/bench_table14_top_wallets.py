@@ -1,0 +1,23 @@
+"""Table XIV — top-10 wallets by XMR mined.
+
+Paper: the top wallet alone mined ~83K XMR; 2,433 wallets total about
+733.6K XMR, mirroring the campaign-level skew.
+"""
+
+from repro.analysis import table14_top_wallets
+from repro.reporting.render import format_table
+
+
+def bench_table14_top_wallets(benchmark, bench_result):
+    rows = benchmark(table14_top_wallets, bench_result)
+    assert rows
+    values = [r["xmr"] for r in rows]
+    assert values == sorted(values, reverse=True)
+    total = sum(p.total_paid for p in bench_result.profiles.values())
+    assert rows[0]["xmr"] / total > 0.05  # heavy concentration
+    print()
+    print(format_table(
+        ["wallet", "XMR mined", "USD"],
+        [[r["wallet"], f"{r['xmr']:.0f}", f"{r['usd']:.0f}"]
+         for r in rows],
+        title="Table XIV: top wallets"))

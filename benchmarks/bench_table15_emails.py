@@ -1,0 +1,20 @@
+"""Table XV — e-mail identifiers per pool.
+
+Paper: 4,980 of 5,153 e-mail identifiers mine at minergate, the opaque
+pool whose rewards cannot be measured.
+"""
+
+from repro.analysis import table15_email_pools
+from repro.reporting.render import format_table
+
+
+def bench_table15_email_pools(benchmark, bench_result):
+    rows = benchmark(table15_email_pools, bench_result)
+    assert rows
+    assert max(rows, key=rows.get) == "minergate"
+    total = sum(rows.values())
+    assert rows["minergate"] / total > 0.8  # paper: ~97%
+    print()
+    print(format_table(["pool", "#emails"],
+                       [[k, v] for k, v in rows.items()],
+                       title="Table XV: e-mail identifiers per pool"))

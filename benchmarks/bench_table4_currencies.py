@@ -1,0 +1,19 @@
+"""Table IV — campaigns per currency and samples per year.
+
+Paper: XMR 2,449 campaigns > BTC 1,535 > ZEC/ETN/ETH...; 5,008 e-mail
+campaigns; XMR samples peak in 2017, BTC interest decays.
+"""
+
+from repro.analysis import table4_currencies
+from repro.reporting.render import render_table4
+
+
+def bench_table4_currencies(benchmark, bench_result):
+    data = benchmark(table4_currencies, bench_result)
+    per_currency = data["campaigns_per_currency"]
+    assert max(per_currency, key=per_currency.get) == "XMR"
+    assert per_currency["XMR"] > per_currency["BTC"]
+    assert data["email_campaigns"] > 0
+    assert data["unknown_campaigns"] > 0
+    print()
+    print(render_table4(data))

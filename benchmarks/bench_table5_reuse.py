@@ -1,0 +1,23 @@
+"""Table V — pre-2014 droppers later updated to mine Monero.
+
+Paper: 4 samples first seen in 2012/2013 whose dropper chains later
+deliver XMR miners; two of them share the same XMR wallet.
+"""
+
+from repro.analysis import table5_pre2014_reuse
+from repro.reporting.render import format_table
+
+
+def bench_table5_pre2014(benchmark, bench_result):
+    rows = benchmark(table5_pre2014_reuse, bench_result)
+    assert len(rows) == 4
+    assert sorted(r["year"] for r in rows) == ["2012", "2013",
+                                               "2013", "2013"]
+    wallets = [r["xmr_wallet"] for r in rows]
+    assert len(set(wallets)) < len(wallets)  # the shared-wallet pair
+    print()
+    print(format_table(
+        ["sha256 (prefix)", "year", "XMR wallet", "campaign"],
+        [[r["sha256"][:16], r["year"], r["xmr_wallet"],
+          "C#" + r["campaign"]] for r in rows],
+        title="Table V: pre-2014 samples later mining Monero"))

@@ -1,0 +1,22 @@
+"""Table VI / XIII — domains hosting crypto-mining malware.
+
+Paper: GitHub tops the list; public repos/CDNs (AWS, weebly, Google,
+Discord) dominate, showing reliance on legitimate third-party hosting.
+"""
+
+from repro.analysis import table6_hosting_domains
+from repro.core.aggregation import is_public_repo_host
+from repro.reporting.render import format_table
+
+
+def bench_table6_hosting_domains(benchmark, bench_result):
+    rows = benchmark(table6_hosting_domains, bench_result, 25)
+    assert rows
+    counts = [r[1] for r in rows]
+    assert counts == sorted(counts, reverse=True)
+    public_in_top10 = sum(1 for domain, _, _ in rows[:10]
+                          if is_public_repo_host(domain))
+    assert public_in_top10 >= 2  # public hosting prominent, like Table VI
+    print()
+    print(format_table(["domain", "#samples", "#URLs"], rows,
+                       title="Table VI: hosting domains"))

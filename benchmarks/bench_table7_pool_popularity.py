@@ -1,0 +1,20 @@
+"""Table VII — mining-pool popularity among criminals.
+
+Paper: crypto-pool leads by XMR mined (429K), dwarfpool second (168K);
+minexmr has the most wallets (608).
+"""
+
+from repro.analysis import table7_pool_popularity
+from repro.reporting.render import render_table7
+
+
+def bench_table7_pools(benchmark, bench_result):
+    rows = benchmark(table7_pool_popularity, bench_result)
+    assert rows
+    top_pools = [r["pool"] for r in rows[:4]]
+    # the big three hold the top of the volume ranking
+    assert set(top_pools) & {"crypto-pool", "dwarfpool", "minexmr"}
+    by_wallets = max(rows, key=lambda r: r["wallets"])
+    assert by_wallets["wallets"] >= rows[0]["wallets"] * 0.5
+    print()
+    print(render_table7(rows))

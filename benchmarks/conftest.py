@@ -1,0 +1,36 @@
+"""Benchmark fixtures.
+
+Benches share one world at a larger scale than the unit tests (0.04 of
+the paper's campaign counts, ~90 XMR campaigns with payments) so the
+band structure of Tables VIII/XI and Fig. 5 is populated.  World
+generation and the pipeline run are *not* part of the timed sections —
+each bench times its exhibit computation; two dedicated benches time
+the pipeline stages themselves at a smaller scale.
+"""
+
+import pytest
+
+from repro.core.pipeline import MeasurementPipeline
+from repro.corpus.generator import generate_world
+from repro.corpus.model import ScenarioConfig
+
+BENCH_SEED = 2019
+BENCH_SCALE = 0.04
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    return generate_world(ScenarioConfig(seed=BENCH_SEED,
+                                         scale=BENCH_SCALE))
+
+
+@pytest.fixture(scope="session")
+def bench_result(bench_world):
+    return MeasurementPipeline(bench_world).run()
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """Smaller world for benches that time the pipeline itself."""
+    return generate_world(ScenarioConfig(seed=BENCH_SEED, scale=0.004,
+                                         include_junk=False))

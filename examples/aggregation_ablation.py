@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Ablation: what each grouping feature buys (§III-E vs prior work).
+
+Runs the pipeline under several grouping policies — the full feature
+set, the wallet-only baseline of prior cryptojacking studies, and
+leave-one-out variants — and scores each against corpus ground truth.
+This is the experiment the paper could not run (no ground truth on real
+malware); the synthetic corpus makes it possible.
+"""
+
+from repro.analysis.validation import aggregation_quality
+from repro.core.aggregation import GroupingPolicy
+from repro.core.pipeline import MeasurementPipeline
+from repro.corpus.generator import generate_world
+from repro.corpus.model import ScenarioConfig
+from repro.reporting.render import format_table
+
+POLICIES = [
+    ("full (paper)", GroupingPolicy.full()),
+    ("wallet-only (prior work)", GroupingPolicy.wallet_only()),
+    ("no CNAME de-aliasing", GroupingPolicy(cname_aliases=False)),
+    ("no ancestor links", GroupingPolicy(ancestors=False)),
+    ("no hosting links", GroupingPolicy(hosting=False)),
+    ("no proxy links", GroupingPolicy(proxies=False)),
+    ("no donation whitelist",
+     GroupingPolicy(exclude_donation_wallets=False)),
+]
+
+
+def main() -> None:
+    world = generate_world(ScenarioConfig(seed=2019, scale=0.01))
+    rows = []
+    for label, policy in POLICIES:
+        result = MeasurementPipeline(world, policy=policy).run()
+        scores = aggregation_quality(world, result)
+        rows.append([
+            label,
+            len(result.campaigns),
+            f"{scores.precision:.3f}",
+            f"{scores.recall:.3f}",
+            f"{scores.f1:.3f}",
+        ])
+    print(format_table(
+        ["policy", "#campaigns", "precision", "recall", "F1"],
+        rows,
+        title="Campaign-recovery quality by grouping policy",
+    ))
+    print("\nNotes: wallet-only splits multi-wallet campaigns (recall "
+          "drops);\ndisabling the donation whitelist can glue unrelated "
+          "campaigns\nthrough developer donation wallets (precision "
+          "drops).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Operator-side economics: what running a mining botnet costs and pays.
+
+Builds on §II (underground price card) and §VIII ("low cost and high
+return of investment"): simulates botnet populations under different
+operator strategies and prices each operation against mined revenue at
+historical XMR rates.
+"""
+
+import datetime
+
+from repro.botnet.economics import campaign_roi
+from repro.botnet.population import BotnetConfig, BotnetSimulator
+from repro.common.rng import DeterministicRNG
+from repro.reporting.render import format_table
+
+STRATEGIES = [
+    ("small & stealthy (<2K bots)", BotnetConfig(
+        initial_installs=1500, target_cap=2000, max_resupplies=6), False),
+    ("large, no cap", BotnetConfig(
+        initial_installs=8000, target_cap=None, max_resupplies=10,
+        resupply_batch=2000), True),
+    ("fire-and-forget (no resupply)", BotnetConfig(
+        initial_installs=3000, max_resupplies=0, target_cap=None), False),
+    ("greedy (no idle mining)", BotnetConfig(
+        initial_installs=1500, target_cap=2000, idle_mining=False), False),
+]
+
+WINDOW = (datetime.date(2017, 3, 1), datetime.date(2018, 9, 1))
+
+
+def main() -> None:
+    rows = []
+    for label, config, uses_proxy in STRATEGIES:
+        simulator = BotnetSimulator(config, DeterministicRNG(2019))
+        trace = simulator.run(*WINDOW)
+        economics = campaign_roi(simulator, trace, uses_proxy=uses_proxy)
+        rows.append([
+            label,
+            economics.installs,
+            simulator.peak_bots(trace),
+            f"{economics.mined_xmr:.0f}",
+            f"${economics.total_cost:,.0f}",
+            f"${economics.revenue_usd:,.0f}",
+            f"{economics.roi:.1f}x",
+        ])
+    print(format_table(
+        ["strategy", "installs", "peak bots", "XMR", "cost", "revenue",
+         "ROI"],
+        rows,
+        title=f"Operator economics, {WINDOW[0]} to {WINDOW[1]}"))
+    print("\nEvery strategy clears its costs by a wide margin — the "
+          "paper's\n'low cost, high return' conclusion (§VIII). The "
+          "greedy no-idle strategy\nmines more but is the one users "
+          "notice (fan noise, slow machine).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` / ``python setup.py develop`` work on
+offline environments without the ``wheel`` package (metadata lives in
+pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro — reproduction of the IMC 2019 crypto-mining-malware study.
+
+Top-level convenience API::
+
+    import repro
+
+    world = repro.generate_world(repro.scenario("smoke"))
+    result = repro.MeasurementPipeline(world).run()
+
+Subpackages are grouped by role:
+
+* ``repro.core`` — the paper's measurement pipeline;
+* ``repro.analysis`` / ``repro.reporting`` — exhibits and renderers;
+* ``repro.corpus`` — the synthetic ecosystem generator;
+* ``repro.defense`` / ``repro.baselines`` / ``repro.botnet`` —
+  countermeasures, prior-work baselines and operator economics;
+* the remaining packages are the simulated substrates (pools, stratum,
+  chain, sandbox, binfmt, fuzzyhash, yarm, intel, osint, netsim,
+  forums, market, wallets).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.pipeline import MeasurementPipeline, MeasurementResult
+from repro.corpus.generator import generate_world
+from repro.corpus.model import ScenarioConfig, SyntheticWorld
+from repro.corpus.scenarios import available_scenarios, scenario
+
+__all__ = [
+    "__version__",
+    "MeasurementPipeline",
+    "MeasurementResult",
+    "generate_world",
+    "ScenarioConfig",
+    "SyntheticWorld",
+    "available_scenarios",
+    "scenario",
+]

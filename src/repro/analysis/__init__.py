@@ -1,0 +1,75 @@
+"""Exhibit generators: one function per table/figure of the paper.
+
+Each function consumes a :class:`~repro.core.pipeline.MeasurementResult`
+(and, where needed, the :class:`~repro.corpus.model.SyntheticWorld`) and
+returns plain data structures (lists of rows / dicts of series) that the
+renderers in :mod:`repro.reporting` turn into text tables.
+"""
+
+from repro.analysis.exhibits import (
+    fig1_forum_trends,
+    fig4_cdf,
+    fig5_pools_per_campaign,
+    fig6_campaign_structure,
+    fig7_payment_timeline,
+    headline_monero_fraction,
+    table3_dataset,
+    table4_currencies,
+    table5_pre2014_reuse,
+    table6_hosting_domains,
+    table7_pool_popularity,
+    table8_top_campaigns,
+    table9_stock_tools,
+    table10_packers,
+    table11_infrastructure,
+    table12_related_work,
+    table14_top_wallets,
+    table15_email_pools,
+)
+from repro.analysis.validation import (
+    aggregation_quality,
+    pairwise_clustering_scores,
+)
+from repro.analysis.graphs import campaign_graph, structure_metrics, to_dot
+from repro.analysis.groundtruth_eval import (
+    av_threshold_sweep,
+    funnel_quality,
+)
+from repro.analysis.opacity import estimate_opacity_gap
+from repro.analysis.rotation import detect_rotations
+from repro.analysis.timeline import (
+    active_campaigns_per_month,
+    monthly_ecosystem_series,
+)
+
+__all__ = [
+    "fig1_forum_trends",
+    "fig4_cdf",
+    "fig5_pools_per_campaign",
+    "fig6_campaign_structure",
+    "fig7_payment_timeline",
+    "headline_monero_fraction",
+    "table3_dataset",
+    "table4_currencies",
+    "table5_pre2014_reuse",
+    "table6_hosting_domains",
+    "table7_pool_popularity",
+    "table8_top_campaigns",
+    "table9_stock_tools",
+    "table10_packers",
+    "table11_infrastructure",
+    "table12_related_work",
+    "table14_top_wallets",
+    "table15_email_pools",
+    "aggregation_quality",
+    "pairwise_clustering_scores",
+    "campaign_graph",
+    "structure_metrics",
+    "to_dot",
+    "av_threshold_sweep",
+    "funnel_quality",
+    "estimate_opacity_gap",
+    "detect_rotations",
+    "active_campaigns_per_month",
+    "monthly_ecosystem_series",
+]

@@ -1,0 +1,546 @@
+"""Table and figure generators (the paper's evaluation exhibits)."""
+
+import datetime
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlparse
+
+from repro.chain.emission import MONERO_EMISSION
+from repro.common.simtime import POW_FORK_DATES, Date
+from repro.core.aggregation import Campaign
+from repro.core.pipeline import MeasurementResult
+from repro.corpus.distributions import BAND_LABELS, band_of
+from repro.forums.corpus import ForumCorpus
+from repro.forums.trends import coin_thread_shares
+from repro.wallets.detect import IdentifierKind, classify_identifier
+
+
+# ---------------------------------------------------------------------------
+# Fig 1 — forum thread trends
+# ---------------------------------------------------------------------------
+
+def fig1_forum_trends(corpus: ForumCorpus) -> Dict[int, Dict[str, float]]:
+    """Per-year per-coin share of mining threads (the Fig. 1 series)."""
+    return coin_thread_shares(corpus)
+
+
+# ---------------------------------------------------------------------------
+# Table III — dataset summary
+# ---------------------------------------------------------------------------
+
+def table3_dataset(result: MeasurementResult) -> Dict[str, int]:
+    """Table III: dataset summary (miners, ancillaries, sources, resources)."""
+    stats = result.stats
+    rows = {
+        "ALL EXECUTABLES": stats.miners + stats.ancillaries,
+        "Miner Binaries": stats.miners,
+        "Ancillary Binaries": stats.ancillaries,
+    }
+    for source, count in sorted(stats.by_source.items(),
+                                key=lambda kv: -kv[1]):
+        rows[source] = count
+    rows["Sandbox Analysis"] = stats.sandbox_analyses
+    rows["Network Analysis"] = stats.network_analyses
+    rows["Binary Analysis"] = stats.binary_analyses
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table IV — campaigns per currency / samples per year
+# ---------------------------------------------------------------------------
+
+def table4_currencies(result: MeasurementResult) -> Dict[str, object]:
+    """Left: campaigns per identifier type; right: samples/year for
+    BTC and XMR (miner records with embedded wallets)."""
+    per_currency: Counter = Counter()
+    emails = 0
+    unknown = 0
+    mixed = 0
+    for campaign in result.campaigns:
+        coins = campaign.coins
+        if len(coins) >= 2:
+            mixed += 1
+        for coin in coins:
+            per_currency[coin] += 1
+        kinds = {classify_identifier(i).kind for i in campaign.identifiers}
+        if not coins:
+            if IdentifierKind.EMAIL in kinds:
+                emails += 1
+            else:
+                unknown += 1
+    samples_per_year: Dict[str, Counter] = {"BTC": Counter(),
+                                            "XMR": Counter()}
+    for record in result.miner_records():
+        tickers = {t for t in record.identifier_coins if t}
+        for ticker in tickers & {"BTC", "XMR"}:
+            if record.first_seen is None:
+                samples_per_year[ticker]["~19?"] += 1
+            else:
+                samples_per_year[ticker][str(record.first_seen.year)] += 1
+    return {
+        "campaigns_per_currency": dict(per_currency.most_common()),
+        "email_campaigns": emails,
+        "unknown_campaigns": unknown,
+        "multi_currency_campaigns": mixed,
+        "samples_per_year": {k: dict(sorted(v.items()))
+                             for k, v in samples_per_year.items()},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig 4 — CDFs of samples / wallets / earnings per campaign
+# ---------------------------------------------------------------------------
+
+def fig4_cdf(result: MeasurementResult) -> Dict[str, List[float]]:
+    """Sorted per-campaign values; plot index/n vs value for the CDF."""
+    campaigns = result.campaigns
+    return {
+        "samples": sorted(float(c.num_samples) for c in campaigns),
+        "wallets": sorted(float(c.num_wallets) for c in campaigns),
+        "earnings_xmr": sorted(c.total_xmr for c in campaigns
+                               if c.total_xmr > 0),
+    }
+
+
+def cdf_quantile(values: List[float], threshold: float) -> float:
+    """Fraction of values <= threshold (to check e.g. '99% earn <100')."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+# ---------------------------------------------------------------------------
+# Table V — pre-2014 droppers that later mined Monero
+# ---------------------------------------------------------------------------
+
+def table5_pre2014_reuse(result: MeasurementResult) -> List[Dict[str, str]]:
+    """Table V: pre-2014 samples inside campaigns that mine Monero."""
+    cutoff = datetime.date(2014, 1, 1)
+    rows = []
+    for campaign in result.campaigns:
+        xmr_wallets = [i for i, c in campaign.identifier_coins.items()
+                       if c == "XMR"]
+        if not xmr_wallets:
+            continue
+        for record in campaign.records:
+            if record.first_seen and record.first_seen < cutoff:
+                rows.append({
+                    "sha256": record.sha256,
+                    "year": str(record.first_seen.year),
+                    "xmr_wallet": xmr_wallets[0][:10] + "...",
+                    "campaign": str(campaign.campaign_id),
+                })
+    rows.sort(key=lambda r: (r["year"], r["sha256"]))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table VI / XIII — hosting domains
+# ---------------------------------------------------------------------------
+
+def table6_hosting_domains(result: MeasurementResult,
+                           top: int = 25) -> List[Tuple[str, int, int]]:
+    """(domain, #samples hosted, #distinct URLs), by sample count."""
+    samples_per_domain: Dict[str, set] = defaultdict(set)
+    urls_per_domain: Dict[str, set] = defaultdict(set)
+    for record in result.records:
+        for url in record.itw_urls:
+            host = urlparse(url).hostname or ""
+            if not host:
+                continue
+            samples_per_domain[host].add(record.sha256)
+            urls_per_domain[host].add(url)
+    rows = [
+        (domain, len(samples), len(urls_per_domain[domain]))
+        for domain, samples in samples_per_domain.items()
+    ]
+    rows.sort(key=lambda r: (-r[1], r[0]))
+    return rows[:top]
+
+
+# ---------------------------------------------------------------------------
+# Fig 5 — pools per campaign, grouped by earnings
+# ---------------------------------------------------------------------------
+
+def fig5_pools_per_campaign(result: MeasurementResult) -> Dict[str, Counter]:
+    """band label -> histogram {num_pools: num_campaigns} (XMR only)."""
+    histograms: Dict[str, Counter] = {label: Counter()
+                                      for label in ["<1"] + BAND_LABELS[1:]}
+    # The figure's bands are <1, [1-100), [100-1000), [1000-10000), >=10000
+    figure_bands = [(0, 1.0, "<1"), (1.0, 100.0, "[1-100)"),
+                    (100.0, 1000.0, "[100-1000)"),
+                    (1000.0, 10000.0, "[1000-10000)"),
+                    (10000.0, float("inf"), ">=10000")]
+    histograms = {label: Counter() for _, _, label in figure_bands}
+    for campaign in result.campaigns:
+        if "XMR" not in campaign.coins or campaign.total_xmr <= 0:
+            continue
+        n_pools = max(1, len(campaign.pools_used))
+        for low, high, label in figure_bands:
+            if low <= campaign.total_xmr < high:
+                histograms[label][n_pools] += 1
+                break
+    return histograms
+
+
+def multi_pool_share(result: MeasurementResult,
+                     min_xmr: float = 1000.0) -> float:
+    """Fraction of campaigns above ``min_xmr`` using more than one pool
+    (the paper: 97% for >=1K XMR)."""
+    eligible = [c for c in result.campaigns
+                if "XMR" in c.coins and c.total_xmr >= min_xmr]
+    if not eligible:
+        return 0.0
+    multi = sum(1 for c in eligible if len(c.pools_used) > 1)
+    return multi / len(eligible)
+
+
+# ---------------------------------------------------------------------------
+# Table VII — pool popularity
+# ---------------------------------------------------------------------------
+
+def table7_pool_popularity(result: MeasurementResult) -> List[Dict[str, object]]:
+    """Table VII: per-pool XMR mined, wallet counts and USD value."""
+    per_pool: Dict[str, Dict[str, float]] = defaultdict(
+        lambda: {"xmr": 0.0, "wallets": 0, "usd": 0.0})
+    for profile in result.profiles.values():
+        for record in profile.records:
+            if record.coin != "XMR":
+                continue
+            entry = per_pool[record.pool]
+            entry["xmr"] += record.total_paid
+            entry["wallets"] += 1
+            entry["usd"] += record.usd
+    rows = [
+        {"pool": pool, "xmr_mined": stats["xmr"],
+         "wallets": int(stats["wallets"]), "usd": stats["usd"]}
+        for pool, stats in per_pool.items()
+    ]
+    rows.sort(key=lambda r: -r["xmr_mined"])
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table VIII — top campaigns
+# ---------------------------------------------------------------------------
+
+def table8_top_campaigns(result: MeasurementResult,
+                         top: int = 10) -> Dict[str, object]:
+    """Table VIII: top campaigns by XMR plus ecosystem totals and skew."""
+    xmr_campaigns = [c for c in result.campaigns
+                     if "XMR" in c.coins and c.total_xmr > 0]
+    xmr_campaigns.sort(key=lambda c: -c.total_xmr)
+    rows = []
+    for campaign in xmr_campaigns[:top]:
+        rows.append({
+            "campaign": f"C#{campaign.campaign_id}",
+            "samples": campaign.num_samples,
+            "wallets": campaign.num_wallets,
+            "start": campaign.first_seen.isoformat()
+            if campaign.first_seen else "?",
+            "end": "active*" if campaign.active else (
+                campaign.last_share.isoformat()
+                if campaign.last_share else "?"),
+            "xmr": campaign.total_xmr,
+            "usd": campaign.total_usd,
+        })
+    total_xmr = sum(c.total_xmr for c in xmr_campaigns)
+    total_usd = sum(c.total_usd for c in xmr_campaigns)
+    top_xmr = sum(c.total_xmr for c in xmr_campaigns[:top])
+    return {
+        "rows": rows,
+        "campaigns_with_payments": len(xmr_campaigns),
+        "total_xmr": total_xmr,
+        "total_usd": total_usd,
+        "top_share": top_xmr / total_xmr if total_xmr else 0.0,
+        "top1_share": (xmr_campaigns[0].total_xmr / total_xmr
+                       if xmr_campaigns and total_xmr else 0.0),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Table IX — stock mining tools
+# ---------------------------------------------------------------------------
+
+def table9_stock_tools(result: MeasurementResult) -> List[Dict[str, object]]:
+    """Table IX: stock-tool attribution counts per framework."""
+    per_framework: Dict[str, Dict[str, set]] = defaultdict(
+        lambda: {"instances": set(), "versions": set(), "campaigns": set()})
+    for campaign in result.campaigns:
+        for framework, version, sha in campaign.stock_tool_matches:
+            entry = per_framework[framework]
+            entry["instances"].add(sha)
+            entry["versions"].add(version)
+            entry["campaigns"].add(campaign.campaign_id)
+    rows = [
+        {"tool": framework,
+         "instances": len(stats["instances"]),
+         "versions": len(stats["versions"]),
+         "campaigns": len(stats["campaigns"])}
+        for framework, stats in per_framework.items()
+    ]
+    rows.sort(key=lambda r: -r["instances"])
+    return rows
+
+
+def stock_tool_campaign_share(result: MeasurementResult) -> float:
+    """Fraction of XMR campaigns using stock tools (~18% in the paper)."""
+    xmr = [c for c in result.campaigns if "XMR" in c.coins]
+    if not xmr:
+        return 0.0
+    return sum(1 for c in xmr if c.stock_tools) / len(xmr)
+
+
+# ---------------------------------------------------------------------------
+# Table X — packers
+# ---------------------------------------------------------------------------
+
+def table10_packers(result: MeasurementResult) -> Dict[str, int]:
+    """Table X: packer family -> sample count, plus the unpacked rest."""
+    counts: Counter = Counter()
+    not_packed = 0
+    for record in result.records:
+        if record.packer:
+            counts[record.packer] += 1
+        elif record.obfuscated:
+            counts["unknown-crypter"] += 1
+        else:
+            not_packed += 1
+    rows = dict(counts.most_common())
+    rows["Not packed"] = not_packed
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table XI — infrastructure / stealth / activity by profit band
+# ---------------------------------------------------------------------------
+
+def table11_infrastructure(result: MeasurementResult) -> Dict[str, Dict[str, float]]:
+    """Rows of Table XI: per band (and ALL), share of campaigns with
+    each feature, plus activity-period breakdowns."""
+    bands: Dict[str, List[Campaign]] = {label: [] for label in BAND_LABELS}
+    eligible = [c for c in result.campaigns
+                if "XMR" in c.coins and c.total_xmr > 0]
+    for campaign in eligible:
+        bands[BAND_LABELS[band_of(campaign.total_xmr)]].append(campaign)
+    bands["ALL"] = eligible
+
+    def share(group: List[Campaign], predicate) -> float:
+        if not group:
+            return 0.0
+        return sum(1 for c in group if predicate(c)) / len(group)
+
+    out: Dict[str, Dict[str, float]] = {}
+    for label, group in bands.items():
+        column = {
+            "#campaigns": float(len(group)),
+            "ppi": share(group, lambda c: c.uses_ppi),
+            "stock_tool": share(group, lambda c: bool(c.stock_tools)),
+            "both": share(group, lambda c: c.uses_ppi and c.stock_tools),
+            "obfuscation": share(group, lambda c: c.obfuscated),
+            "cnames": share(group, lambda c: bool(c.cname_aliases)),
+            "proxies": share(group, lambda c: bool(c.proxies)),
+        }
+        # "+ Apr-18" rows: survival across each PoW fork, measured over
+        # the campaigns that had started before that fork (the paper's
+        # 27.6% complements the 72.4% April die-off).
+        for fork, key in zip(POW_FORK_DATES,
+                             ["active_after_apr18", "active_after_oct18",
+                              "active_after_mar19"]):
+            started_before = [c for c in group
+                              if c.first_seen is not None
+                              and c.first_seen < fork]
+            column[key] = share(
+                started_before,
+                lambda c, f=fork: (c.last_share is not None
+                                   and c.last_share >= f))
+        for year in range(2014, 2020):
+            column[f"start_{year}"] = share(
+                group, lambda c, y=year: (c.first_seen is not None
+                                          and c.first_seen.year == y))
+        # "Years:" rows — whole years of observed activity.  Rich
+        # campaigns run for multiple years (53.3% of the >=10K band ran
+        # four years in the paper); the bottom band mostly dies young.
+        for years in range(5):
+            column[f"years_{years}"] = share(
+                group, lambda c, y=years: _activity_years(c) == y)
+        out[label] = column
+    return out
+
+
+def _activity_years(campaign: Campaign) -> int:
+    """Whole years between first sample and last pool share (capped)."""
+    if campaign.first_seen is None or campaign.last_share is None:
+        return 0
+    days = max(0, (campaign.last_share - campaign.first_seen).days)
+    return min(4, days // 365)
+
+
+def fork_dieoff(result: MeasurementResult) -> List[float]:
+    """Share of campaigns that stopped by each PoW fork (72/89/96%)."""
+    eligible = [c for c in result.campaigns
+                if "XMR" in c.coins and c.total_xmr > 0]
+    out = []
+    for fork in POW_FORK_DATES:
+        if not eligible:
+            out.append(0.0)
+            continue
+        # only campaigns that had started before the fork can die at it
+        started = [c for c in eligible
+                   if c.first_seen is not None and c.first_seen < fork]
+        if not started:
+            out.append(0.0)
+            continue
+        stopped = sum(1 for c in started
+                      if c.last_share is None or c.last_share < fork)
+        out.append(stopped / len(started))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Table XII — related work (static comparison table)
+# ---------------------------------------------------------------------------
+
+def table12_related_work(result: Optional[MeasurementResult] = None) -> List[Dict[str, str]]:
+    """Table XII: the related-work comparison, ours appended when given."""
+    rows = [
+        {"work": "Huang et al. (2014)", "focus": "Binary-based mining (BTC)",
+         "analyzed": "Unknown", "detected": "2K crypto-mining malware",
+         "profits": "14,979 BTC"},
+        {"work": "Ruth et al. (2018)", "focus": "Web-based mining (XMR)",
+         "analyzed": "10M websites", "detected": "2,287 websites",
+         "profits": "1,271 XMR/month"},
+        {"work": "Hong et al. (2018)", "focus": "Web cryptojacking (XMR)",
+         "analyzed": "548,624 websites", "detected": "2,270 websites",
+         "profits": "7,692.30 XMR"},
+        {"work": "Konoth et al. (2018)", "focus": "Web cryptojacking (XMR)",
+         "analyzed": "991,513 websites", "detected": "1,735 websites",
+         "profits": "746.55 XMR/month"},
+        {"work": "Papadopoulos et al. (2018)", "focus": "Web mining (XMR)",
+         "analyzed": "3M websites", "detected": "107.5K websites",
+         "profits": "N/A"},
+        {"work": "Musch et al. (2018)", "focus": "Web cryptojacking (XMR)",
+         "analyzed": "1M websites", "detected": "2.5k websites",
+         "profits": "N/A"},
+    ]
+    if result is not None:
+        summary = table8_top_campaigns(result)
+        rows.append({
+            "work": "This reproduction",
+            "focus": "Binary-based mining (various)",
+            "analyzed": f"{result.stats.collected} samples",
+            "detected": f"{result.stats.miners + result.stats.ancillaries}"
+                        " crypto-mining samples",
+            "profits": f"{summary['total_xmr']:.0f} XMR",
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig 6 — case-study campaign structure
+# ---------------------------------------------------------------------------
+
+def fig6_campaign_structure(result: MeasurementResult,
+                            campaign: Campaign) -> Dict[str, object]:
+    """Node/edge census of one campaign's grouping graph (Fig. 6a/6b)."""
+    return {
+        "campaign": f"C#{campaign.campaign_id}",
+        "samples": campaign.num_samples,
+        "wallets": campaign.num_wallets,
+        "cname_aliases": sorted(campaign.cname_aliases),
+        "proxies": sorted(campaign.proxies),
+        "hosting_ips": sorted(campaign.hosting_ips),
+        "hosting_urls": sorted(campaign.hosting_urls)[:10],
+        "operations": sorted(campaign.operations),
+        "coins": sorted(campaign.coins),
+        "pools_used": list(campaign.pools_used),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig 6c / 7 / 8 — payment timelines
+# ---------------------------------------------------------------------------
+
+def fig7_payment_timeline(result: MeasurementResult,
+                          campaign: Campaign) -> Dict[str, List[Tuple[Date, float, str]]]:
+    """wallet -> [(date, amount, pool)] for every dated payment."""
+    timeline: Dict[str, List[Tuple[Date, float, str]]] = {}
+    for identifier in campaign.identifiers:
+        profile = result.profiles.get(identifier)
+        if profile is None:
+            continue
+        payments = profile.payments()
+        if payments:
+            timeline[identifier] = payments
+    return timeline
+
+
+def monthly_payment_series(timeline: Dict[str, List[Tuple[Date, float, str]]]) -> Dict[str, Dict[str, float]]:
+    """wallet -> {YYYY-MM: XMR} (the Fig. 7/8 monthly aggregation)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for wallet, payments in timeline.items():
+        months: Dict[str, float] = defaultdict(float)
+        for when, amount, _pool in payments:
+            months[when.strftime("%Y-%m")] += amount
+        out[wallet] = dict(sorted(months.items()))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Table XIV — top wallets
+# ---------------------------------------------------------------------------
+
+def table14_top_wallets(result: MeasurementResult,
+                        top: int = 10) -> List[Dict[str, object]]:
+    """Table XIV: top wallets by XMR mined across all pools."""
+    rows = [
+        {"wallet": identifier[:10] + "...",
+         "xmr": profile.total_paid,
+         "usd": profile.total_usd}
+        for identifier, profile in result.profiles.items()
+        if profile.total_paid > 0
+    ]
+    rows.sort(key=lambda r: -r["xmr"])
+    return rows[:top]
+
+
+# ---------------------------------------------------------------------------
+# Table XV — e-mails per pool
+# ---------------------------------------------------------------------------
+
+def table15_email_pools(result: MeasurementResult) -> Dict[str, int]:
+    """pool -> #distinct e-mail identifiers mining there.
+
+    E-mails mostly mine at minergate, which is opaque: the pool name is
+    recovered from the sample's own records, not from payment data.
+    """
+    pool_emails: Dict[str, set] = defaultdict(set)
+    for record in result.miner_records():
+        emails = [i for i in record.identifiers
+                  if classify_identifier(i).kind is IdentifierKind.EMAIL]
+        if not emails:
+            continue
+        pool = record.pool or "unknown"
+        for email in emails:
+            pool_emails[pool].add(email)
+    return {pool: len(emails)
+            for pool, emails in sorted(pool_emails.items(),
+                                       key=lambda kv: -len(kv[1]))}
+
+
+# ---------------------------------------------------------------------------
+# §IV-D headline — share of circulating Monero
+# ---------------------------------------------------------------------------
+
+def headline_monero_fraction(result: MeasurementResult,
+                             as_of: Date = datetime.date(2019, 4, 30)) -> Dict[str, float]:
+    """Headline figure: illicit XMR as a share of circulating supply."""
+    total_xmr = sum(p.total_paid for p in result.profiles.values())
+    supply = MONERO_EMISSION.circulating_supply(as_of)
+    usd = sum(p.total_usd for p in result.profiles.values())
+    return {
+        "total_xmr": total_xmr,
+        "circulating_supply": supply,
+        "fraction": total_xmr / supply if supply else 0.0,
+        "total_usd": usd,
+    }

@@ -1,0 +1,76 @@
+"""Opaque-pool revenue gap (the minergate blind spot, §IV-C).
+
+The paper finds 4,980 e-mail identifiers mining at minergate but cannot
+measure their earnings: the pool publishes no per-wallet statistics.
+That makes every headline figure an under-approximation.  This module
+bounds the gap: assuming opaque-pool miners resemble the measured
+population (same per-identifier earning distribution), estimate how
+much XMR is invisible and how the headline fraction would move.
+
+This is explicitly an *extrapolation* — the reproduction labels it as
+such, as the paper does for its own under-approximation caveats.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.pipeline import MeasurementResult
+from repro.wallets.detect import IdentifierKind, classify_identifier
+
+
+@dataclass(frozen=True)
+class OpacityGap:
+    """Estimated revenue hidden behind opaque pools."""
+
+    measured_identifiers: int
+    measured_xmr: float
+    opaque_identifiers: int
+    median_xmr_per_identifier: float
+    mean_xmr_per_identifier: float
+    estimated_hidden_xmr_median: float   # conservative bound
+    estimated_hidden_xmr_mean: float     # skew-sensitive bound
+
+    @property
+    def undercount_fraction_median(self) -> float:
+        total = self.measured_xmr + self.estimated_hidden_xmr_median
+        return self.estimated_hidden_xmr_median / total if total else 0.0
+
+
+def opaque_identifiers(result: MeasurementResult) -> List[str]:
+    """Identifiers observed mining only at opaque/unknown pools.
+
+    E-mails on minergate are the bulk; any identifier with no
+    transparent-pool profile counts.
+    """
+    out = []
+    for record in result.miner_records():
+        for identifier in record.identifiers:
+            if identifier in result.profiles:
+                continue
+            kind = classify_identifier(identifier).kind
+            if kind in (IdentifierKind.EMAIL, IdentifierKind.USERNAME,
+                        IdentifierKind.WALLET):
+                out.append(identifier)
+    return sorted(set(out))
+
+
+def estimate_opacity_gap(result: MeasurementResult) -> OpacityGap:
+    """Bound the hidden revenue behind opaque pools."""
+    earnings = sorted(p.total_paid for p in result.profiles.values()
+                      if p.total_paid > 0)
+    measured_xmr = sum(earnings)
+    hidden_ids = opaque_identifiers(result)
+    if earnings:
+        median = earnings[len(earnings) // 2]
+        mean = measured_xmr / len(earnings)
+    else:
+        median = mean = 0.0
+    return OpacityGap(
+        measured_identifiers=len(earnings),
+        measured_xmr=measured_xmr,
+        opaque_identifiers=len(hidden_ids),
+        median_xmr_per_identifier=median,
+        mean_xmr_per_identifier=mean,
+        estimated_hidden_xmr_median=median * len(hidden_ids),
+        estimated_hidden_xmr_mean=mean * len(hidden_ids),
+    )

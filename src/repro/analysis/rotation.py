@@ -1,0 +1,120 @@
+"""Wallet-rotation detection from pool hashrate histories.
+
+The paper notes that criminals rotate identifiers — "a change of a
+previous wallet address after being banned" (Table IV discussion) — and
+that minexmr publishes *historical* per-wallet hashrates (Table II).
+Those two facts compose into an extension the paper stops short of: a
+hand-over detector.  When wallet A's hashrate drops to ~zero in the
+same window where wallet B's rises to a comparable level at the same
+pool, the two wallets are plausibly one operator rotating identities.
+
+The detector is *evidence*, not a grouping feature: it suggests links
+for analyst review (the paper's conservative stance on aggregation).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.simtime import Date
+from repro.core.pipeline import MeasurementResult
+
+
+@dataclass(frozen=True)
+class RotationCandidate:
+    """A suspected hand-over between two wallets at one pool."""
+
+    pool: str
+    from_wallet: str
+    to_wallet: str
+    handover_date: Date
+    from_rate: float      # rate before the drop
+    to_rate: float        # rate after the rise
+    rate_similarity: float  # min/max of the two rates (1.0 = identical)
+
+
+def _series_by_wallet(result: MeasurementResult,
+                      pool: str) -> Dict[str, List[Tuple[Date, float]]]:
+    out: Dict[str, List[Tuple[Date, float]]] = {}
+    for identifier, profile in result.profiles.items():
+        for record in profile.records:
+            if record.pool == pool and record.hashrate_history:
+                out[identifier] = sorted(record.hashrate_history)
+    return out
+
+
+def _activity_bounds(series: Sequence[Tuple[Date, float]],
+                     threshold: float) -> Optional[Tuple[Date, Date, float]]:
+    """(first active day, last active day, mean active rate)."""
+    active = [(d, r) for d, r in series if r > threshold]
+    if not active:
+        return None
+    mean_rate = sum(r for _, r in active) / len(active)
+    return active[0][0], active[-1][0], mean_rate
+
+
+def detect_rotations(result: MeasurementResult, pool: str,
+                     max_gap_days: int = 45,
+                     min_rate_similarity: float = 0.2,
+                     min_rate_hs: float = 1000.0) -> List[RotationCandidate]:
+    """Find hand-over pairs among wallets with history at ``pool``.
+
+    A pair qualifies when wallet A's activity *ends* within
+    ``max_gap_days`` of wallet B's activity *starting*, both at rates
+    above ``min_rate_hs`` and within a similarity band — the signature
+    of one botnet re-pointing its login.
+    """
+    series = _series_by_wallet(result, pool)
+    bounds = {}
+    for wallet, history in series.items():
+        info = _activity_bounds(history, threshold=min_rate_hs)
+        if info is not None:
+            bounds[wallet] = info
+    candidates: List[RotationCandidate] = []
+    for from_wallet, (f_start, f_end, f_rate) in bounds.items():
+        for to_wallet, (t_start, t_end, t_rate) in bounds.items():
+            if from_wallet == to_wallet:
+                continue
+            gap = (t_start - f_end).days
+            if not 0 <= gap <= max_gap_days:
+                continue
+            if t_end <= f_end:
+                continue  # successor must outlive the predecessor
+            similarity = min(f_rate, t_rate) / max(f_rate, t_rate)
+            if similarity < min_rate_similarity:
+                continue
+            candidates.append(RotationCandidate(
+                pool=pool,
+                from_wallet=from_wallet,
+                to_wallet=to_wallet,
+                handover_date=t_start,
+                from_rate=f_rate,
+                to_rate=t_rate,
+                rate_similarity=similarity,
+            ))
+    candidates.sort(key=lambda c: (c.handover_date, c.from_wallet))
+    return candidates
+
+
+def score_against_campaigns(candidates: Sequence[RotationCandidate],
+                            result: MeasurementResult) -> Dict[str, int]:
+    """How many suggested links fall inside vs across known campaigns.
+
+    Inside-campaign hits corroborate the aggregation; cross-campaign
+    hits are either new intelligence or false positives for review.
+    """
+    owner: Dict[str, int] = {}
+    for campaign in result.campaigns:
+        for identifier in campaign.identifiers:
+            owner[identifier] = campaign.campaign_id
+    inside = across = unknown = 0
+    for candidate in candidates:
+        a = owner.get(candidate.from_wallet)
+        b = owner.get(candidate.to_wallet)
+        if a is None or b is None:
+            unknown += 1
+        elif a == b:
+            inside += 1
+        else:
+            across += 1
+    return {"inside_campaign": inside, "across_campaigns": across,
+            "unknown": unknown}

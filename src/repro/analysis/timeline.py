@@ -1,0 +1,89 @@
+"""Ecosystem-level time series (§VII: "more than 1M/month").
+
+The paper distils its per-payment data into a monthly narrative: the
+ecosystem's income ramps with the 2016-17 Monero rally, peaks around
+the January 2018 price spike, and collapses under the combined weight
+of the 2018 forks and the price crash.  These series make that
+narrative queryable: XMR and USD per month, active campaigns per month,
+and new-campaign starts per month.
+"""
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.pipeline import MeasurementResult
+from repro.market.rates import RATES
+
+
+@dataclass(frozen=True)
+class MonthlyPoint:
+    """One month of ecosystem activity."""
+
+    month: str              # "YYYY-MM"
+    xmr_paid: float
+    usd_paid: float
+    wallets_paid: int
+
+
+def monthly_ecosystem_series(result: MeasurementResult) -> List[MonthlyPoint]:
+    """Month-by-month payments over every measured wallet."""
+    xmr_by_month: Dict[str, float] = defaultdict(float)
+    usd_by_month: Dict[str, float] = defaultdict(float)
+    wallets_by_month: Dict[str, set] = defaultdict(set)
+    rates = RATES["XMR"]
+    for identifier, profile in result.profiles.items():
+        for when, amount, pool in profile.payments():
+            month = when.strftime("%Y-%m")
+            xmr_by_month[month] += amount
+            usd_by_month[month] += rates.to_usd(amount, when)
+            wallets_by_month[month].add(identifier)
+    return [
+        MonthlyPoint(month=month,
+                     xmr_paid=xmr_by_month[month],
+                     usd_paid=usd_by_month[month],
+                     wallets_paid=len(wallets_by_month[month]))
+        for month in sorted(xmr_by_month)
+    ]
+
+
+def active_campaigns_per_month(result: MeasurementResult) -> Dict[str, int]:
+    """Campaigns with at least one dated payment in each month."""
+    active: Dict[str, set] = defaultdict(set)
+    for campaign in result.campaigns:
+        for identifier in campaign.identifiers:
+            profile = result.profiles.get(identifier)
+            if profile is None:
+                continue
+            for when, _amount, _pool in profile.payments():
+                active[when.strftime("%Y-%m")].add(campaign.campaign_id)
+    return {month: len(ids) for month, ids in sorted(active.items())}
+
+
+def campaign_starts_per_month(result: MeasurementResult) -> Dict[str, int]:
+    """New campaigns (by first-seen sample) per month."""
+    starts: Dict[str, int] = defaultdict(int)
+    for campaign in result.campaigns:
+        if campaign.first_seen is not None:
+            starts[campaign.first_seen.strftime("%Y-%m")] += 1
+    return dict(sorted(starts.items()))
+
+
+def average_monthly_usd(series: List[MonthlyPoint],
+                        first: Optional[str] = None,
+                        last: Optional[str] = None) -> float:
+    """Mean USD/month over a month range (the paper's 1M/month figure)."""
+    selected = [p for p in series
+                if (first is None or p.month >= first)
+                and (last is None or p.month <= last)]
+    if not selected:
+        return 0.0
+    return sum(p.usd_paid for p in selected) / len(selected)
+
+
+def peak_month(series: List[MonthlyPoint],
+               key: str = "usd_paid") -> Optional[MonthlyPoint]:
+    """The month with the highest value of ``key`` (None when empty)."""
+    if not series:
+        return None
+    return max(series, key=lambda p: getattr(p, key))

@@ -1,0 +1,23 @@
+"""Baseline methodologies the paper compares against (§VII).
+
+* :mod:`repro.baselines.huang2014` — blockchain-assisted clustering and
+  profit estimation over a transparent (Bitcoin-style) ledger, the
+  method of Huang et al. (NDSS 2014).  It works on BTC campaigns and
+  fails — by construction — on CryptoNote coins, motivating the paper's
+  pool-side methodology.
+* Wallet-only clustering (Hong/Kharraz-style) is the other baseline;
+  it is built into the pipeline as
+  :meth:`repro.core.aggregation.GroupingPolicy.wallet_only`.
+"""
+
+from repro.baselines.huang2014 import (
+    Huang2014Result,
+    run_huang2014_baseline,
+    build_btc_ledger_from_world,
+)
+
+__all__ = [
+    "Huang2014Result",
+    "run_huang2014_baseline",
+    "build_btc_ledger_from_world",
+]

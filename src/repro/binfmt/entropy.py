@@ -1,0 +1,30 @@
+"""Shannon entropy of byte strings.
+
+The paper flags a sample as obfuscated when no known packer is identified
+and its entropy exceeds 7.5 bits/byte (8.0 = uniform random), a threshold
+chosen to be more conservative than prior packed-software detectors.
+"""
+
+import math
+from collections import Counter
+
+#: Paper's obfuscation threshold (§IV-E).
+OBFUSCATION_THRESHOLD = 7.5
+
+
+def shannon_entropy(data: bytes) -> float:
+    """Shannon entropy in bits per byte; 0.0 for empty input."""
+    if not data:
+        return 0.0
+    counts = Counter(data)
+    total = len(data)
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def looks_obfuscated(data: bytes, threshold: float = OBFUSCATION_THRESHOLD) -> bool:
+    """True when entropy exceeds the obfuscation threshold."""
+    return shannon_entropy(data) > threshold

@@ -1,0 +1,183 @@
+"""The SXE synthetic executable container.
+
+Layout::
+
+    <magic>            real PE/ELF/JAR magic bytes (or none for scripts)
+    b"SXE1"            container marker
+    u16                section count (big endian)
+    per section:
+        u8             name length
+        bytes          name (ascii)
+        u32            body length (big endian)
+        bytes          body
+
+Sections in use:
+
+``.text``    pseudo-code bytes (low entropy, compressible)
+``.data``    NUL-separated embedded strings (configs, URLs, wallets)
+``.rsrc``    filler resources
+"""
+
+import enum
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import BinaryFormatError
+
+MARKER = b"SXE1"
+
+_MAGICS = {
+    "PE": b"MZ",
+    "ELF": b"\x7fELF",
+    "JAR": b"PK\x03\x04",
+}
+
+
+class ExecutableKind(enum.Enum):
+    """Executable container types the sanity check accepts (§III-B)."""
+
+    PE = "PE"
+    ELF = "ELF"
+    JAR = "JAR"
+    SCRIPT = "SCRIPT"  # not an executable: filtered by is_executable
+    DATA = "DATA"      # arbitrary non-executable bytes
+
+    @property
+    def magic(self) -> bytes:
+        return _MAGICS.get(self.value, b"")
+
+
+@dataclass
+class Section:
+    """One named byte region of an SXE binary."""
+
+    name: str
+    body: bytes
+
+    def encoded(self) -> bytes:
+        """Wire encoding of the section (length-prefixed name and body)."""
+        name_bytes = self.name.encode("ascii")
+        if len(name_bytes) > 255:
+            raise BinaryFormatError("section name too long")
+        return (
+            struct.pack(">B", len(name_bytes))
+            + name_bytes
+            + struct.pack(">I", len(self.body))
+            + self.body
+        )
+
+
+@dataclass
+class SynthBinary:
+    """Parsed view of an SXE binary."""
+
+    kind: ExecutableKind
+    sections: List[Section] = field(default_factory=list)
+
+    def section(self, name: str) -> Optional[Section]:
+        """The section named ``name``, or None when absent."""
+        for sec in self.sections:
+            if sec.name == name:
+                return sec
+        return None
+
+    @property
+    def data_strings(self) -> List[str]:
+        """Embedded strings from the ``.data`` section."""
+        sec = self.section(".data")
+        if sec is None:
+            return []
+        return [
+            part.decode("utf-8", "replace")
+            for part in sec.body.split(b"\x00")
+            if part
+        ]
+
+    @property
+    def config(self) -> Optional[dict]:
+        """Decoded JSON miner config from ``.config``, if present."""
+        sec = self.section(".config")
+        if sec is None:
+            return None
+        try:
+            return json.loads(sec.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+
+
+def build_binary(
+    kind: ExecutableKind,
+    *,
+    code: bytes = b"",
+    strings: Optional[List[str]] = None,
+    config: Optional[Dict] = None,
+    resources: bytes = b"",
+) -> bytes:
+    """Assemble raw SXE bytes for a binary with the given contents."""
+    sections: List[Section] = []
+    if code:
+        sections.append(Section(".text", code))
+    if strings:
+        sections.append(
+            Section(".data", b"\x00".join(s.encode("utf-8") for s in strings))
+        )
+    if config is not None:
+        sections.append(
+            Section(".config", json.dumps(config, sort_keys=True).encode("utf-8"))
+        )
+    if resources:
+        sections.append(Section(".rsrc", resources))
+    payload = MARKER + struct.pack(">H", len(sections))
+    for sec in sections:
+        payload += sec.encoded()
+    return kind.magic + payload
+
+
+def magic_kind(raw: bytes) -> ExecutableKind:
+    """Classify raw bytes by magic number, like the paper's header check."""
+    for name, magic in _MAGICS.items():
+        if raw.startswith(magic):
+            return ExecutableKind(name)
+    if raw.startswith(b"#!") or raw.startswith(b"<script"):
+        return ExecutableKind.SCRIPT
+    return ExecutableKind.DATA
+
+
+def parse_binary(raw: bytes) -> SynthBinary:
+    """Parse raw SXE bytes; raises BinaryFormatError for foreign data.
+
+    Packed binaries (see :mod:`repro.binfmt.packers`) keep their magic but
+    hide the SXE marker behind the packer stub, so parsing them raises —
+    exactly like a real unpacker-less static pass on a packed PE.
+    """
+    kind = magic_kind(raw)
+    if kind in (ExecutableKind.SCRIPT, ExecutableKind.DATA):
+        raise BinaryFormatError("not an SXE executable")
+    offset = len(kind.magic)
+    if raw[offset:offset + len(MARKER)] != MARKER:
+        raise BinaryFormatError("missing SXE marker (packed or corrupt)")
+    offset += len(MARKER)
+    if offset + 2 > len(raw):
+        raise BinaryFormatError("truncated section count")
+    (count,) = struct.unpack_from(">H", raw, offset)
+    offset += 2
+    sections: List[Section] = []
+    for _ in range(count):
+        if offset + 1 > len(raw):
+            raise BinaryFormatError("truncated section header")
+        name_len = raw[offset]
+        offset += 1
+        name = raw[offset:offset + name_len].decode("ascii", "replace")
+        offset += name_len
+        if offset + 4 > len(raw):
+            raise BinaryFormatError("truncated section length")
+        (body_len,) = struct.unpack_from(">I", raw, offset)
+        offset += 4
+        body = raw[offset:offset + body_len]
+        if len(body) != body_len:
+            raise BinaryFormatError("truncated section body")
+        offset += body_len
+        sections.append(Section(name, body))
+    return SynthBinary(kind=kind, sections=sections)

@@ -1,0 +1,16 @@
+"""Printable-string extraction from raw bytes (the ``strings`` analog).
+
+Static analysis runs this over unpacked binaries to surface embedded
+pool URLs, wallets and command lines (§III-C).
+"""
+
+import re
+from typing import List
+
+
+def extract_strings(data: bytes, min_length: int = 6) -> List[str]:
+    """Return all printable ASCII runs of at least ``min_length`` chars."""
+    if min_length < 1:
+        raise ValueError("min_length must be >= 1")
+    pattern = re.compile(rb"[\x20-\x7e]{%d,}" % min_length)
+    return [m.group().decode("ascii") for m in pattern.finditer(data)]

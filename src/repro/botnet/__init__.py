@@ -1,0 +1,35 @@
+"""Botnet population substrate.
+
+The paper's campaigns run on botnets of infected machines: operators
+buy installs from PPI services, bots churn (cleanup, reinstalls, AV
+catching up), and the surviving population determines both the hashrate
+a wallet shows at a pool and the distinct-IP count that triggers bans
+(§II: "a good trade-off ... is using botnets with less than 2K bots";
+§V: 5,352 / 8,099 / 13K IPs behind single wallets).
+
+:class:`BotnetSimulator` models that population day by day;
+:func:`repro.botnet.economics.campaign_roi` prices the operation with
+underground-market rates and compares cost against mined revenue — the
+"low cost and high return of investment" argument of §VIII, made
+quantitative.
+"""
+
+from repro.botnet.population import (
+    BotnetConfig,
+    BotnetSimulator,
+    PopulationDay,
+)
+from repro.botnet.economics import (
+    CampaignEconomics,
+    MarketRates,
+    campaign_roi,
+)
+
+__all__ = [
+    "BotnetConfig",
+    "BotnetSimulator",
+    "PopulationDay",
+    "CampaignEconomics",
+    "MarketRates",
+    "campaign_roi",
+]

@@ -1,0 +1,37 @@
+"""Blockchain substrate: emission, PoW eras, and a transparent ledger.
+
+Three things the paper needs from "the blockchain":
+
+* the Monero **emission schedule**, to state that illicit campaigns mined
+  >= 4.37% of circulating XMR (§IV-D);
+* the **PoW fork calendar** (2018-04-06, 2018-10-18, 2019-03-09) whose
+  algorithm changes strand outdated miners (§VI);
+* a **transparent BTC-style ledger** used to reimplement the Huang et
+  al. 2014 baseline — and to demonstrate why that approach cannot work
+  for Monero, whose ledger is opaque.
+"""
+
+from repro.chain.emission import (
+    EmissionSchedule,
+    MONERO_EMISSION,
+    network_hashrate_hs,
+)
+from repro.chain.pow import (
+    ALGO_BY_ERA,
+    PowAlgorithm,
+    algo_at,
+    algos,
+)
+from repro.chain.btc_ledger import BtcLedger, Transaction
+
+__all__ = [
+    "EmissionSchedule",
+    "MONERO_EMISSION",
+    "network_hashrate_hs",
+    "ALGO_BY_ERA",
+    "PowAlgorithm",
+    "algo_at",
+    "algos",
+    "BtcLedger",
+    "Transaction",
+]

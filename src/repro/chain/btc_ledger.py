@@ -1,0 +1,123 @@
+"""Transparent BTC-style transaction ledger.
+
+Implements the substrate for the Huang et al. (NDSS 2014) baseline the
+paper compares against: Bitcoin's public ledger lets an analyst follow
+pool payouts to wallets and cluster wallets via the common-input-
+ownership heuristic.  Monero's ledger hides amounts and addresses, which
+is precisely why that methodology fails there — modelled here by the
+:class:`OpaqueLedger` stub whose queries raise.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.common.errors import ReproError
+from repro.common.simtime import Date
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One ledger transaction: inputs are spent, outputs credited."""
+
+    txid: str
+    when: Date
+    inputs: tuple            # wallet addresses whose coins are spent
+    outputs: tuple           # (wallet, amount) pairs
+
+
+class BtcLedger:
+    """Append-only transparent ledger with analysis queries."""
+
+    def __init__(self) -> None:
+        self._transactions: List[Transaction] = []
+        self._by_output: Dict[str, List[Transaction]] = {}
+        self._by_input: Dict[str, List[Transaction]] = {}
+
+    def append(self, tx: Transaction) -> None:
+        """Append a transaction and index its inputs/outputs."""
+        self._transactions.append(tx)
+        for wallet, _amount in tx.outputs:
+            self._by_output.setdefault(wallet, []).append(tx)
+        for wallet in tx.inputs:
+            self._by_input.setdefault(wallet, []).append(tx)
+
+    def payout(self, txid: str, when: Date, source: str, wallet: str,
+               amount: float) -> Transaction:
+        """Record a pool payout (coinbase-style: one input, one output)."""
+        tx = Transaction(txid, when, (source,), ((wallet, amount),))
+        self.append(tx)
+        return tx
+
+    def balance_received(self, wallet: str) -> float:
+        """Total ever received by a wallet (public on a BTC-style chain)."""
+        total = 0.0
+        for tx in self._by_output.get(wallet, []):
+            for out_wallet, amount in tx.outputs:
+                if out_wallet == wallet:
+                    total += amount
+        return total
+
+    def transactions_of(self, wallet: str) -> List[Transaction]:
+        """Every transaction touching ``wallet`` (inputs or outputs)."""
+        seen: Set[str] = set()
+        out: List[Transaction] = []
+        for tx in self._by_output.get(wallet, []) + self._by_input.get(wallet, []):
+            if tx.txid not in seen:
+                seen.add(tx.txid)
+                out.append(tx)
+        return out
+
+    def cluster_by_cospend(self) -> List[Set[str]]:
+        """Common-input-ownership clustering (the Huang et al. heuristic).
+
+        Wallets that appear together as inputs of one transaction are
+        assumed to share an owner; clusters are the transitive closure.
+        """
+        parent: Dict[str, str] = {}
+
+        def find(x: str) -> str:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for tx in self._transactions:
+            wallets = [w for w in tx.inputs if not w.startswith("pool:")]
+            for other in wallets[1:]:
+                union(wallets[0], other)
+            for w in wallets:
+                find(w)
+        clusters: Dict[str, Set[str]] = {}
+        for wallet in parent:
+            clusters.setdefault(find(wallet), set()).add(wallet)
+        return list(clusters.values())
+
+
+class OpaqueLedger:
+    """Monero-style ledger: every analyst query fails.
+
+    Ring signatures and stealth addresses make receiver, sender and
+    amount invisible; the paper's methodology therefore pivots to pool-
+    side statistics instead of chain analysis.
+    """
+
+    def balance_received(self, wallet: str) -> float:
+        """Always raises: amounts are invisible on a CryptoNote chain."""
+        raise ReproError(
+            "ledger is opaque: per-wallet amounts are not observable on a "
+            "CryptoNote chain; query the mining pools instead"
+        )
+
+    def transactions_of(self, wallet: str) -> List[Transaction]:
+        """Always raises: transactions are unlinkable to wallets."""
+        raise ReproError("ledger is opaque: transactions are unlinkable")
+
+    def cluster_by_cospend(self) -> List[Set[str]]:
+        """Always raises: ring signatures hide transaction inputs."""
+        raise ReproError("ledger is opaque: inputs are ring signatures")

@@ -1,0 +1,50 @@
+"""Proof-of-Work algorithm eras and the fork calendar.
+
+Monero hard-forks its PoW to stay ASIC-resistant; the paper monitors the
+three forks in its window and finds that 72% / 89% / 96% of campaigns
+stop providing valid shares after each one, because outdated bots hash
+with the wrong algorithm (§IV-E, §VI).
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.simtime import Date, POW_FORK_DATES, pow_era
+
+
+@dataclass(frozen=True)
+class PowAlgorithm:
+    """One PoW era."""
+
+    era: int
+    name: str          # algorithm identifier as spoken on Stratum
+    activated: Optional[Date]  # None = genesis algorithm
+
+
+#: Era table: index = value returned by :func:`repro.common.simtime.pow_era`.
+ALGO_BY_ERA: List[PowAlgorithm] = [
+    PowAlgorithm(0, "cn/0", None),
+    PowAlgorithm(1, "cn/1", POW_FORK_DATES[0]),   # 2018-04-06 (v7)
+    PowAlgorithm(2, "cn/2", POW_FORK_DATES[1]),   # 2018-10-18 (v8)
+    PowAlgorithm(3, "cn/r", POW_FORK_DATES[2]),   # 2019-03-09 (CryptoNight-R)
+]
+
+
+def algo_at(when: Date) -> PowAlgorithm:
+    """The network's PoW algorithm on a given date."""
+    return ALGO_BY_ERA[pow_era(when)]
+
+
+def algos() -> List[str]:
+    """Algorithm identifiers of every era, genesis first."""
+    return [a.name for a in ALGO_BY_ERA]
+
+
+def max_era_for_software(release_date: Date) -> int:
+    """Highest era a miner released on ``release_date`` can mine.
+
+    Miner software supports every algorithm known at its release: a bot
+    deployed in 2017 speaks only ``cn/0`` and strands at the first fork
+    unless its operator pushes an update.
+    """
+    return pow_era(release_date)

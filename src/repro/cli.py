@@ -1,0 +1,203 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro.cli measure   --scale 0.01 --seed 2019 [--export DIR]
+    python -m repro.cli exhibits  --scale 0.01 --seed 2019
+    python -m repro.cli casestudy --name Freebuf
+    python -m repro.cli defense   --scale 0.01
+
+``measure`` runs the full pipeline and prints the funnel; ``exhibits``
+renders the main paper tables; ``casestudy`` deep-dives one of the §V
+campaigns; ``defense`` evaluates the §VI countermeasures.
+"""
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.analysis import (
+    headline_monero_fraction,
+    table4_currencies,
+    table7_pool_popularity,
+    table8_top_campaigns,
+    table11_infrastructure,
+)
+from repro.analysis.validation import aggregation_quality
+from repro.core.pipeline import MeasurementPipeline
+from repro.corpus.generator import generate_world
+from repro.corpus.model import ScenarioConfig
+from repro.reporting.render import (
+    render_table4,
+    render_table7,
+    render_table8,
+    render_table11,
+)
+
+
+def _build_world_and_result(args):
+    world = generate_world(ScenarioConfig(seed=args.seed,
+                                          scale=args.scale))
+    result = MeasurementPipeline(world).run()
+    return world, result
+
+
+def cmd_measure(args) -> int:
+    """Run the full pipeline and print the sample funnel."""
+    world, result = _build_world_and_result(args)
+    stats = result.stats
+    print(f"collected:   {stats.collected}")
+    print(f"executables: {stats.executables}")
+    print(f"malware:     {stats.malware}")
+    print(f"miners:      {stats.miners}")
+    print(f"ancillaries: {stats.ancillaries}")
+    print(f"campaigns:   {len(result.campaigns)}")
+    headline = headline_monero_fraction(result)
+    print(f"illicit XMR: {headline['total_xmr']:.0f} "
+          f"({headline['fraction']*100:.2f}% of supply, "
+          f"{headline['total_usd']/1e6:.1f}M USD)")
+    scores = aggregation_quality(world, result)
+    print(f"aggregation: P={scores.precision:.3f} R={scores.recall:.3f}")
+    if args.export:
+        from repro.reporting.dataset_export import export_all
+        from repro.reporting.figure_export import export_all_figures
+        counts = export_all(result, args.export)
+        if world.forum_corpus is not None:
+            counts.update(export_all_figures(result, world.forum_corpus,
+                                             args.export))
+        print(f"exported to {args.export}: {counts}")
+    return 0
+
+
+def cmd_exhibits(args) -> int:
+    """Render the main paper tables for one measured world."""
+    _, result = _build_world_and_result(args)
+    print(render_table4(table4_currencies(result)))
+    print()
+    print(render_table7(table7_pool_popularity(result)))
+    print()
+    print(render_table8(table8_top_campaigns(result)))
+    print()
+    print(render_table11(table11_infrastructure(result)))
+    return 0
+
+
+def cmd_casestudy(args) -> int:
+    """Deep-dive one of the SV case-study campaigns."""
+    from repro.analysis import (
+        fig6_campaign_structure,
+        fig7_payment_timeline,
+    )
+    world, result = _build_world_and_result(args)
+    truth = next((c for c in world.ground_truth if c.label == args.name),
+                 None)
+    if truth is None:
+        print(f"unknown case study: {args.name} "
+              "(expected Freebuf or USA-138)", file=sys.stderr)
+        return 1
+    campaign = result.campaign_for_wallet(truth.identifiers[0])
+    if campaign is None:
+        print("case-study campaign not recovered", file=sys.stderr)
+        return 1
+    structure = fig6_campaign_structure(result, campaign)
+    for key, value in structure.items():
+        print(f"{key}: {value}")
+    timeline = fig7_payment_timeline(result, campaign)
+    print(f"wallets with payments: {len(timeline)}")
+    return 0
+
+
+def cmd_defense(args) -> int:
+    """Evaluate the SVI countermeasures on a measured world."""
+    from repro.defense.blacklist import BlacklistDefense
+    from repro.defense.fork_policy import compare_cadences
+    from repro.defense.intervention import WalletReportingCampaign
+    world, result = _build_world_and_result(args)
+    blacklist = BlacklistDefense(world.pool_directory).evaluate(
+        result.miner_records(), result.proxy_ips)
+    print(f"blacklist: blocked {blacklist.blocked}/"
+          f"{blacklist.total_miners} "
+          f"(cname evasions: {blacklist.evaded_by_cname}, "
+          f"proxy: {blacklist.evaded_by_proxy})")
+    report = WalletReportingCampaign(world.pool_directory).run(result)
+    print(f"intervention: {report.wallets_banned}/"
+          f"{report.wallets_reported} wallets banned; "
+          f"disrupted {report.disrupted_run_rate:.1f} XMR/day")
+    none, historical, quarterly = compare_cadences(world.ground_truth)
+    print(f"fork policy: historical retains "
+          f"{historical.retained_fraction*100:.0f}% of mining-days, "
+          f"quarterly retains {quarterly.retained_fraction*100:.0f}%")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Write markdown dossiers for the top campaigns."""
+    from pathlib import Path
+
+    from repro.reporting.campaign_report import (
+        render_top_campaign_reports,
+    )
+    _, result = _build_world_and_result(args)
+    bundle = render_top_campaign_reports(result, top=args.top)
+    if args.output:
+        Path(args.output).write_text(bundle)
+        print(f"wrote {args.top} campaign dossiers to {args.output}")
+    else:
+        print(bundle)
+    return 0
+
+
+def cmd_fullreport(args) -> int:
+    """Write the complete measurement report (all exhibits)."""
+    from pathlib import Path
+
+    from repro.reporting.summary_report import render_measurement_report
+    world, result = _build_world_and_result(args)
+    report = render_measurement_report(world, result)
+    if args.output:
+        Path(args.output).write_text(report)
+        print(f"wrote measurement report to {args.output} "
+              f"({len(report.splitlines())} lines)")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Crypto-mining malware ecosystem measurement "
+                    "(IMC 2019 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, func in [("measure", cmd_measure),
+                       ("exhibits", cmd_exhibits),
+                       ("casestudy", cmd_casestudy),
+                       ("defense", cmd_defense),
+                       ("report", cmd_report),
+                       ("fullreport", cmd_fullreport)]:
+        p = sub.add_parser(name)
+        p.add_argument("--scale", type=float, default=0.01)
+        p.add_argument("--seed", type=int, default=2019)
+        p.set_defaults(func=func)
+        if name == "measure":
+            p.add_argument("--export", type=str, default=None,
+                           help="directory for the dataset bundle")
+        if name == "casestudy":
+            p.add_argument("--name", type=str, default="Freebuf")
+        if name == "report":
+            p.add_argument("--top", type=int, default=3)
+            p.add_argument("--output", type=str, default=None)
+        if name == "fullreport":
+            p.add_argument("--output", type=str, default=None)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

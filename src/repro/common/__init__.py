@@ -1,0 +1,45 @@
+"""Shared substrate: deterministic randomness, simulation time, errors.
+
+Everything in the reproduction is deterministic given a seed.  The paper's
+measurement spans March 2007 to April 2019; :mod:`repro.common.simtime`
+provides date helpers pinned to that window.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    CorpusError,
+    ExtractionError,
+    PoolError,
+    ProtocolError,
+)
+from repro.common.rng import DeterministicRNG, derive_seed
+from repro.common.simtime import (
+    SIM_START,
+    SIM_END,
+    POW_FORK_DATES,
+    Date,
+    date_range,
+    days_between,
+    month_floor,
+    parse_date,
+    year_of,
+)
+
+__all__ = [
+    "ReproError",
+    "CorpusError",
+    "ExtractionError",
+    "PoolError",
+    "ProtocolError",
+    "DeterministicRNG",
+    "derive_seed",
+    "SIM_START",
+    "SIM_END",
+    "POW_FORK_DATES",
+    "Date",
+    "date_range",
+    "days_between",
+    "month_floor",
+    "parse_date",
+    "year_of",
+]

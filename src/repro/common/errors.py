@@ -1,0 +1,29 @@
+"""Exception hierarchy for the reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class CorpusError(ReproError):
+    """Raised when the synthetic corpus generator is misconfigured."""
+
+
+class ExtractionError(ReproError):
+    """Raised when static/dynamic extraction encounters malformed input."""
+
+
+class PoolError(ReproError):
+    """Raised by the mining-pool simulator (unknown wallet, banned, ...)."""
+
+
+class ProtocolError(ReproError):
+    """Raised by the Stratum implementation on malformed messages."""
+
+
+class BinaryFormatError(ReproError):
+    """Raised when parsing a synthetic executable fails."""
+
+
+class RuleSyntaxError(ReproError):
+    """Raised by the mini-YARA engine on unparseable rules."""

@@ -1,0 +1,97 @@
+"""Simulation time model.
+
+The study window is March 2007 (first sample collected) to April 2019
+(end of the authors' pool polling).  Dates are plain :class:`datetime.date`
+objects; timestamps inside protocol messages are Unix seconds at UTC
+midnight of the date plus an intra-day offset.
+"""
+
+import datetime
+from typing import Iterator, List, Union
+
+Date = datetime.date
+
+SIM_START: Date = datetime.date(2007, 3, 1)
+SIM_END: Date = datetime.date(2019, 4, 30)
+
+#: The three Monero proof-of-work forks the paper monitors (§VI).
+POW_FORK_DATES: List[Date] = [
+    datetime.date(2018, 4, 6),
+    datetime.date(2018, 10, 18),
+    datetime.date(2019, 3, 9),
+]
+
+#: Window during which the authors polled pool APIs (§III-D).
+POLL_START: Date = datetime.date(2018, 7, 1)
+POLL_END: Date = datetime.date(2019, 4, 30)
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+def parse_date(value: Union[str, Date]) -> Date:
+    """Parse ``YYYY-MM-DD`` strings; pass dates through unchanged."""
+    if isinstance(value, datetime.date):
+        return value
+    return datetime.date.fromisoformat(value)
+
+
+def days_between(start: Date, end: Date) -> int:
+    """Number of days from ``start`` to ``end`` (may be negative)."""
+    return (end - start).days
+
+
+def date_range(start: Date, end: Date, step_days: int = 1) -> Iterator[Date]:
+    """Yield dates from ``start`` (inclusive) to ``end`` (exclusive)."""
+    if step_days <= 0:
+        raise ValueError("step_days must be positive")
+    current = start
+    while current < end:
+        yield current
+        current += datetime.timedelta(days=step_days)
+
+
+def month_floor(day: Date) -> Date:
+    """First day of the month containing ``day``."""
+    return day.replace(day=1)
+
+
+def year_of(day: Date) -> int:
+    """Calendar year of a date."""
+    return day.year
+
+
+def to_unix(day: Date, seconds_into_day: int = 0) -> int:
+    """Unix timestamp of UTC midnight of ``day`` plus an offset."""
+    if not 0 <= seconds_into_day < 86400:
+        raise ValueError("seconds_into_day out of range")
+    return (day - _EPOCH).days * 86400 + seconds_into_day
+
+
+def from_unix(timestamp: int) -> Date:
+    """Date (UTC) of a Unix timestamp."""
+    return _EPOCH + datetime.timedelta(seconds=timestamp - timestamp % 86400)
+
+
+def add_days(day: Date, days: int) -> Date:
+    """The date ``days`` after ``day`` (negative moves backwards)."""
+    return day + datetime.timedelta(days=days)
+
+
+def clamp(day: Date, low: Date = SIM_START, high: Date = SIM_END) -> Date:
+    """Clamp a date into the simulation window."""
+    return max(low, min(high, day))
+
+
+def pow_era(day: Date) -> int:
+    """Index of the PoW era a date falls in (0 = original CryptoNight).
+
+    Era boundaries are the three fork dates in :data:`POW_FORK_DATES`;
+    mining software built for era *i* produces invalid shares in any
+    later era, which is the mechanism behind the campaign die-offs the
+    paper measures (72% / 89% / 96%).
+    """
+    era = 0
+    for fork in POW_FORK_DATES:
+        if day >= fork:
+            era += 1
+    return era

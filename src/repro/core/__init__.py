@@ -1,0 +1,45 @@
+"""The paper's measurement pipeline (the primary contribution).
+
+Stages, in the order Figure 3 draws them:
+
+1. :mod:`repro.core.sanity` — is it malware? a miner? an executable?
+2. :mod:`repro.core.static_analysis` / :mod:`repro.core.dynamic_analysis`
+   — extract wallets, pools, command lines, flows.
+3. :mod:`repro.core.extraction` — merge into per-sample records
+   (Table I schema).
+4. :mod:`repro.core.profit` — query pool APIs for per-wallet payments
+   (Table II schema) and convert to USD.
+5. :mod:`repro.core.aggregation` — build the campaign graph and cut it
+   into connected components.
+6. :mod:`repro.core.enrichment` — post-aggregation tagging (PPI, stock
+   tools, obfuscation) that must NOT influence grouping.
+7. :mod:`repro.core.pipeline` — orchestration of all of the above.
+"""
+
+from repro.core.records import MinerRecord, WalletRecord
+from repro.core.sanity import SanityChecker, SanityVerdict
+from repro.core.extraction import ExtractionEngine
+from repro.core.profit import ProfitAnalyzer, WalletProfile
+from repro.core.aggregation import (
+    Campaign,
+    CampaignAggregator,
+    GroupingPolicy,
+)
+from repro.core.enrichment import CampaignEnricher
+from repro.core.pipeline import MeasurementPipeline, MeasurementResult
+
+__all__ = [
+    "MinerRecord",
+    "WalletRecord",
+    "SanityChecker",
+    "SanityVerdict",
+    "ExtractionEngine",
+    "ProfitAnalyzer",
+    "WalletProfile",
+    "Campaign",
+    "CampaignAggregator",
+    "GroupingPolicy",
+    "CampaignEnricher",
+    "MeasurementPipeline",
+    "MeasurementResult",
+]

@@ -1,0 +1,256 @@
+"""Campaign aggregation (§III-E): the grouping graph.
+
+Nodes are typed resources (samples, identifiers, hosting URLs/IPs,
+CNAME aliases, proxies, known operations); edges encode the six grouping
+features.  Each connected component is one campaign.  A
+:class:`GroupingPolicy` toggles feature classes so the ablation benches
+can compare against the wallet-only baseline of prior work.
+
+Deliberate non-features (the paper is explicit about these):
+donation wallets are excluded before edges are drawn; PPI botnet
+membership and stock-tool usage never create edges; public-repo hosting
+only links samples when the *full URL* matches.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+from urllib.parse import urlparse
+
+import networkx as nx
+
+from repro.common.simtime import Date
+from repro.core.records import MinerRecord
+from repro.osint.feeds import OsintFeeds
+
+#: registrable domains treated as shared public infrastructure: hosting
+#: there must not merge unrelated campaigns unless the URL is identical.
+PUBLIC_REPO_DOMAINS = frozenset({
+    "github.com", "amazonaws.com", "weebly.com", "google.com",
+    "googleusercontent.com", "dropbox.com", "discordapp.com", "goo.gl",
+    "bitbucket.org", "4sync.com", "pomf.cat", "up-00.com",
+})
+
+
+def _registrable(host: str) -> str:
+    parts = host.lower().split(".")
+    return ".".join(parts[-2:]) if len(parts) >= 2 else host.lower()
+
+
+def is_public_repo_host(host: str) -> bool:
+    """Whether a host belongs to shared public-repo infrastructure."""
+    return _registrable(host) in PUBLIC_REPO_DOMAINS
+
+
+@dataclass(frozen=True)
+class GroupingPolicy:
+    """Which grouping features are enabled."""
+
+    same_identifier: bool = True
+    ancestors: bool = True
+    hosting: bool = True
+    known_operations: bool = True
+    cname_aliases: bool = True
+    proxies: bool = True
+    exclude_donation_wallets: bool = True
+
+    @classmethod
+    def full(cls) -> "GroupingPolicy":
+        return cls()
+
+    @classmethod
+    def wallet_only(cls) -> "GroupingPolicy":
+        """The prior-work baseline (Hong et al. / Kharraz et al.)."""
+        return cls(ancestors=False, hosting=False, known_operations=False,
+                   cname_aliases=False, proxies=False)
+
+
+@dataclass
+class Campaign:
+    """One recovered campaign (a connected component)."""
+
+    campaign_id: int
+    sample_hashes: List[str] = field(default_factory=list)
+    identifiers: List[str] = field(default_factory=list)
+    identifier_coins: Dict[str, Optional[str]] = field(default_factory=dict)
+    cname_aliases: List[str] = field(default_factory=list)
+    proxies: List[str] = field(default_factory=list)
+    hosting_urls: List[str] = field(default_factory=list)
+    hosting_ips: List[str] = field(default_factory=list)
+    operations: List[str] = field(default_factory=list)
+    records: List[MinerRecord] = field(default_factory=list)
+
+    # filled by enrichment / profit stages
+    total_xmr: float = 0.0
+    total_usd: float = 0.0
+    pools_used: List[str] = field(default_factory=list)
+    first_seen: Optional[Date] = None
+    last_seen: Optional[Date] = None
+    last_share: Optional[Date] = None
+    uses_ppi: bool = False
+    ppi_botnets: List[str] = field(default_factory=list)
+    stock_tools: List[str] = field(default_factory=list)
+    #: (framework, version, sample sha) for every attributed tool build
+    stock_tool_matches: List[tuple] = field(default_factory=list)
+    obfuscated: bool = False
+    packers: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.sample_hashes)
+
+    @property
+    def num_wallets(self) -> int:
+        return len(self.identifiers)
+
+    @property
+    def coins(self) -> Set[str]:
+        return {c for c in self.identifier_coins.values() if c}
+
+    @property
+    def miner_records(self) -> List[MinerRecord]:
+        return [r for r in self.records if r.is_miner]
+
+    @property
+    def active(self) -> bool:
+        import datetime
+        return (self.last_share is not None
+                and self.last_share >= datetime.date(2019, 4, 1))
+
+
+class CampaignAggregator:
+    """Builds the grouping graph and cuts it into campaigns."""
+
+    def __init__(self, osint: OsintFeeds,
+                 policy: Optional[GroupingPolicy] = None,
+                 proxy_ips: Optional[Set[str]] = None) -> None:
+        self._osint = osint
+        self._policy = policy or GroupingPolicy.full()
+        #: IPs established as mining proxies (wallet active at a known
+        #: pool while the sample mined against this non-pool address).
+        self._proxy_ips = proxy_ips or set()
+        self.graph = nx.Graph()
+
+    # ------------------------------------------------------------------
+
+    def aggregate(self, records: Iterable[MinerRecord]) -> List[Campaign]:
+        """Build the grouping graph over ``records`` and cut campaigns."""
+        records = list(records)
+        for record in records:
+            self._add_record(record)
+        return self._components(records)
+
+    # ------------------------------------------------------------------
+
+    def _sample_node(self, sha256: str) -> Tuple[str, str]:
+        return ("sample", sha256)
+
+    def _add_record(self, record: MinerRecord) -> None:
+        policy = self._policy
+        node = self._sample_node(record.sha256)
+        self.graph.add_node(node, record=record)
+
+        if policy.same_identifier:
+            for identifier in record.identifiers:
+                if (policy.exclude_donation_wallets
+                        and self._osint.is_donation_wallet(identifier)):
+                    continue
+                self.graph.add_edge(node, ("id", identifier),
+                                    feature="same_identifier")
+
+        if policy.ancestors:
+            for parent in record.parents:
+                self.graph.add_edge(node, self._sample_node(parent),
+                                    feature="ancestor")
+            for child in record.dropped:
+                self.graph.add_edge(node, self._sample_node(child),
+                                    feature="ancestor")
+
+        if policy.hosting:
+            for url in record.itw_urls:
+                self._add_hosting_edge(node, url)
+
+        if policy.known_operations:
+            operation = self._operation_for(record)
+            if operation is not None:
+                self.graph.add_edge(node, ("op", operation),
+                                    feature="known_operation")
+
+        if policy.cname_aliases:
+            for alias in record.cname_aliases:
+                self.graph.add_edge(node, ("cname", alias),
+                                    feature="cname")
+
+        if policy.proxies and record.dst_ip in self._proxy_ips:
+            self.graph.add_edge(node, ("proxy", record.dst_ip),
+                                feature="proxy")
+
+    def _add_hosting_edge(self, node, url: str) -> None:
+        """Hosting rule, exactly as §III-E states it: link on the exact
+        URL (parameters included), or on the hosting *IP* when the URL
+        addresses a bare IP rather than a (possibly shared) domain."""
+        parsed = urlparse(url)
+        host = parsed.hostname or ""
+        self.graph.add_edge(node, ("url", url), feature="hosting")
+        is_ip = host and all(c.isdigit() or c == "." for c in host)
+        if is_ip:
+            self.graph.add_edge(node, ("hostip", host), feature="hosting")
+
+    def _operation_for(self, record: MinerRecord) -> Optional[str]:
+        operation = self._osint.operation_for_sample(record.sha256)
+        if operation is not None:
+            return operation.name
+        for identifier in record.identifiers:
+            operation = self._osint.operation_for_wallet(identifier)
+            if operation is not None:
+                return operation.name
+        for domain in record.dns_rr:
+            operation = self._osint.operation_for_domain(domain)
+            if operation is not None:
+                return operation.name
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _components(self, records: List[MinerRecord]) -> List[Campaign]:
+        by_hash = {r.sha256: r for r in records}
+        campaigns: List[Campaign] = []
+        counter = 0
+        for component in nx.connected_components(self.graph):
+            samples = sorted(
+                sha for kind, sha in component if kind == "sample"
+            )
+            miner_records = [
+                by_hash[sha] for sha in samples if sha in by_hash
+                and by_hash[sha].is_miner
+            ]
+            if not miner_records:
+                continue  # infrastructure-only fragments are not campaigns
+            counter += 1
+            campaign = Campaign(campaign_id=counter)
+            campaign.sample_hashes = samples
+            campaign.records = [by_hash[sha] for sha in samples
+                                if sha in by_hash]
+            for kind, value in component:
+                if kind == "id":
+                    campaign.identifiers.append(value)
+                elif kind == "cname":
+                    campaign.cname_aliases.append(value)
+                elif kind == "proxy":
+                    campaign.proxies.append(value)
+                elif kind == "url":
+                    campaign.hosting_urls.append(value)
+                elif kind == "hostip":
+                    campaign.hosting_ips.append(value)
+                elif kind == "op":
+                    campaign.operations.append(value)
+            campaign.identifiers.sort()
+            for record in campaign.records:
+                for identifier, coin in zip(record.identifiers,
+                                            record.identifier_coins):
+                    campaign.identifier_coins.setdefault(identifier, coin)
+            campaigns.append(campaign)
+        # stable ordering: biggest first, then id
+        campaigns.sort(key=lambda c: (-c.num_samples, c.campaign_id))
+        for index, campaign in enumerate(campaigns, start=1):
+            campaign.campaign_id = index
+        return campaigns

@@ -1,0 +1,106 @@
+"""Dynamic analysis (§III-C): sandbox execution and artifact mining.
+
+Detonates samples in the sandbox (or reuses a Hybrid-Analysis report
+when one exists) and extracts mining identifiers from command lines and
+Stratum flows, contacted hosts, dropped files and DNS resolutions.
+"""
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.corpus.model import SampleRecord
+from repro.intel.ha import HaService
+from repro.sandbox.emulator import Sandbox, SandboxReport
+from repro.wallets.detect import (
+    ClassifiedIdentifier,
+    IdentifierKind,
+    classify_identifier,
+    extract_identifiers,
+)
+
+#: miner command lines carry the login after -u / --user / --login.
+_CMDLINE_USER_RE = re.compile(r"(?:-u|--user|--login)[ =]([^\s\"']+)")
+_CMDLINE_URL_RE = re.compile(
+    r"(?:-o|--url)[ =](?:stratum\+(?:tcp|ssl)://)?"
+    r"(?P<host>[A-Za-z0-9.-]+):(?P<port>\d{2,5})"
+)
+_CMDLINE_THREADS_RE = re.compile(r"(?:-t|--threads)[ =](\d{1,3})")
+
+
+@dataclass
+class DynamicFindings:
+    """What one sandbox run revealed."""
+
+    identifiers: List[ClassifiedIdentifier] = field(default_factory=list)
+    stratum_targets: List[Tuple[str, int]] = field(default_factory=list)
+    logins: List[Tuple[str, str, str]] = field(default_factory=list)
+    # ^ (login, password, agent) triplets from Stratum flows
+    contacted_domains: List[str] = field(default_factory=list)
+    dropped: List[str] = field(default_factory=list)
+    cmdlines: List[str] = field(default_factory=list)
+    nthreads: Optional[int] = None
+    dst_ips: List[str] = field(default_factory=list)
+    report: Optional[SandboxReport] = None
+
+    def add_identifier(self, classified: ClassifiedIdentifier) -> None:
+        """Record a classified identifier once (UNKNOWNs are dropped)."""
+        if classified.kind is IdentifierKind.UNKNOWN:
+            return
+        if not any(i.value == classified.value for i in self.identifiers):
+            self.identifiers.append(classified)
+
+
+class DynamicAnalyzer:
+    """Runs (or fetches) dynamic analysis and mines the artifacts."""
+
+    def __init__(self, sandbox: Sandbox,
+                 ha: Optional[HaService] = None) -> None:
+        self._sandbox = sandbox
+        self._ha = ha
+
+    def analyze(self, sample: SampleRecord) -> DynamicFindings:
+        """Detonate (or fetch) and mine one sample's dynamic artifacts."""
+        report = None
+        if self._ha is not None:
+            report = self._ha.get_report(sample.sha256)
+        if report is None:
+            report = self._sandbox.run(sample.sha256, sample.behavior)
+        return self.mine_report(report)
+
+    def mine_report(self, report: SandboxReport) -> DynamicFindings:
+        """Extract mining evidence from an existing sandbox report."""
+        findings = DynamicFindings(report=report)
+        findings.dropped = list(report.dropped_files)
+        findings.contacted_domains = sorted(set(report.dns_queries))
+        findings.cmdlines = list(report.processes)
+        for cmdline in report.processes:
+            self._mine_cmdline(cmdline, findings)
+        for flow in report.flows.stratum_flows():
+            host = flow.dst_host or flow.dst_ip
+            target = (host, flow.dst_port)
+            if target not in findings.stratum_targets:
+                findings.stratum_targets.append(target)
+            if flow.dst_ip and flow.dst_ip not in findings.dst_ips:
+                findings.dst_ips.append(flow.dst_ip)
+            if flow.login:
+                findings.add_identifier(classify_identifier(flow.login))
+                triplet = (flow.login, flow.password or "",
+                           flow.agent or "")
+                if triplet not in findings.logins:
+                    findings.logins.append(triplet)
+        return findings
+
+    def _mine_cmdline(self, cmdline: str,
+                      findings: DynamicFindings) -> None:
+        for match in _CMDLINE_USER_RE.finditer(cmdline):
+            findings.add_identifier(classify_identifier(match.group(1)))
+        for match in _CMDLINE_URL_RE.finditer(cmdline):
+            target = (match.group("host").lower(), int(match.group("port")))
+            if target not in findings.stratum_targets:
+                findings.stratum_targets.append(target)
+        threads = _CMDLINE_THREADS_RE.search(cmdline)
+        if threads:
+            findings.nthreads = int(threads.group(1))
+        for classified in extract_identifiers(cmdline):
+            findings.add_identifier(classified)

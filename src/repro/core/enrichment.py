@@ -1,0 +1,158 @@
+"""Post-aggregation enrichment (§III-E "Enrichment").
+
+Tags each campaign with information that must *not* influence grouping:
+PPI botnet membership (third-party infrastructure shared by unrelated
+customers), stock-mining-tool attribution via exact-hash and fuzzy-hash
+matching, obfuscation status (>= 80% of samples packed/high-entropy),
+activity period and pool usage.
+"""
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.aggregation import Campaign
+from repro.core.profit import WalletProfile
+from repro.corpus.model import SampleRecord
+from repro.fuzzyhash.ctph import compute
+from repro.intel.vt import VtService
+from repro.osint.feeds import PPI_BOTNETS
+from repro.osint.stock_tools import StockToolCatalog
+
+#: a campaign is "obfuscated" when this fraction of samples is (§IV-E).
+OBFUSCATED_CAMPAIGN_RATIO = 0.8
+
+#: the paper's conservative fuzzy-hash distance for tool attribution.
+STOCK_TOOL_DISTANCE = 0.1
+
+
+class CampaignEnricher:
+    """Adds the informative (non-grouping) annotations to campaigns."""
+
+    def __init__(self, vt: VtService, catalog: StockToolCatalog,
+                 sample_lookup, fh_threshold: float = STOCK_TOOL_DISTANCE) -> None:
+        """``sample_lookup(sha256) -> SampleRecord | None`` provides raw
+        bytes for fuzzy matching of dropped binaries."""
+        self._vt = vt
+        self._catalog = catalog
+        self._lookup = sample_lookup
+        self._threshold = fh_threshold
+
+    def enrich(self, campaign: Campaign,
+               profiles: Optional[Dict[str, WalletProfile]] = None) -> None:
+        """Annotate one campaign (PPI, tools, obfuscation, activity)."""
+        self._tag_ppi(campaign)
+        self._tag_stock_tools(campaign)
+        self._tag_obfuscation(campaign)
+        self._tag_activity(campaign, profiles or {})
+
+    def enrich_all(self, campaigns: Iterable[Campaign],
+                   profiles: Optional[Dict[str, WalletProfile]] = None) -> None:
+        """Annotate every campaign in ``campaigns``."""
+        for campaign in campaigns:
+            self.enrich(campaign, profiles)
+
+    # ------------------------------------------------------------------
+
+    def _tag_ppi(self, campaign: Campaign) -> None:
+        """PPI membership via AV labels (Virut / Ramnit / Nitol)."""
+        found: Set[str] = set()
+        for sha in campaign.sample_hashes:
+            report = self._vt.get_report(sha)
+            if report is None:
+                continue
+            for label in report.labels():
+                for botnet in PPI_BOTNETS:
+                    if botnet.matches_label(label):
+                        found.add(botnet.name)
+        campaign.ppi_botnets = sorted(found)
+        campaign.uses_ppi = bool(found)
+
+    def _tag_stock_tools(self, campaign: Campaign) -> None:
+        """Attribute dropped binaries to stock frameworks.
+
+        Exact SHA-256 hits are free; otherwise the dropped file's CTPH is
+        compared against the whole catalog with the 0.1 threshold.
+        """
+        frameworks: Set[str] = set()
+        candidates: Set[str] = set()
+        for record in campaign.records:
+            candidates.update(record.dropped)
+        # samples themselves can *be* stock tools fetched from GitHub
+        candidates.update(campaign.sample_hashes)
+        size_lo, size_hi = self._catalog_size_range()
+        matches: List[tuple] = []
+        for sha in sorted(candidates):
+            exact = self._catalog.by_hash(sha)
+            if exact is not None:
+                frameworks.add(exact.framework)
+                matches.append((exact.framework, exact.version, sha))
+                continue
+            sample = self._lookup(sha)
+            if sample is None:
+                continue
+            # fuzzy matching only pays off for binaries in the size
+            # neighbourhood of real tool builds; CTPH cannot score
+            # inputs whose block sizes are >1 octave apart anyway.
+            if not size_lo <= len(sample.raw) <= size_hi:
+                continue
+            match = self._catalog.match(sample.raw,
+                                        threshold=self._threshold)
+            if match is not None:
+                frameworks.add(match[0].framework)
+                matches.append((match[0].framework, match[0].version, sha))
+        campaign.stock_tools = sorted(frameworks)
+        campaign.stock_tool_matches = matches
+
+    def _catalog_size_range(self):
+        if not hasattr(self, "_size_range"):
+            sizes = [len(b.raw) for b in self._catalog.binaries()]
+            if sizes:
+                self._size_range = (min(sizes) // 2, max(sizes) * 2)
+            else:
+                self._size_range = (0, 0)
+        return self._size_range
+
+    def _tag_obfuscation(self, campaign: Campaign) -> None:
+        packers: Counter = Counter()
+        obfuscated_count = 0
+        for record in campaign.records:
+            if record.packer:
+                packers[record.packer] += 1
+            if record.obfuscated:
+                obfuscated_count += 1
+        campaign.packers = dict(packers)
+        total = max(1, len(campaign.records))
+        campaign.obfuscated = (
+            obfuscated_count / total >= OBFUSCATED_CAMPAIGN_RATIO
+            and obfuscated_count > 0
+        )
+
+    def _tag_activity(self, campaign: Campaign,
+                      profiles: Dict[str, WalletProfile]) -> None:
+        firsts = [r.first_seen for r in campaign.records if r.first_seen]
+        campaign.first_seen = min(firsts) if firsts else None
+        campaign.last_seen = max(firsts) if firsts else None
+        pools: List[str] = []
+        total_xmr = 0.0
+        total_usd = 0.0
+        last_share = None
+        for identifier in campaign.identifiers:
+            profile = profiles.get(identifier)
+            if profile is None:
+                continue
+            total_xmr += profile.total_paid
+            total_usd += profile.total_usd
+            for pool in profile.pools:
+                if pool not in pools:
+                    pools.append(pool)
+            if profile.last_share and (last_share is None
+                                       or profile.last_share > last_share):
+                last_share = profile.last_share
+        # records can also name a pool no payments were observed at
+        for record in campaign.records:
+            if record.pool and record.pool not in pools:
+                pools.append(record.pool)
+        campaign.pools_used = pools
+        campaign.total_xmr = total_xmr
+        campaign.total_usd = total_usd
+        campaign.last_share = last_share

@@ -1,0 +1,274 @@
+"""End-to-end measurement pipeline (Figure 3 of the paper).
+
+Orchestrates: sanity checks -> static/dynamic extraction -> the
+illicit-wallet exception sweep -> ancillary recovery -> profit analysis
+-> proxy identification -> campaign aggregation -> enrichment.
+"""
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.aggregation import (
+    Campaign,
+    CampaignAggregator,
+    GroupingPolicy,
+)
+from repro.core.dynamic_analysis import DynamicAnalyzer
+from repro.core.enrichment import CampaignEnricher
+from repro.core.extraction import ExtractionEngine
+from repro.core.profit import ProfitAnalyzer, WalletProfile
+from repro.core.records import MinerRecord
+from repro.core.sanity import SanityChecker, SanityVerdict
+from repro.core.static_analysis import StaticAnalyzer
+from repro.corpus.model import SampleRecord, SyntheticWorld
+from repro.sandbox.emulator import Sandbox, SandboxEnvironment
+
+
+@dataclass
+class PipelineStats:
+    """Bookkeeping for Table III."""
+
+    collected: int = 0
+    executables: int = 0
+    malware: int = 0
+    miners: int = 0
+    ancillaries: int = 0
+    wallet_exception_hits: int = 0
+    by_source: Dict[str, int] = field(default_factory=dict)
+    sandbox_analyses: int = 0
+    network_analyses: int = 0
+    binary_analyses: int = 0
+
+    @property
+    def all_executables_kept(self) -> int:
+        return self.miners + self.ancillaries
+
+
+@dataclass
+class MeasurementResult:
+    """Everything the pipeline produced."""
+
+    records: List[MinerRecord]
+    campaigns: List[Campaign]
+    profiles: Dict[str, WalletProfile]
+    verdicts: Dict[str, SanityVerdict]
+    stats: PipelineStats
+    proxy_ips: Set[str]
+
+    def miner_records(self) -> List[MinerRecord]:
+        """Records classified as miners (TYPE == Miner)."""
+        return [r for r in self.records if r.is_miner]
+
+    def campaign_for_wallet(self, identifier: str) -> Optional[Campaign]:
+        """The campaign holding ``identifier``, or None."""
+        for campaign in self.campaigns:
+            if identifier in campaign.identifiers:
+                return campaign
+        return None
+
+    def xmr_campaigns(self) -> List[Campaign]:
+        """Campaigns holding at least one Monero identifier."""
+        return [c for c in self.campaigns if "XMR" in c.coins]
+
+    def campaigns_with_payments(self) -> List[Campaign]:
+        """Campaigns with observed pool payments (total XMR > 0)."""
+        return [c for c in self.campaigns if c.total_xmr > 0]
+
+
+class MeasurementPipeline:
+    """The full measurement methodology against a (synthetic) world."""
+
+    def __init__(self, world: SyntheticWorld,
+                 policy: Optional[GroupingPolicy] = None,
+                 positives_threshold: int = 10,
+                 analysis_date: datetime.date = datetime.date(2018, 9, 1),
+                 use_ha_reports: bool = True) -> None:
+        self.world = world
+        self._policy = policy or GroupingPolicy.full()
+        sandbox = Sandbox(world.resolver, SandboxEnvironment(
+            analysis_date=analysis_date))
+        self._checker = SanityChecker(
+            world.vt, world.osint, world.pool_directory,
+            tool_whitelist=world.stock_catalog.whitelist_hashes(),
+            positives_threshold=positives_threshold,
+        )
+        self._engine = ExtractionEngine(
+            StaticAnalyzer(),
+            DynamicAnalyzer(sandbox, world.ha if use_ha_reports else None),
+            world.vt, world.pool_directory,
+            world.resolver, world.passive_dns,
+            analysis_date=analysis_date,
+        )
+        self._profit = ProfitAnalyzer(world.pool_directory)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> MeasurementResult:
+        """Execute all pipeline stages; returns the measurement result."""
+        stats = PipelineStats(collected=len(self.world.samples))
+        verdicts: Dict[str, SanityVerdict] = {}
+        records: Dict[str, MinerRecord] = {}
+        deferred: List[SampleRecord] = []
+
+        # -- stage 1: sanity + extraction for confirmed malware ---------
+        for sample in self.world.samples:
+            if not self._checker.is_executable(sample.raw):
+                verdicts[sample.sha256] = SanityVerdict(
+                    sample.sha256, is_executable=False,
+                    reasons="not an executable")
+                continue
+            stats.executables += 1
+            if not self._checker.is_malware(sample.sha256):
+                deferred.append(sample)
+                continue
+            stats.malware += 1
+            record, report = self._engine.extract_with_report(sample)
+            stats.sandbox_analyses += 1
+            if report is not None and len(report.flows):
+                stats.network_analyses += 1
+            if record.used_static:
+                stats.binary_analyses += 1
+            is_miner = (bool(record.identifiers)
+                        or self._checker.is_miner(sample, report))
+            verdict = SanityVerdict(
+                sample.sha256, is_executable=True, is_malware=True,
+                is_miner=is_miner,
+                whitelisted_tool=False,
+            )
+            verdicts[sample.sha256] = verdict
+            if is_miner:
+                records[sample.sha256] = record
+                self._checker.confirm_wallets(set(record.identifiers))
+
+        # -- stage 2: illicit-wallet exception sweep ---------------------
+        for sample in deferred:
+            quick = self._engine.extract_static_only(sample)
+            hit = set(quick.identifiers) & \
+                self._checker.confirmed_illicit_wallets
+            if not hit:
+                verdicts[sample.sha256] = SanityVerdict(
+                    sample.sha256, is_executable=True, is_malware=False,
+                    reasons="below AV threshold")
+                continue
+            record, report = self._engine.extract_with_report(sample)
+            stats.sandbox_analyses += 1
+            stats.binary_analyses += 1
+            verdicts[sample.sha256] = SanityVerdict(
+                sample.sha256, is_executable=True, is_malware=True,
+                is_miner=True, used_wallet_exception=True)
+            stats.wallet_exception_hits += 1
+            records[sample.sha256] = record
+
+        # -- stage 3: ancillary recovery ---------------------------------
+        self._recover_ancillaries(records, verdicts, stats)
+
+        kept = list(records.values())
+        for record in kept:
+            if record.is_miner:
+                stats.miners += 1
+            else:
+                stats.ancillaries += 1
+            sample = self.world.sample_by_hash(record.sha256)
+            if sample is not None:
+                # feeds overlap (Appendix C): a sample counts toward
+                # every feed that carries it, so per-source totals can
+                # exceed the dataset size, exactly like Table III.
+                for feed in sample.sources:
+                    stats.by_source[feed] = stats.by_source.get(feed, 0) + 1
+
+        # -- stage 4: profit analysis ------------------------------------
+        identifiers = {
+            identifier for record in kept
+            for identifier in record.identifiers
+        }
+        profiles = self._profit.profile_many(sorted(identifiers))
+
+        # -- stage 5: proxy identification --------------------------------
+        proxy_ips = self._find_proxies(kept, profiles)
+
+        # -- stage 6: aggregation ------------------------------------------
+        aggregator = CampaignAggregator(self.world.osint, self._policy,
+                                        proxy_ips=proxy_ips)
+        campaigns = aggregator.aggregate(kept)
+
+        # -- stage 7: enrichment --------------------------------------------
+        enricher = CampaignEnricher(
+            self.world.vt, self.world.stock_catalog,
+            self.world.sample_by_hash,
+        )
+        enricher.enrich_all(campaigns, profiles)
+
+        return MeasurementResult(
+            records=kept,
+            campaigns=campaigns,
+            profiles=profiles,
+            verdicts=verdicts,
+            stats=stats,
+            proxy_ips=proxy_ips,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _recover_ancillaries(self, records: Dict[str, MinerRecord],
+                             verdicts: Dict[str, SanityVerdict],
+                             stats: PipelineStats) -> None:
+        """Pull in droppers/loaders linked to accepted miners (§III-E).
+
+        A malware executable that failed the is-miner check still enters
+        the dataset as an *ancillary* when it is a parent of an accepted
+        sample, or an accepted sample dropped it.
+        """
+        # Dropper chains can be several hops long (dropper -> loader ->
+        # miner), so recovery iterates to a fixpoint.
+        while True:
+            linked: Set[str] = set()
+            for record in records.values():
+                linked.update(record.parents)
+                linked.update(record.dropped)
+            # children of accepted samples, via VT parent metadata
+            for sha in list(records):
+                linked.update(self.world.vt.children_of(sha))
+            added = False
+            for sha in sorted(linked):
+                if sha in records:
+                    continue
+                sample = self.world.sample_by_hash(sha)
+                if sample is None:
+                    continue
+                if not self._checker.is_executable(sample.raw):
+                    continue
+                if not self._checker.is_malware(sample.sha256):
+                    continue
+                record, report = self._engine.extract_with_report(sample)
+                stats.sandbox_analyses += 1
+                record.type = "Miner" if record.identifiers else "Ancillary"
+                records[sha] = record
+                verdicts[sha] = SanityVerdict(
+                    sha, is_executable=True, is_malware=True,
+                    is_miner=bool(record.identifiers),
+                    reasons=None if record.identifiers else "ancillary")
+                added = True
+            if not added:
+                break
+
+    def _find_proxies(self, records: List[MinerRecord],
+                      profiles: Dict[str, WalletProfile]) -> Set[str]:
+        """Proxy rule (§III-C): a sample mines against a non-pool IP but
+        its wallet shows activity at a known (transparent) pool."""
+        proxies: Set[str] = set()
+        for record in records:
+            if record.dst_ip is None or record.pool is not None:
+                continue
+            if record.dst_ip in ("0.0.0.0", "127.0.0.1"):
+                continue  # unresolved-host sentinel, not a real endpoint
+            host_is_ip = all(c.isdigit() or c == "."
+                             for c in record.dst_ip)
+            if not host_is_ip:
+                continue
+            for identifier in record.identifiers:
+                profile = profiles.get(identifier)
+                if profile is not None and profile.records:
+                    proxies.add(record.dst_ip)
+                    break
+        return proxies

@@ -1,0 +1,67 @@
+"""Per-sample and per-wallet record schemas (Tables I and II)."""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.simtime import Date
+
+
+@dataclass
+class MinerRecord:
+    """Data extracted for each sample — the paper's Table I, field for
+    field (SHA256, POOL, URLPOOL, USER, PASS, NTHREADS, AGENT, DSTIP,
+    DSTPORT, DNSRR, SOURCE, FS, ITW_URL, PACKER, POSITIVES, TYPE)."""
+
+    sha256: str
+    pool: Optional[str] = None          # normalised pool name
+    url_pool: Optional[str] = None      # full stratum URL mined against
+    user: Optional[str] = None          # login identifier
+    password: Optional[str] = None
+    nthreads: Optional[int] = None
+    agent: Optional[str] = None
+    dst_ip: Optional[str] = None
+    dst_port: Optional[int] = None
+    dns_rr: List[str] = field(default_factory=list)
+    source: str = ""
+    first_seen: Optional[Date] = None
+    itw_urls: List[str] = field(default_factory=list)
+    packer: Optional[str] = None
+    positives: int = 0
+    type: str = "Miner"                 # "Miner" | "Ancillary"
+
+    # extraction extras the aggregation consumes
+    identifiers: List[str] = field(default_factory=list)
+    identifier_coins: List[Optional[str]] = field(default_factory=list)
+    parents: List[str] = field(default_factory=list)
+    dropped: List[str] = field(default_factory=list)
+    cname_aliases: List[str] = field(default_factory=list)  # alias -> pool
+    proxy_ips: List[str] = field(default_factory=list)
+    entropy: float = 0.0
+    obfuscated: bool = False
+    used_dynamic: bool = False
+    used_static: bool = False
+
+    @property
+    def is_miner(self) -> bool:
+        return self.type == "Miner"
+
+
+@dataclass
+class WalletRecord:
+    """Per-wallet, per-pool data — the paper's Table II (POOL, USER,
+    HASHES, HASHRATE, LAST_SHARE, BALANCE, TOTAL_PAID, NUM_PAYMENTS,
+    DATE_QUERY, USD), plus payment timestamps for transparent pools."""
+
+    pool: str
+    user: str
+    coin: str = "XMR"
+    hashes: float = 0.0
+    hashrate: float = 0.0
+    last_share: Optional[Date] = None
+    balance: float = 0.0
+    total_paid: float = 0.0
+    num_payments: int = 0
+    date_query: Optional[Date] = None
+    usd: float = 0.0
+    payments: List[Tuple[Date, float]] = field(default_factory=list)
+    hashrate_history: List[Tuple[Date, float]] = field(default_factory=list)

@@ -1,0 +1,37 @@
+"""Synthetic malware-ecosystem generator.
+
+This is the substitute for the paper's VirusTotal / Palo Alto corpora
+(4.5M samples, 1.2M crypto-mining binaries): a generative model of
+actors running mining campaigns, calibrated to every distribution the
+paper reports — currencies per campaign (Table IV), earnings bands and
+their infrastructure mix (Table XI), pool popularity (Table VII),
+hosting domains (Table VI), packers (Table X), samples-per-campaign
+skew (Fig. 4) and the PoW-fork die-offs (§VI).
+
+Because the generator also emits *ground truth* (actor -> campaign ->
+sample), the reproduction can score the paper's aggregation heuristics,
+something the original authors could only do by manual inspection.
+"""
+
+from repro.corpus.model import (
+    GroundTruthCampaign,
+    SampleRecord,
+    ScenarioConfig,
+    SyntheticWorld,
+)
+from repro.corpus.generator import EcosystemGenerator, generate_world
+from repro.corpus.case_studies import (
+    build_freebuf_campaign,
+    build_usa138_campaign,
+)
+
+__all__ = [
+    "GroundTruthCampaign",
+    "SampleRecord",
+    "ScenarioConfig",
+    "SyntheticWorld",
+    "EcosystemGenerator",
+    "generate_world",
+    "build_freebuf_campaign",
+    "build_usa138_campaign",
+]

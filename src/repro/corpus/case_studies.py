@@ -1,0 +1,232 @@
+"""Hand-built fixtures for the paper's two case studies (§V).
+
+**Freebuf (C#627)** — the most profitable campaign: ~163K XMR over
+three years with 7 wallets and 66 samples, held together by the domain
+aliases ``xt.freebuf.info`` / ``x.alibuf.com`` / ``xmr.honker.info``
+(all fronting minexmr; alibuf also fronted crypto-pool earlier).  After
+the April 2018 fork it concentrated on minexmr; two wallets were banned
+there in October 2018 following the authors' report, after which the
+operator fell back to ppxxmr at much-reduced payment volume.
+
+**USA-138** — ~7.2K XMR, 137 samples, 4 wallets (three XMR plus one
+Electroneum wallet worth about 5 USD), no stock tools, no proxies,
+43 UPX-packed samples; infrastructure anchored on the Chinese host
+221.9.251.236 and the dual-use domain ``4i7i.com`` (malware host at
+``http://4i7i.com/11.exe`` *and* pool alias at ``pool.4i7i.com``).
+It survived the October 2018 fork and was still mining at crypto-pool
+at the end of the measurement.
+"""
+
+import datetime
+from typing import TYPE_CHECKING, Dict, Sequence, Tuple
+
+from repro.common.simtime import Date, date_range
+from repro.corpus.model import GroundTruthCampaign
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.corpus.generator import EcosystemGenerator
+
+#: (phase start, phase end, {pool: hashrate share}) — Freebuf timeline.
+_FREEBUF_PHASES = [
+    (datetime.date(2016, 6, 15), datetime.date(2018, 4, 6),
+     {"crypto-pool": 0.40, "ppxxmr": 0.18, "supportxmr": 0.12,
+      "monerohash": 0.10, "prohash": 0.10, "minexmr": 0.10}),
+    (datetime.date(2018, 4, 6), datetime.date(2018, 10, 18),
+     {"minexmr": 1.0}),
+    (datetime.date(2018, 10, 18), datetime.date(2019, 4, 30),
+     {"ppxxmr": 1.0}),
+]
+
+_FREEBUF_TARGET_XMR = 163_756.0
+_USA138_TARGET_XMR = 7_242.0
+
+#: the authors reported the wallets in September 2018; minexmr banned
+#: the two active wallets in October (Fig. 8).
+REPORT_DATE = datetime.date(2018, 9, 27)
+BAN_DATE = datetime.date(2018, 10, 10)
+
+
+def _drive_phases(gen: "EcosystemGenerator",
+                  campaign: GroundTruthCampaign,
+                  phases: Sequence[Tuple[Date, Date, Dict[str, float]]],
+                  target_xmr: float,
+                  wallet_for_day,
+                  bot_ips: int,
+                  post_ban_throttle: float = 0.12,
+                  stride: int = 5) -> float:
+    """Replay a phased mining schedule and scale it onto ``target_xmr``.
+
+    ``wallet_for_day(day) -> wallet`` selects the active wallet;
+    ``post_ban_throttle`` models the reduced botnet capacity after the
+    October 2018 intervention + fork (the paper: payments "considerably
+    reduced, nearly turning it off").
+    """
+    from repro.chain.emission import MONERO_EMISSION, network_hashrate_hs
+
+    # First pass: lifetime XMR per unit of network *share* (the botnet
+    # holds a constant fraction of network hashrate as both grow).
+    factor = 0.0
+    for start, end, weights in phases:
+        for day in date_range(start, end, stride):
+            throttle = post_ban_throttle if day >= BAN_DATE else 1.0
+            emission = MONERO_EMISSION.daily_emission(day)
+            for pool_name, weight in weights.items():
+                fee = gen.pools.get(pool_name).config.fee
+                factor += emission * weight * (1 - fee) * stride * throttle
+    share = target_xmr / factor if factor > 0 else 0.0
+    campaign.bot_ips = bot_ips
+    earned = 0.0
+    reported = False
+    for start, end, weights in phases:
+        for day in date_range(start, end, stride):
+            throttle = post_ban_throttle if day >= BAN_DATE else 1.0
+            wallet = wallet_for_day(day)
+            if not reported and day >= REPORT_DATE:
+                # The authors report every campaign wallet to the
+                # biggest pools (two were banned at minexmr, Fig. 8).
+                for pool in gen.pools.transparent_pools():
+                    for identifier in campaign.identifiers:
+                        pool.report_wallet(identifier, BAN_DATE)
+                reported = True
+            day_rate_base = share * network_hashrate_hs(day)
+            for pool_name, weight in weights.items():
+                pool = gen.pools.get(pool_name)
+                day_rate = day_rate_base * weight * throttle * stride
+                if pool.is_banned(wallet):
+                    # operator falls back to another configured pool
+                    fallback = next(
+                        (gen.pools.get(n) for n in campaign.pools
+                         if not gen.pools.get(n).is_banned(wallet)),
+                        None,
+                    )
+                    if fallback is None:
+                        continue
+                    pool = fallback
+                earned += pool.credit_mining_day(
+                    wallet, day, day_rate,
+                    src_ips=min(bot_ips, 400),
+                )
+    campaign.actual_xmr = earned
+    return earned
+
+
+def build_freebuf_campaign(gen: "EcosystemGenerator") -> GroundTruthCampaign:
+    """Construct and replay the Freebuf campaign."""
+    campaign = GroundTruthCampaign(
+        campaign_id=gen._next_campaign_id(),
+        actor_id=gen._campaign_counter,
+        identifier_kind="wallet",
+        coin="XMR",
+        label="Freebuf",
+        band=3,
+        fixed_sample_count=59,   # + 7 ancillaries => 66 total
+        custom_driven=True,
+    )
+    campaign.identifiers = [gen.wallets.new_address("XMR") for _ in range(7)]
+    campaign.start = _FREEBUF_PHASES[0][0]
+    campaign.end = _FREEBUF_PHASES[-1][1]
+    campaign.updates_after_forks = True
+    campaign.target_xmr = _FREEBUF_TARGET_XMR
+    campaign.pools = ["minexmr", "crypto-pool", "ppxxmr", "supportxmr",
+                      "monerohash", "prohash"]
+    campaign.uses_cname = True
+    # xt.freebuf.info and xmr.honker.info alias minexmr; x.alibuf.com
+    # aliased crypto-pool first, then minexmr (two pools, one alias).
+    gen.dns.add_cname("xt.freebuf.info", "pool.minexmr.com",
+                      valid_from=campaign.start)
+    gen.dns.add_cname("xmr.honker.info", "pool.minexmr.com",
+                      valid_from=campaign.start)
+    gen.dns.add_cname("x.alibuf.com", "xmr.crypto-pool.fr",
+                      valid_from=campaign.start,
+                      valid_to=datetime.date(2018, 4, 5))
+    gen.dns.add_cname("x.alibuf.com", "pool.minexmr.com",
+                      valid_from=datetime.date(2018, 4, 6))
+    campaign.cname_domains = ["xt.freebuf.info", "x.alibuf.com",
+                              "xmr.honker.info"]
+    campaign.hosting_urls = [
+        "http://122.114.99.123/load/fb.exe",
+        "http://xt.freebuf.info/dl/sync.exe",
+    ]
+    gen.ips.pin("host:freebuf", "122.114.99.123")
+    gen.dns.add_a("xt.freebuf.info", "122.114.99.123",
+                  valid_from=campaign.start)
+
+    wallets = campaign.identifiers
+
+    def wallet_for_day(day: Date) -> str:
+        # early wallets 0-4 rotate yearly; wallets 5 and 6 carry the
+        # post-April-2018 minexmr phase (these two get banned).
+        if day < datetime.date(2018, 4, 6):
+            return wallets[min(4, (day.year - 2016))]
+        if day < datetime.date(2018, 7, 15):
+            return wallets[5]
+        return wallets[6]
+
+    _drive_phases(gen, campaign, _FREEBUF_PHASES, _FREEBUF_TARGET_XMR,
+                  wallet_for_day, bot_ips=8099)
+    return campaign
+
+
+_USA138_PHASES = [
+    (datetime.date(2016, 9, 1), datetime.date(2018, 4, 6),
+     {"crypto-pool": 0.85, "minexmr": 0.15}),
+    (datetime.date(2018, 4, 6), datetime.date(2018, 10, 18),
+     {"minexmr": 1.0}),
+    (datetime.date(2018, 10, 18), datetime.date(2019, 4, 30),
+     {"crypto-pool": 1.0}),
+]
+
+
+def build_usa138_campaign(gen: "EcosystemGenerator") -> GroundTruthCampaign:
+    """Construct and replay the USA-138 campaign."""
+    campaign = GroundTruthCampaign(
+        campaign_id=gen._next_campaign_id(),
+        actor_id=gen._campaign_counter,
+        identifier_kind="wallet",
+        coin="XMR",
+        label="USA-138",
+        band=2,
+        fixed_sample_count=118,   # + ancillaries => ~137 total
+        custom_driven=True,
+    )
+    xmr_wallets = [gen.wallets.new_address("XMR") for _ in range(3)]
+    etn_wallet = gen.wallets.new_address("ETN")
+    campaign.identifiers = xmr_wallets + [etn_wallet]
+    campaign.start = _USA138_PHASES[0][0]
+    campaign.end = _USA138_PHASES[-1][1]
+    campaign.updates_after_forks = True
+    campaign.target_xmr = _USA138_TARGET_XMR
+    campaign.pools = ["crypto-pool", "minexmr", "etn-pool"]
+    campaign.uses_cname = True
+    campaign.uses_obfuscation = True   # 43 UPX-packed samples
+    campaign.packer = "UPX"
+    gen.dns.add_cname("xmr.usa-138.com", "pool.minexmr.com",
+                      valid_from=campaign.start)
+    gen.dns.add_cname("pool.4i7i.com", "xmr.crypto-pool.fr",
+                      valid_from=campaign.start)
+    # etn.4i7i.com fronts an Electroneum pool but left no passive DNS.
+    campaign.cname_domains = ["xmr.usa-138.com", "pool.4i7i.com",
+                              "etn.4i7i.com"]
+    campaign.hosting_urls = [
+        "http://221.9.251.236/load/11.exe",
+        "http://4i7i.com/11.exe",
+    ]
+    gen.ips.pin("host:usa138", "221.9.251.236")
+    gen.dns.add_a("4i7i.com", "221.9.251.236", valid_from=campaign.start)
+
+    def wallet_for_day(day: Date) -> str:
+        if day < datetime.date(2018, 4, 6):
+            return xmr_wallets[0]
+        if day < datetime.date(2018, 10, 18):
+            return xmr_wallets[1]    # 49e9B8H...-style post-fork wallet
+        return xmr_wallets[2]
+
+    _drive_phases(gen, campaign, _USA138_PHASES, _USA138_TARGET_XMR,
+                  wallet_for_day, bot_ips=13000, post_ban_throttle=0.5)
+    # The Electroneum side: worth ~5 USD total.
+    etn_pool = gen.pools.get("etn-pool")
+    account = etn_pool._account(etn_wallet)
+    account.total_paid += 314.18
+    account.payments.append((datetime.date(2018, 2, 1), 314.18))
+    account.last_share = datetime.date(2018, 6, 1)
+    return campaign

@@ -1,0 +1,275 @@
+"""Paper-calibrated distributions for the ecosystem generator.
+
+Every constant here traces to a specific exhibit of the paper; the
+comment on each names it.  The generator consumes these so the synthetic
+ecosystem reproduces the *shapes* (who wins, band proportions,
+infrastructure mix) rather than hard-coding the result tables.
+"""
+
+from typing import Dict, List, Tuple
+
+# -- Table IV (left): campaigns per identifier type ------------------------
+
+#: number of campaigns per currency in the paper.
+CAMPAIGNS_PER_CURRENCY: Dict[str, int] = {
+    "XMR": 2449,
+    "BTC": 1535,
+    "ZEC": 178,
+    "ETN": 150,
+    "ETH": 132,
+    "AEON": 57,
+    "SUMO": 18,
+    "ITNS": 8,
+    "TRTL": 3,
+    "BCN": 1,
+}
+
+#: campaigns keyed by e-mails / unknown identifiers (Table IV).
+EMAIL_CAMPAIGNS = 5008
+UNKNOWN_CAMPAIGNS = 2195
+
+# -- Table XV: e-mail identifiers per pool ---------------------------------
+
+#: minergate absorbs 97% of e-mail miners.
+EMAIL_POOL_WEIGHTS: List[Tuple[str, float]] = [
+    ("minergate", 0.966),
+    ("50btc", 0.008),
+    ("crypto-pool", 0.001),
+    ("supportxmr", 0.001),
+    ("nanopool", 0.001),
+    ("btcdig", 0.001),
+    ("slushpool", 0.0005),
+    ("moneropool", 0.0005),
+    ("minemonero", 0.0005),
+    ("dwarfpool", 0.0005),
+    ("minexmr", 0.0005),
+    ("f2pool", 0.0005),
+    ("monerohash", 0.0005),
+    ("suprnova", 0.0005),
+    ("monerominers", 0.0005),
+    ("prohash", 0.018),  # remainder bucket ("OTHERS")
+]
+
+# -- §IV-D: XMR earnings bands ----------------------------------------------
+
+#: (band upper bound in XMR, campaign count) from Table XI's header row:
+#: <100: 2013, [100,1k): 154, [1k,10k): 53, >=10k: 15 — of 2,235 total.
+XMR_BAND_COUNTS: List[Tuple[float, float, int]] = [
+    (0.0, 100.0, 2013),
+    (100.0, 1000.0, 154),
+    (1000.0, 10000.0, 53),
+    (10000.0, 200000.0, 15),
+]
+
+#: median earnings target per band (XMR).  Derived from Table VIII: the
+#: >=10K band holds 15 campaigns whose listed values cluster around
+#: ~23K XMR (the 163K outlier is the Freebuf fixture, added separately).
+XMR_BAND_MEDIAN: List[float] = [2.5, 300.0, 2600.0, 21000.0]
+
+#: XMR campaigns whose wallets never appear at a transparent pool
+#: (2,449 campaigns in Table IV vs 2,235 with payments in Table VIII).
+XMR_NO_PAYMENT_FRACTION = (2449 - 2235) / 2449
+
+# -- Table XI: infrastructure / stealth / activity by band -------------------
+
+#: band index -> probability of each feature (rows of Table XI).
+BAND_FEATURES: Dict[str, List[float]] = {
+    # third-party infrastructure
+    "ppi": [0.013, 0.032, 0.094, 0.133],
+    "stock_tool": [0.086, 0.149, 0.302, 0.133],
+    # stealth
+    "obfuscation": [0.040, 0.052, 0.038, 0.0],
+    "cname": [0.003, 0.052, 0.094, 0.267],
+    "proxy": [0.026, 0.065, 0.038, 0.200],
+}
+
+#: band index -> start-year distribution (Table XI "Start:" rows).
+BAND_START_YEAR: List[Dict[int, float]] = [
+    {2014: 0.002, 2015: 0.002, 2016: 0.055, 2017: 0.396, 2018: 0.540,
+     2019: 0.005},                       # <100 (residual mass to 17/18)
+    {2014: 0.045, 2015: 0.019, 2016: 0.260, 2017: 0.520, 2018: 0.130,
+     2019: 0.026},                       # 100-1k
+    {2014: 0.113, 2015: 0.038, 2016: 0.415, 2017: 0.415, 2018: 0.019,
+     2019: 0.0},                         # 1k-10k
+    {2014: 0.467, 2015: 0.133, 2016: 0.400, 2017: 0.0, 2018: 0.0,
+     2019: 0.0},                         # >=10k
+]
+
+#: band index -> probability that the campaign operator pushes a miner
+#: update at a PoW fork.  Calibrated so that overall survival matches
+#: §VI: ~27.6% of campaigns stay active past Apr-18, 10.7% past Oct-18
+#: and 3.5% past Mar-19 (Table XI "+" rows).
+BAND_FORK_UPDATE_PROB: List[float] = [0.45, 0.55, 0.50, 0.60]
+
+# -- Table VII: XMR pool popularity ------------------------------------------
+
+#: weights for picking a campaign's *primary* pool; shaped so that
+#: crypto-pool and dwarfpool dominate mined volume while minexmr has the
+#: most wallets (it gets a high pick rate but smaller campaigns).
+XMR_POOL_WEIGHTS: List[Tuple[str, float]] = [
+    ("minexmr", 0.26),
+    ("crypto-pool", 0.21),
+    ("dwarfpool", 0.20),
+    ("nanopool", 0.16),
+    ("monerohash", 0.09),
+    ("ppxxmr", 0.08),
+    ("supportxmr", 0.10),
+    ("poolto", 0.016),
+    ("prohash", 0.023),
+    ("moneropool", 0.015),
+    ("minemonero", 0.012),
+    ("xmrpool", 0.012),
+    ("moneroocean", 0.010),
+    ("viaxmr", 0.008),
+    ("hashvault", 0.008),
+    ("xmrnanopool", 0.006),
+    ("monerominers", 0.006),
+]
+
+#: extra volume multiplier for pools where the big earners concentrate
+#: (Table VII: crypto-pool 429K XMR despite fewer wallets than minexmr).
+POOL_VOLUME_AFFINITY: Dict[str, float] = {
+    "crypto-pool": 3.0,
+    "dwarfpool": 1.6,
+    "minexmr": 0.8,
+    "poolto": 1.2,
+}
+
+# -- Fig 5: number of pools used by band -------------------------------------
+
+#: band index -> (min_pools, max_pools); 97% of >=1K-XMR campaigns use
+#: more than one pool; seven of the >=10K use exactly one.
+BAND_POOL_COUNT: List[Tuple[int, int]] = [
+    (1, 3),
+    (1, 6),
+    (1, 10),
+    (1, 17),
+]
+
+#: probability a campaign in the band uses a single pool.
+BAND_SINGLE_POOL_PROB: List[float] = [0.55, 0.30, 0.03, 0.45]
+
+# -- Fig 4 / §IV-B: wallets and samples per campaign --------------------------
+
+#: most campaigns hold 1-2 identifiers; the tail reaches 304.
+WALLETS_PER_CAMPAIGN_P: List[Tuple[int, float]] = [
+    (1, 0.72), (2, 0.15), (3, 0.05), (4, 0.03), (7, 0.03), (14, 0.015),
+    (30, 0.003), (80, 0.0015), (304, 0.0005),
+]
+
+#: samples per campaign: heavy tail (C#4 has 12K samples in the paper).
+SAMPLES_PARETO_ALPHA = 1.1
+SAMPLES_MIN = 1
+SAMPLES_CAP = 400  # scaled-down stand-in for the 12K extreme
+
+# -- Table VI / XIII: hosting domains ------------------------------------------
+
+#: (domain, weight, is_public_repo).  Public repos/CDNs are shared
+#: infrastructure: hosting there must NOT glue campaigns together unless
+#: the full URL matches.
+HOSTING_DOMAINS: List[Tuple[str, float, bool]] = [
+    ("github.com", 0.16, True),
+    ("s3.amazonaws.com", 0.085, True),
+    ("www.weebly.com", 0.08, True),
+    ("drive.google.com", 0.038, True),
+    ("hrtests.ru", 0.037, False),
+    ("cdn.discordapp.com", 0.034, True),
+    ("a.cuntflaps.me", 0.032, False),
+    ("file-5.ru", 0.030, False),
+    ("telekomtv-internet.ro", 0.030, False),
+    ("mondoconnx.com", 0.026, False),
+    ("free-run.tk", 0.025, False),
+    ("b.reich.io", 0.023, False),
+    ("mysuperproga.com", 0.022, False),
+    ("goo.gl", 0.022, True),
+    ("bitbucket.org", 0.020, True),
+    ("dropbox.com", 0.017, True),
+    ("4sync.com", 0.016, True),
+    ("store4.up-00.com", 0.016, False),
+    ("pack.1e5.com", 0.018, False),
+    ("directxex.com", 0.018, False),
+    ("xmr.enjoytopic.tk", 0.014, False),
+    ("a.pomf.cat", 0.014, True),
+]
+
+# -- Table X: packers -----------------------------------------------------------
+
+#: weights over packer families for obfuscating campaigns (UPX dominant).
+PACKER_WEIGHTS: List[Tuple[str, float]] = [
+    ("UPX", 0.895),
+    ("NSIS", 0.048),
+    ("maxorder", 0.016),
+    ("SFX", 0.011),
+    ("INNO", 0.007),
+    ("eval", 0.006),
+    ("docwrite", 0.004),
+    ("ARJ", 0.002),
+    ("CAB", 0.002),
+    ("Enigma", 0.002),
+    ("custom", 0.007),
+]
+
+# -- Table IX: stock-tool framework choice ---------------------------------------
+
+#: instance counts from Table IX shape the framework pick weights.
+STOCK_TOOL_WEIGHTS: List[Tuple[str, float]] = [
+    ("claymore", 0.40),
+    ("xmrig", 0.38),
+    ("niceHash", 0.17),
+    ("learnMiner", 0.03),
+    ("ccminer", 0.02),
+]
+
+# -- §IV-E: PPI services -----------------------------------------------------------
+
+#: (botnet, relative weight): 511 Virut / 46 Ramnit / 27 Nitol samples.
+PPI_WEIGHTS: List[Tuple[str, float]] = [
+    ("Virut", 0.875),
+    ("Ramnit", 0.079),
+    ("Nitol", 0.046),
+]
+
+# -- BTC-side of Table IV -------------------------------------------------------------
+
+#: samples per year, BTC (Table IV right).  Used to place BTC campaigns.
+BTC_SAMPLES_PER_YEAR: Dict[int, int] = {
+    2012: 9, 2013: 23, 2014: 223, 2015: 115, 2016: 461, 2017: 3800,
+    2018: 1300, 2019: 1700,
+}
+
+#: samples per year, XMR.
+XMR_SAMPLES_PER_YEAR: Dict[int, int] = {
+    2012: 1, 2013: 3, 2014: 281, 2015: 1600, 2016: 8700, 2017: 31000,
+    2018: 6200, 2019: 14049,
+}
+
+# -- misc ratios ------------------------------------------------------------------------
+
+#: ancillaries vs miners (212,923 / 1,017,110 in Table III).
+ANCILLARY_RATIO = 212923 / 1017110
+
+#: fraction of raw feed that is NOT crypto-mining malware
+#: (4.5M collected vs 1.23M kept after sanity checks).
+JUNK_RATIO = 1.2
+
+#: fraction of samples whose first_seen could not be fetched (the "~19?"
+#: rows of Table IV, a VT rate-limit artifact).
+MISSING_FIRST_SEEN_FRACTION = 0.18
+
+#: probability that a miner sample also mines a short donation slice
+#: (the behaviour that motivates the donation-wallet whitelist, §III-E).
+DONATION_SLICE_PROB = 0.02
+
+
+def band_of(xmr_earned: float) -> int:
+    """Earnings band index for a campaign total (Table XI columns)."""
+    if xmr_earned < 100.0:
+        return 0
+    if xmr_earned < 1000.0:
+        return 1
+    if xmr_earned < 10000.0:
+        return 2
+    return 3
+
+
+BAND_LABELS = ["<100", "[100-1k)", "[1k-10k)", ">=10k"]

@@ -1,0 +1,46 @@
+"""Named scenario presets.
+
+``ScenarioConfig`` has enough knobs that common set-ups deserve names.
+Each preset is a fresh config instance (mutating one never affects the
+registry).
+"""
+
+from typing import Callable, Dict, List
+
+from repro.corpus.model import ScenarioConfig
+
+_PRESETS: Dict[str, Callable[[], ScenarioConfig]] = {
+    # fast enough for unit tests and notebooks
+    "smoke": lambda: ScenarioConfig(seed=2019, scale=0.004,
+                                    include_junk=False),
+    # the shared test-suite world
+    "test": lambda: ScenarioConfig(seed=1, scale=0.01),
+    # the benchmark world: bands populated, minutes not hours
+    "bench": lambda: ScenarioConfig(seed=2019, scale=0.04),
+    # population study without the hand-built §V fixtures
+    "population-only": lambda: ScenarioConfig(
+        seed=2019, scale=0.04, include_case_studies=False),
+    # stress the sanity checks: twice the junk
+    "noisy-feed": lambda: ScenarioConfig(seed=2019, scale=0.02,
+                                         junk_ratio=2.4),
+    # approaching the paper's population (minutes of CPU, ~1.5M samples
+    # would need scale=1.0; this is the practical large setting)
+    "large": lambda: ScenarioConfig(seed=2019, scale=0.2,
+                                    mining_stride_days=10),
+}
+
+
+def scenario(name: str) -> ScenarioConfig:
+    """Fresh config for a named preset; raises KeyError with the list."""
+    try:
+        factory = _PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(_PRESETS)}"
+        ) from None
+    return factory()
+
+
+def available_scenarios() -> List[str]:
+    """Names of every registered scenario preset."""
+    return sorted(_PRESETS)

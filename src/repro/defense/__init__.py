@@ -1,0 +1,40 @@
+"""Countermeasures substrate (§VI of the paper, made executable).
+
+The discussion section of the paper evaluates four defence directions;
+this package implements each one so its efficacy can be *measured*
+against the synthetic ecosystem instead of argued:
+
+* :mod:`repro.defense.blacklist` — pool-domain blacklisting and the
+  CNAME/proxy/raw-IP evasions that defeat it;
+* :mod:`repro.defense.intervention` — the report-wallets-to-pools
+  intervention the authors ran (Fig. 8), generalised;
+* :mod:`repro.defense.fork_policy` — counterfactual PoW-fork cadences
+  ("increment the frequency of such changes");
+* :mod:`repro.defense.host_monitor` — host-based CPU anomaly detection
+  vs rootkit evasion, and the externalised power-meter detector the
+  paper positions as future work.
+"""
+
+from repro.defense.blacklist import BlacklistDefense, BlacklistReport
+from repro.defense.intervention import (
+    InterventionReport,
+    WalletReportingCampaign,
+)
+from repro.defense.fork_policy import ForkPolicyOutcome, simulate_fork_cadence
+from repro.defense.host_monitor import (
+    CpuAnomalyMonitor,
+    HostState,
+    PowerMeterMonitor,
+)
+
+__all__ = [
+    "BlacklistDefense",
+    "BlacklistReport",
+    "InterventionReport",
+    "WalletReportingCampaign",
+    "ForkPolicyOutcome",
+    "simulate_fork_cadence",
+    "CpuAnomalyMonitor",
+    "HostState",
+    "PowerMeterMonitor",
+]

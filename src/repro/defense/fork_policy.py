@@ -1,0 +1,101 @@
+"""Counterfactual PoW-fork cadences (§VI "Changes in the PoW algorithm").
+
+The paper observes that each fork strands the campaigns whose operators
+fail to push miner updates (72% / 89% / 96% cumulative die-off over the
+three historical forks) and proposes *increasing* fork frequency as a
+countermeasure.  :func:`simulate_fork_cadence` replays the ground-truth
+campaign population under an alternative fork calendar and reports how
+much mining time (and hence revenue share) the ecosystem would retain.
+"""
+
+import datetime
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.rng import DeterministicRNG
+from repro.common.simtime import Date, POW_FORK_DATES, date_range
+from repro.corpus.distributions import BAND_FORK_UPDATE_PROB
+from repro.corpus.model import GroundTruthCampaign
+
+
+@dataclass(frozen=True)
+class ForkPolicyOutcome:
+    """Ecosystem-level effect of one fork calendar."""
+
+    fork_dates: tuple
+    campaigns: int
+    surviving_campaigns: int
+    total_mining_days: float
+    retained_fraction: float    # mining-days vs the no-fork baseline
+
+    @property
+    def disruption(self) -> float:
+        return 1.0 - self.retained_fraction
+
+
+def quarterly_forks(start: Date, end: Date) -> List[Date]:
+    """A fork every ~91 days between ``start`` and ``end``."""
+    return list(date_range(start, end, 91))
+
+
+def historical_forks() -> List[Date]:
+    """The three fork dates of the paper's window."""
+    return list(POW_FORK_DATES)
+
+
+def simulate_fork_cadence(campaigns: Sequence[GroundTruthCampaign],
+                          fork_dates: Sequence[Date],
+                          seed: int = 7) -> ForkPolicyOutcome:
+    """Replay campaign lifetimes under a fork calendar.
+
+    Each campaign's *natural* activity window comes from ground truth;
+    at every fork inside the window the operator updates with the
+    band-calibrated probability (Table XI behaviour) or the campaign
+    ends there.  Returns mining-days retained vs the no-fork baseline,
+    the quantity the countermeasure is trying to minimise.
+    """
+    rng = DeterministicRNG(seed, "fork-policy")
+    forks = sorted(fork_dates)
+    xmr = [c for c in campaigns
+           if c.coin == "XMR" and c.start is not None and c.end is not None
+           and c.end > c.start]
+    baseline_days = 0.0
+    policy_days = 0.0
+    survivors = 0
+    for campaign in xmr:
+        lifetime = (campaign.end - campaign.start).days
+        baseline_days += lifetime
+        update_prob = BAND_FORK_UPDATE_PROB[campaign.band or 0]
+        end = campaign.end
+        survived_all = True
+        stream = rng.substream(f"c{campaign.campaign_id}")
+        for fork in forks:
+            if campaign.start < fork < end:
+                if not stream.bernoulli(update_prob):
+                    end = fork
+                    survived_all = False
+                    break
+        policy_days += (end - campaign.start).days
+        if survived_all:
+            survivors += 1
+    retained = policy_days / baseline_days if baseline_days else 1.0
+    return ForkPolicyOutcome(
+        fork_dates=tuple(forks),
+        campaigns=len(xmr),
+        surviving_campaigns=survivors,
+        total_mining_days=policy_days,
+        retained_fraction=retained,
+    )
+
+
+def compare_cadences(campaigns: Sequence[GroundTruthCampaign],
+                     start: Date = datetime.date(2016, 1, 1),
+                     end: Date = datetime.date(2019, 4, 30),
+                     seed: int = 7) -> List[ForkPolicyOutcome]:
+    """No forks vs the historical three vs quarterly forks."""
+    return [
+        simulate_fork_cadence(campaigns, [], seed=seed),
+        simulate_fork_cadence(campaigns, historical_forks(), seed=seed),
+        simulate_fork_cadence(campaigns, quarterly_forks(start, end),
+                              seed=seed),
+    ]

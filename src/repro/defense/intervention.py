@@ -1,0 +1,90 @@
+"""Wallet-reporting intervention (the experiment of §V / Fig. 8).
+
+During the study the authors reported illicit wallets, with evidence,
+to the largest pools; cooperative pools banned the wallets whose
+connection counts betrayed botnets.  This module generalises that
+intervention: report every wallet a measurement run discovered, record
+which pools acted, and estimate the earnings removed from the
+ecosystem (the banned wallets' forward run-rate).
+"""
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.chain.emission import MONERO_EMISSION, network_hashrate_hs
+from repro.common.simtime import Date
+from repro.core.pipeline import MeasurementResult
+from repro.pools.directory import PoolDirectory
+from repro.pools.pool import Transparency
+
+
+@dataclass
+class InterventionReport:
+    """What one reporting campaign achieved."""
+
+    report_date: Date
+    wallets_reported: int = 0
+    wallets_banned: int = 0
+    bans_by_pool: Dict[str, int] = field(default_factory=dict)
+    refused_by_pool: Dict[str, int] = field(default_factory=dict)
+    #: XMR/day the banned wallets were earning when banned.
+    disrupted_run_rate: float = 0.0
+
+    @property
+    def ban_rate(self) -> float:
+        if self.wallets_reported == 0:
+            return 0.0
+        return self.wallets_banned / self.wallets_reported
+
+
+class WalletReportingCampaign:
+    """Reports measured illicit wallets to every transparent pool."""
+
+    def __init__(self, pools: PoolDirectory) -> None:
+        self._pools = pools
+
+    def run(self, result: MeasurementResult,
+            report_date: Optional[Date] = None) -> InterventionReport:
+        """Report all wallets with observed payments; return outcomes.
+
+        Mirrors the authors' procedure: only wallets with pool-side
+        evidence are reported, and the ban decision rests with each
+        pool's policy (connection threshold, cooperativeness, recency).
+        """
+        when = report_date or datetime.date(2018, 9, 27)
+        report = InterventionReport(report_date=when)
+        banned_wallets = set()
+        for identifier, profile in result.profiles.items():
+            if profile.total_paid <= 0:
+                continue
+            report.wallets_reported += 1
+            for pool in self._pools.pools():
+                if pool.config.transparency is Transparency.OPAQUE:
+                    continue
+                if pool.report_wallet(identifier, when):
+                    report.bans_by_pool[pool.config.name] = \
+                        report.bans_by_pool.get(pool.config.name, 0) + 1
+                    banned_wallets.add(identifier)
+                elif pool.api_wallet_stats(identifier) is not None:
+                    report.refused_by_pool[pool.config.name] = \
+                        report.refused_by_pool.get(pool.config.name, 0) + 1
+        report.wallets_banned = len(banned_wallets)
+        report.disrupted_run_rate = self._run_rate(result, banned_wallets,
+                                                   when)
+        return report
+
+    def _run_rate(self, result: MeasurementResult, wallets: Iterable[str],
+                  when: Date) -> float:
+        """XMR/day the banned wallets earned from their last hashrate."""
+        emission = MONERO_EMISSION.daily_emission(when)
+        network = network_hashrate_hs(when)
+        rate = 0.0
+        for wallet in wallets:
+            profile = result.profiles.get(wallet)
+            if profile is None:
+                continue
+            hashrate = max((r.hashrate for r in profile.records),
+                           default=0.0)
+            rate += emission * min(1.0, hashrate / network)
+        return rate

@@ -1,0 +1,32 @@
+"""Underground-forum substrate (the CrimeBB analog).
+
+§II and Appendix B analyse a corpus of underground-forum posts: thread
+volume per cryptocurrency over time (Fig. 1), commoditisation evidence
+(miners sold for ~$35, builder services for ~$13), and recurring topics
+(friendly pools, proxy advice, all-you-need packages).
+
+This package generates a synthetic forum corpus with those trends baked
+in, and provides the trend-extraction queries the paper runs.
+"""
+
+from repro.forums.corpus import (
+    ForumCorpus,
+    ForumPost,
+    ForumThread,
+    generate_forum_corpus,
+)
+from repro.forums.trends import (
+    coin_thread_shares,
+    mining_topic_threads,
+    offer_price_stats,
+)
+
+__all__ = [
+    "ForumCorpus",
+    "ForumPost",
+    "ForumThread",
+    "generate_forum_corpus",
+    "coin_thread_shares",
+    "mining_topic_threads",
+    "offer_price_stats",
+]

@@ -1,0 +1,61 @@
+"""Trend queries over the forum corpus (Fig. 1, §II)."""
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.forums.corpus import ForumCorpus, ForumThread
+
+
+def coin_thread_shares(corpus: ForumCorpus) -> Dict[int, Dict[str, float]]:
+    """Per-year share of mining threads per coin (the Fig. 1 series).
+
+    Shares are normalised per year over mining threads, so the value is
+    directly comparable to the paper's 'proportion of threads' axis.
+    """
+    by_year: Dict[int, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    for thread in corpus.threads:
+        by_year[thread.created_on.year][thread.coin] += 1
+    shares: Dict[int, Dict[str, float]] = {}
+    for year, counts in sorted(by_year.items()):
+        total = sum(counts.values())
+        shares[year] = {
+            coin: count / total for coin, count in sorted(counts.items())
+        }
+    return shares
+
+
+def dominant_coin(corpus: ForumCorpus, year: int) -> Optional[str]:
+    """Most-discussed coin in a year (Monero by 2018, per the paper)."""
+    shares = coin_thread_shares(corpus).get(year)
+    if not shares:
+        return None
+    return max(shares.items(), key=lambda kv: kv[1])[0]
+
+
+def offer_price_stats(corpus: ForumCorpus,
+                      offer_kind: str) -> Tuple[int, float]:
+    """(count, average USD price) of offers of a kind.
+
+    ``offer_kind='miner_sale'`` reproduces the paper's observation that
+    an encrypted Monero miner costs ~$35 on average; ``'builder'`` the
+    $13 builder service.
+    """
+    prices = [
+        t.price_usd for t in corpus.threads
+        if t.offer_kind == offer_kind and t.price_usd is not None
+    ]
+    if not prices:
+        return 0, 0.0
+    return len(prices), sum(prices) / len(prices)
+
+
+def mining_topic_threads(corpus: ForumCorpus,
+                         keyword: str) -> List[ForumThread]:
+    """Threads whose title or posts mention ``keyword`` (case-folded)."""
+    keyword = keyword.lower()
+    out = []
+    for thread in corpus.threads:
+        if keyword in thread.title.lower() or any(
+                keyword in post.body.lower() for post in thread.posts):
+            out.append(thread)
+    return out

@@ -1,0 +1,18 @@
+"""Context-triggered piecewise hashing (CTPH) substrate.
+
+The paper attributes dropped binaries to stock mining tools (xmrig,
+claymore, ...) by comparing fuzzy hashes with a conservative distance
+threshold of 0.1 (§III-E, Table IX).  This is a from-scratch ssdeep-style
+implementation: a rolling hash triggers block boundaries, a piecewise
+FNV-1a hash maps each block to one base64 character, and similarity is an
+edit-distance score in [0, 100].
+"""
+
+from repro.fuzzyhash.ctph import (
+    compare,
+    compute,
+    distance,
+    FuzzyHash,
+)
+
+__all__ = ["compare", "compute", "distance", "FuzzyHash"]

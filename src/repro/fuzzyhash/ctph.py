@@ -1,0 +1,213 @@
+"""ssdeep-style context-triggered piecewise hashing.
+
+Algorithm (following Kornblum 2006, the paper's citation [36]):
+
+1. A 7-byte rolling hash scans the input.  Whenever
+   ``rolling % blocksize == blocksize - 1`` a block boundary is emitted.
+2. Each block is hashed with FNV-1a and mapped to one character of the
+   base64 alphabet; the concatenation is the signature.
+3. The block size is the smallest ``3 * 2**k`` whose signature fits in
+   64 characters; the hash string also carries the signature at twice
+   the block size, so hashes one octave apart remain comparable.
+4. Similarity is a weighted edit distance between matching-blocksize
+   signatures, scaled to [0, 100]; 100 means near-identical.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+_B64 = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+_SPAMSUM_LENGTH = 64
+_MIN_BLOCKSIZE = 3
+_WINDOW = 7
+
+
+class _RollingHash:
+    """Adler-style rolling hash over a 7-byte window."""
+
+    __slots__ = ("_window", "_pos", "_h1", "_h2", "_h3")
+
+    def __init__(self) -> None:
+        self._window = bytearray(_WINDOW)
+        self._pos = 0
+        self._h1 = 0
+        self._h2 = 0
+        self._h3 = 0
+
+    def update(self, byte: int) -> int:
+        old = self._window[self._pos % _WINDOW]
+        self._h2 -= self._h1
+        self._h2 += _WINDOW * byte
+        self._h1 += byte
+        self._h1 -= old
+        self._window[self._pos % _WINDOW] = byte
+        self._pos += 1
+        self._h3 = ((self._h3 << 5) ^ byte) & 0xFFFFFFFF
+        return (self._h1 + self._h2 + self._h3) & 0xFFFFFFFF
+
+
+def _fnv1a_update(state: int, byte: int) -> int:
+    return ((state ^ byte) * 0x01000193) & 0xFFFFFFFF
+
+
+_FNV_INIT = 0x811C9DC5
+
+
+def _piecewise_signature(data: bytes, blocksize: int) -> str:
+    """Signature at one block size (uncapped length).
+
+    The rolling hash is inlined here: this loop runs once per input byte
+    and is the hot path of catalog-scale fuzzy matching.
+    """
+    window = bytearray(_WINDOW)
+    pos = 0
+    h1 = h2 = h3 = 0
+    piece = _FNV_INIT
+    trigger = blocksize - 1
+    out: List[str] = []
+    for byte in data:
+        piece = ((piece ^ byte) * 0x01000193) & 0xFFFFFFFF
+        widx = pos % _WINDOW
+        old = window[widx]
+        h2 = h2 - h1 + _WINDOW * byte
+        h1 = h1 + byte - old
+        window[widx] = byte
+        pos += 1
+        h3 = ((h3 << 5) ^ byte) & 0xFFFFFFFF
+        if (h1 + h2 + h3) % blocksize == trigger:
+            out.append(_B64[piece % 64])
+            piece = _FNV_INIT
+    if piece != _FNV_INIT or not out:
+        out.append(_B64[piece % 64])
+    return "".join(out)
+
+
+@dataclass(frozen=True)
+class FuzzyHash:
+    """A CTPH value: ``blocksize:sig:double_sig``."""
+
+    blocksize: int
+    signature: str
+    double_signature: str
+
+    def __str__(self) -> str:
+        return f"{self.blocksize}:{self.signature}:{self.double_signature}"
+
+    @classmethod
+    def parse(cls, text: str) -> "FuzzyHash":
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise ValueError(f"malformed fuzzy hash: {text!r}")
+        return cls(int(parts[0]), parts[1], parts[2])
+
+
+def compute(data: bytes) -> FuzzyHash:
+    """Compute the CTPH of ``data``.
+
+    The block size is first *guessed* from the input length (expected
+    signature length ~= len/blocksize), then adjusted at most a couple
+    of steps — the ssdeep trick that avoids a full doubling search and
+    keeps hashing at ~2 passes over the input.
+    """
+    blocksize = _MIN_BLOCKSIZE
+    while blocksize * _SPAMSUM_LENGTH < len(data):
+        blocksize *= 2
+    signature = _piecewise_signature(data, blocksize)
+    # Adjust: too long -> grow; degenerately short -> shrink (bounded).
+    while len(signature) > _SPAMSUM_LENGTH:
+        blocksize *= 2
+        signature = _piecewise_signature(data, blocksize)
+    while (blocksize > _MIN_BLOCKSIZE
+           and len(signature) < _SPAMSUM_LENGTH // 4):
+        candidate = _piecewise_signature(data, blocksize // 2)
+        if len(candidate) > _SPAMSUM_LENGTH:
+            break
+        blocksize //= 2
+        signature = candidate
+    double_signature = _piecewise_signature(data, blocksize * 2)[:_SPAMSUM_LENGTH]
+    return FuzzyHash(blocksize, signature[:_SPAMSUM_LENGTH], double_signature)
+
+
+def _edit_distance(a: str, b: str) -> int:
+    """Levenshtein distance with O(min(len)) memory."""
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def _has_common_substring(a: str, b: str, length: int = 7) -> bool:
+    """Require a common 7-gram, like ssdeep, to avoid random matches."""
+    if len(a) < length or len(b) < length:
+        return False
+    grams = {a[i:i + length] for i in range(len(a) - length + 1)}
+    return any(b[i:i + length] in grams for i in range(len(b) - length + 1))
+
+
+def _score_strings(a: str, b: str, blocksize: int) -> int:
+    if not _has_common_substring(a, b):
+        return 0
+    dist = _edit_distance(a, b)
+    # Scale: identical -> 100; completely different -> 0.
+    score = 100 - (100 * dist) // max(len(a), len(b))
+    # Cap very short signatures which cannot support high confidence.
+    cap = blocksize // _MIN_BLOCKSIZE * min(len(a), len(b))
+    return max(0, min(score, cap))
+
+
+def compare(h1: FuzzyHash, h2: FuzzyHash) -> int:
+    """Similarity score in [0, 100] between two fuzzy hashes.
+
+    Hashes are comparable when their block sizes are equal or one octave
+    apart; otherwise the score is 0 (ssdeep semantics).
+    """
+    if h1.blocksize == h2.blocksize:
+        return max(
+            _score_strings(h1.signature, h2.signature, h1.blocksize),
+            _score_strings(h1.double_signature, h2.double_signature,
+                           h1.blocksize * 2),
+        )
+    if h1.blocksize == h2.blocksize * 2:
+        return _score_strings(h1.signature, h2.double_signature, h1.blocksize)
+    if h2.blocksize == h1.blocksize * 2:
+        return _score_strings(h1.double_signature, h2.signature, h2.blocksize)
+    return 0
+
+
+def distance(h1: FuzzyHash, h2: FuzzyHash) -> float:
+    """Distance in [0, 1]: the paper's stock-tool threshold is <= 0.1."""
+    return 1.0 - compare(h1, h2) / 100.0
+
+
+# -- bulk-matching helpers (used by catalog-scale attribution) -------------
+
+def signature_grams(signature: str, length: int = 7) -> frozenset:
+    """The 7-gram set of a signature (the common-substring prefilter)."""
+    if len(signature) < length:
+        return frozenset()
+    return frozenset(signature[i:i + length]
+                     for i in range(len(signature) - length + 1))
+
+
+def score_with_grams(sig_a: str, grams_a: frozenset, sig_b: str,
+                     grams_b: frozenset, blocksize: int) -> int:
+    """Like the internal scorer, but with precomputed gram sets."""
+    if not grams_a or not grams_b or grams_a.isdisjoint(grams_b):
+        return 0
+    dist = _edit_distance(sig_a, sig_b)
+    score = 100 - (100 * dist) // max(len(sig_a), len(sig_b))
+    cap = blocksize // _MIN_BLOCKSIZE * min(len(sig_a), len(sig_b))
+    return max(0, min(score, cap))
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Public alias for the Levenshtein helper."""
+    return _edit_distance(a, b)

@@ -1,0 +1,15 @@
+"""Threat-intelligence substrate: the VirusTotal / Hybrid Analysis analogs.
+
+The paper's largest data sources are VT (binaries + metadata via the
+private API) and Hybrid Analysis (ready-made sandbox reports).  This
+package provides the same query surface over the synthetic corpus:
+per-sample AV reports (positives, vendor labels, first-seen, in-the-wild
+URLs, parents, contacted domains) and the advanced searches the sanity
+checks rely on (§III-B): by contacted pool domain, by "Miner" label
+count, by Stratum IoC.
+"""
+
+from repro.intel.vt import AvReport, VtService
+from repro.intel.ha import HaService
+
+__all__ = ["AvReport", "VtService", "HaService"]

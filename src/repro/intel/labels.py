@@ -1,0 +1,81 @@
+"""AV-label normalisation (an AVClass-style plurality vote).
+
+Vendor labels are noisy ("Trojan.CoinMiner.ab", "Win32.Virut.x",
+"PUA.CoinMiner"); measurement studies normalise them into family tokens
+and take a plurality across vendors.  The pipeline's PPI tagging uses
+simple token matching; this utility generalises it for analysts working
+with the exported dataset.
+"""
+
+import re
+from collections import Counter
+from typing import Dict, Iterable, List, Optional
+
+from repro.intel.vt import AvReport
+
+#: generic tokens that never identify a family.
+_GENERIC_TOKENS = frozenset({
+    "trojan", "win32", "win64", "w32", "w64", "generic", "malware",
+    "agent", "heur", "riskware", "pua", "pup", "application",
+    "suspicious", "variant", "behaveslike", "genetic", "js", "html",
+    "script", "downloader", "gen", "worm", "virus",
+})
+
+#: tokens that collapse into the miner family.
+_MINER_TOKENS = frozenset({
+    "coinminer", "bitcoinminer", "coinmine", "miner", "cryptonight",
+    "minerd", "xmrig", "coinhive",
+})
+
+_SPLIT_RE = re.compile(r"[.\-_/:! ]+")
+
+
+def tokenize_label(label: str) -> List[str]:
+    """Lower-cased, generic-token-free tokens of one vendor label."""
+    tokens = []
+    for token in _SPLIT_RE.split(label.lower()):
+        if not token or len(token) < 3:
+            continue
+        if token in _GENERIC_TOKENS:
+            continue
+        if token.isdigit() or re.fullmatch(r"[0-9a-f]{4,}", token):
+            continue  # hashes / variant counters
+        tokens.append(token)
+    return tokens
+
+
+def normalize_token(token: str) -> str:
+    """Collapse miner synonyms into one family name."""
+    if token in _MINER_TOKENS:
+        return "coinminer"
+    return token
+
+
+def family_of(report: AvReport,
+              min_votes: int = 2) -> Optional[str]:
+    """Plurality family across vendors; None when no token repeats."""
+    votes: Counter = Counter()
+    for label in report.labels():
+        seen_this_label = set()
+        for token in tokenize_label(label):
+            family = normalize_token(token)
+            if family not in seen_this_label:
+                votes[family] += 1
+                seen_this_label.add(family)
+    if not votes:
+        return None
+    family, count = votes.most_common(1)[0]
+    if count < min_votes:
+        return None
+    return family
+
+
+def family_distribution(reports: Iterable[AvReport],
+                        min_votes: int = 2) -> Dict[str, int]:
+    """Family -> sample count over a corpus slice."""
+    counts: Counter = Counter()
+    for report in reports:
+        family = family_of(report, min_votes=min_votes)
+        if family is not None:
+            counts[family] += 1
+    return dict(counts.most_common())

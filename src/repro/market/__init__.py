@@ -1,0 +1,16 @@
+"""Exchange-rate substrate.
+
+The paper converts XMR payments to USD with the historical rate of the
+payment date when available and a flat 54 USD/XMR otherwise (§III-D).
+This package provides a synthetic daily rate series shaped like the real
+2014-2019 XMR/USD curve (sub-dollar through 2016, the late-2017 rally to
+~470, the 2018 decay to ~45), plus series for BTC and ETN.
+"""
+
+from repro.market.rates import (
+    AVERAGE_XMR_USD,
+    ExchangeRates,
+    RATES,
+)
+
+__all__ = ["AVERAGE_XMR_USD", "ExchangeRates", "RATES"]

@@ -1,0 +1,123 @@
+"""Synthetic daily exchange rates for the simulated coins.
+
+Anchor points follow the real public price history closely enough that
+USD figures land in the paper's ballpark (e.g. campaigns that mined
+through the January 2018 peak show the XMR-vs-USD divergence visible in
+Table VIII).  Rates between anchors are log-linearly interpolated, with
+a small deterministic daily wobble so no two days are identical.
+"""
+
+import bisect
+import datetime
+import hashlib
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.simtime import Date
+
+#: Paper's fallback rate when a payment has no dated price (§III-D).
+AVERAGE_XMR_USD = 54.0
+
+_Anchors = List[Tuple[Date, float]]
+
+_XMR_ANCHORS: _Anchors = [
+    (datetime.date(2014, 6, 1), 2.5),
+    (datetime.date(2015, 1, 1), 0.5),
+    (datetime.date(2015, 8, 1), 0.55),
+    (datetime.date(2016, 1, 1), 0.5),
+    (datetime.date(2016, 9, 1), 10.0),
+    (datetime.date(2017, 1, 1), 14.0),
+    (datetime.date(2017, 8, 1), 50.0),
+    (datetime.date(2017, 12, 1), 200.0),
+    (datetime.date(2018, 1, 7), 470.0),
+    (datetime.date(2018, 4, 6), 175.0),
+    (datetime.date(2018, 7, 1), 140.0),
+    (datetime.date(2018, 10, 18), 105.0),
+    (datetime.date(2018, 12, 15), 45.0),
+    (datetime.date(2019, 3, 9), 50.0),
+    (datetime.date(2019, 4, 30), 65.0),
+]
+
+_BTC_ANCHORS: _Anchors = [
+    (datetime.date(2010, 7, 1), 0.06),
+    (datetime.date(2011, 6, 1), 18.0),
+    (datetime.date(2012, 1, 1), 5.5),
+    (datetime.date(2013, 4, 1), 120.0),
+    (datetime.date(2013, 12, 1), 1000.0),
+    (datetime.date(2014, 6, 1), 620.0),
+    (datetime.date(2015, 1, 1), 250.0),
+    (datetime.date(2016, 6, 1), 600.0),
+    (datetime.date(2017, 6, 1), 2600.0),
+    (datetime.date(2017, 12, 17), 19000.0),
+    (datetime.date(2018, 6, 1), 7000.0),
+    (datetime.date(2018, 12, 15), 3200.0),
+    (datetime.date(2019, 4, 30), 5200.0),
+]
+
+_ETN_ANCHORS: _Anchors = [
+    (datetime.date(2017, 11, 1), 0.05),
+    (datetime.date(2018, 1, 7), 0.16),
+    (datetime.date(2018, 7, 1), 0.012),
+    (datetime.date(2019, 4, 30), 0.007),
+]
+
+
+class ExchangeRates:
+    """Daily USD rate lookup for one coin."""
+
+    def __init__(self, ticker: str, anchors: _Anchors,
+                 fallback: Optional[float] = None, wobble: float = 0.03) -> None:
+        if not anchors:
+            raise ValueError("need at least one anchor")
+        self.ticker = ticker
+        self._anchors = sorted(anchors)
+        self._dates = [d for d, _ in self._anchors]
+        self._fallback = fallback
+        self._wobble = wobble
+
+    @property
+    def first_date(self) -> Date:
+        return self._dates[0]
+
+    def rate(self, when: Date) -> Optional[float]:
+        """USD per coin at ``when``; None before the coin existed."""
+        if when < self._dates[0]:
+            return None
+        if when >= self._dates[-1]:
+            base = self._anchors[-1][1]
+        else:
+            idx = bisect.bisect_right(self._dates, when)
+            d0, r0 = self._anchors[idx - 1]
+            d1, r1 = self._anchors[idx]
+            span = (d1 - d0).days or 1
+            frac = (when - d0).days / span
+            base = math.exp(math.log(r0) + frac * (math.log(r1) - math.log(r0)))
+        return base * self._daily_wobble(when)
+
+    def _daily_wobble(self, when: Date) -> float:
+        """Deterministic +-wobble% factor so the series is not smooth."""
+        digest = hashlib.sha256(
+            f"{self.ticker}:{when.isoformat()}".encode("ascii")
+        ).digest()
+        unit = digest[0] / 255.0 * 2.0 - 1.0
+        return 1.0 + unit * self._wobble
+
+    def to_usd(self, amount: float, when: Optional[Date]) -> float:
+        """Convert ``amount`` coins to USD, with the paper's fallback.
+
+        A dated payment uses that day's rate; an undated one (or a date
+        before the price series starts) uses the fallback when one is
+        configured, else 0.
+        """
+        rate = self.rate(when) if when is not None else None
+        if rate is None:
+            rate = self._fallback or 0.0
+        return amount * rate
+
+
+#: Shared rate tables keyed by ticker.
+RATES: Dict[str, ExchangeRates] = {
+    "XMR": ExchangeRates("XMR", _XMR_ANCHORS, fallback=AVERAGE_XMR_USD),
+    "BTC": ExchangeRates("BTC", _BTC_ANCHORS),
+    "ETN": ExchangeRates("ETN", _ETN_ANCHORS),
+}

@@ -1,0 +1,29 @@
+"""Network substrate: DNS, passive DNS history, IPs and flow records.
+
+Reproduces the network-facing pieces of the paper's methodology:
+
+* a resolver with A and CNAME records, so campaigns can hide mining
+  pools behind domain aliases (the Freebuf ``xt.freebuf.info`` trick);
+* a passive-DNS history service (the ThreatCrowd analog the paper uses
+  to recover CNAMEs that have since changed, §III-E);
+* flow records as emitted by the sandbox network capture.
+"""
+
+from repro.netsim.dns import (
+    DnsRecord,
+    DnsZone,
+    PassiveDns,
+    Resolver,
+)
+from repro.netsim.flows import FlowRecord, FlowLog
+from repro.netsim.ipspace import IpAllocator
+
+__all__ = [
+    "DnsRecord",
+    "DnsZone",
+    "PassiveDns",
+    "Resolver",
+    "FlowRecord",
+    "FlowLog",
+    "IpAllocator",
+]

@@ -1,0 +1,75 @@
+"""Flow-capture interchange: JSONL serialisation of sandbox traffic.
+
+Sandbox network captures travel between tools as flow logs.  This
+module serialises :class:`~repro.netsim.flows.FlowLog` to JSON-lines
+(one flow per line) and parses them back, so captures can be archived
+with the exported dataset or fed to external analytics.
+"""
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.netsim.flows import FlowLog, FlowRecord
+
+PathLike = Union[str, Path]
+
+
+def flow_to_dict(flow: FlowRecord) -> dict:
+    """JSON-serialisable dictionary view of one flow."""
+    return {
+        "dst_host": flow.dst_host,
+        "dst_ip": flow.dst_ip,
+        "dst_port": flow.dst_port,
+        "protocol": flow.protocol,
+        "login": flow.login,
+        "password": flow.password,
+        "agent": flow.agent,
+        "payload_excerpt": flow.payload_excerpt,
+    }
+
+
+def flow_from_dict(data: dict) -> FlowRecord:
+    """Rebuild a FlowRecord from its JSON dictionary."""
+    return FlowRecord(
+        dst_host=data.get("dst_host", ""),
+        dst_ip=data.get("dst_ip", ""),
+        dst_port=int(data.get("dst_port", 0)),
+        protocol=data.get("protocol", "tcp"),
+        login=data.get("login"),
+        password=data.get("password"),
+        agent=data.get("agent"),
+        payload_excerpt=data.get("payload_excerpt", ""),
+    )
+
+
+def dump_flows(log: FlowLog, path: PathLike) -> int:
+    """Write one JSON object per flow; returns flows written."""
+    count = 0
+    with Path(path).open("w") as handle:
+        for flow in log:
+            handle.write(json.dumps(flow_to_dict(flow),
+                                    separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def load_flows(path: PathLike) -> FlowLog:
+    """Parse a JSONL capture back into a FlowLog."""
+    log = FlowLog()
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            log.record(flow_from_dict(json.loads(line)))
+    return log
+
+
+def merge_captures(captures: Iterable[FlowLog]) -> FlowLog:
+    """Concatenate several captures into one log."""
+    merged = FlowLog()
+    for capture in captures:
+        for flow in capture:
+            merged.record(flow)
+    return merged

@@ -1,0 +1,49 @@
+"""Deterministic IPv4 allocation for the simulated internet.
+
+Allocates addresses from documented/test prefixes so generated data can
+never collide with real-world infrastructure, while case-study fixtures
+(e.g. the USA-138 host 221.9.251.236 from the paper) can still be pinned
+explicitly.
+"""
+
+import ipaddress
+from typing import Dict
+
+from repro.common.rng import DeterministicRNG
+
+
+class IpAllocator:
+    """Hands out unique IPv4 addresses, optionally keyed by owner label."""
+
+    def __init__(self, rng: DeterministicRNG, base_net: str = "10.0.0.0/8") -> None:
+        self._rng = rng.substream("ipspace")
+        self._network = ipaddress.ip_network(base_net)
+        self._allocated: Dict[str, str] = {}
+        self._used: set = set()
+
+    def allocate(self, owner: str = "") -> str:
+        """Allocate a fresh address; the same owner always gets the same IP."""
+        if owner and owner in self._allocated:
+            return self._allocated[owner]
+        size = self._network.num_addresses
+        while True:
+            offset = self._rng.randint(1, size - 2)
+            ip = str(self._network[offset])
+            if ip not in self._used:
+                self._used.add(ip)
+                if owner:
+                    self._allocated[owner] = ip
+                return ip
+
+    def pin(self, owner: str, ip: str) -> str:
+        """Pin an explicit address (for paper case-study fixtures)."""
+        ipaddress.ip_address(ip)  # validate
+        self._allocated[owner] = ip
+        self._used.add(ip)
+        return ip
+
+    def owner_ip(self, owner: str) -> str:
+        """The address previously allocated/pinned for ``owner``."""
+        if owner not in self._allocated:
+            raise KeyError(f"no IP allocated for {owner!r}")
+        return self._allocated[owner]

@@ -1,0 +1,36 @@
+"""OSINT substrate: public indicators of compromise.
+
+Three public feeds the paper consumes:
+
+* **Known mining operations** (Photominer, Adylkuzz, Smominru, Xbooster,
+  Jenkins, Rocke) with their published IoCs — used as a *grouping*
+  feature (§III-E "Known mining campaigns");
+* **PPI botnets** (Virut, Ramnit, Nitol) — deliberately *not* used for
+  grouping (third-party infrastructure shared by unrelated customers),
+  only for post-aggregation enrichment;
+* the **donation-wallet whitelist** manually compiled from stock-tool
+  repositories (14 wallets), which prevents developer donation wallets
+  from gluing unrelated campaigns together.
+"""
+
+from repro.osint.feeds import (
+    KnownOperation,
+    OsintFeeds,
+    PPI_BOTNETS,
+    PpiBotnet,
+)
+from repro.osint.stock_tools import (
+    StockToolCatalog,
+    ToolBinary,
+    TOOL_FRAMEWORKS,
+)
+
+__all__ = [
+    "KnownOperation",
+    "OsintFeeds",
+    "PPI_BOTNETS",
+    "PpiBotnet",
+    "StockToolCatalog",
+    "ToolBinary",
+    "TOOL_FRAMEWORKS",
+]

@@ -1,0 +1,39 @@
+"""Mining-pool substrate (§III-D).
+
+Pools are where the paper's profit numbers come from: transparent pools
+publish per-wallet totals, payment histories and hashrates, which the
+authors polled for ten months.  This package implements:
+
+* :class:`MiningPool` — share accounting, payout scheduling, ban
+  policies, and the public stats API (with the transparency tiers the
+  paper encountered: full history, recent-window history, total-only,
+  and fully opaque minergate-style pools);
+* :class:`PoolDirectory` — the registry of well-known pools
+  (crypto-pool, dwarfpool, minexmr, ...) with their domains, mirroring
+  the public pool lists (moneropools.com) the paper uses to decide
+  whether a contacted host is a "known pool".
+"""
+
+from repro.pools.pool import (
+    BanPolicy,
+    MiningPool,
+    PoolConfig,
+    Transparency,
+    WalletStats,
+)
+from repro.pools.directory import (
+    KNOWN_POOLS,
+    PoolDirectory,
+    default_directory,
+)
+
+__all__ = [
+    "BanPolicy",
+    "MiningPool",
+    "PoolConfig",
+    "Transparency",
+    "WalletStats",
+    "KNOWN_POOLS",
+    "PoolDirectory",
+    "default_directory",
+]

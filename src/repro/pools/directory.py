@@ -1,0 +1,150 @@
+"""Registry of well-known mining pools (Table VII, Table XV).
+
+The directory plays two roles in the pipeline: (1) mapping contacted
+domains to known pools — the "is this a known pool?" check of §III-C —
+and (2) holding the live pool instances whose APIs the profit analysis
+queries.  Pool fees/thresholds are plausible defaults; transparency and
+ban behaviour follow what the paper reports per pool.
+"""
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.pools.pool import BanPolicy, MiningPool, PoolConfig, Transparency
+
+#: Configurations for the pools named in the paper, ranked roughly by the
+#: popularity Table VII reports.  minexmr exposes historical hashrates
+#: (the paper notes this explicitly) and is 'remarkably cooperative';
+#: minergate is the opaque pool with 4,980 e-mail miners.
+KNOWN_POOLS: List[PoolConfig] = [
+    PoolConfig("crypto-pool", domains=("crypto-pool.fr", "xmr.crypto-pool.fr"),
+               fee=0.02, transparency=Transparency.FULL_HISTORY,
+               ban_policy=BanPolicy(cooperative=True, min_connections_to_ban=120)),
+    PoolConfig("dwarfpool", domains=("dwarfpool.com", "xmr-eu.dwarfpool.com",
+                                     "xmr-usa.dwarfpool.com"),
+               fee=0.015, transparency=Transparency.FULL_HISTORY,
+               ban_policy=BanPolicy(cooperative=False)),
+    PoolConfig("minexmr", domains=("minexmr.com", "pool.minexmr.com"),
+               fee=0.01, transparency=Transparency.FULL_HISTORY,
+               exposes_hashrate_history=True,
+               ban_policy=BanPolicy(cooperative=True, min_connections_to_ban=100)),
+    PoolConfig("poolto", domains=("poolto.be", "xmr.poolto.be"),
+               fee=0.01, transparency=Transparency.RECENT_WINDOW),
+    PoolConfig("prohash", domains=("prohash.net", "xmr.prohash.net"),
+               fee=0.01, transparency=Transparency.RECENT_WINDOW),
+    PoolConfig("nanopool", domains=("nanopool.org", "xmr-eu1.nanopool.org"),
+               fee=0.01, transparency=Transparency.FULL_HISTORY,
+               ban_policy=BanPolicy(cooperative=True, min_connections_to_ban=150)),
+    PoolConfig("monerohash", domains=("monerohash.com",),
+               fee=0.016, transparency=Transparency.FULL_HISTORY),
+    PoolConfig("ppxxmr", domains=("ppxxmr.com", "pool.ppxxmr.com"),
+               fee=0.01, transparency=Transparency.RECENT_WINDOW,
+               ban_policy=BanPolicy(cooperative=False)),
+    PoolConfig("supportxmr", domains=("supportxmr.com", "pool.supportxmr.com"),
+               fee=0.006, transparency=Transparency.FULL_HISTORY),
+    # The eight smaller transparent pools aggregated as "Others (8)".
+    PoolConfig("moneropool", domains=("moneropool.com",), fee=0.01,
+               transparency=Transparency.TOTALS_ONLY),
+    PoolConfig("minemonero", domains=("minemonero.pro",), fee=0.01,
+               transparency=Transparency.TOTALS_ONLY),
+    PoolConfig("xmrpool", domains=("xmrpool.eu",), fee=0.01,
+               transparency=Transparency.RECENT_WINDOW),
+    PoolConfig("moneroocean", domains=("moneroocean.stream",), fee=0.0,
+               transparency=Transparency.RECENT_WINDOW),
+    PoolConfig("viaxmr", domains=("viaxmr.com",), fee=0.01,
+               transparency=Transparency.TOTALS_ONLY),
+    PoolConfig("hashvault", domains=("hashvault.pro",), fee=0.009,
+               transparency=Transparency.RECENT_WINDOW),
+    PoolConfig("xmrnanopool", domains=("xmr.nanopool.io",), fee=0.01,
+               transparency=Transparency.TOTALS_ONLY),
+    PoolConfig("monerominers", domains=("monerominers.net",), fee=0.01,
+               transparency=Transparency.TOTALS_ONLY),
+    # Opaque pools: no public wallet statistics at all.
+    PoolConfig("minergate", domains=("minergate.com", "pool.minergate.com"),
+               fee=0.01, transparency=Transparency.OPAQUE,
+               ban_policy=BanPolicy(cooperative=False)),
+    # Bitcoin-era pools (for the BTC side of Table IV / the 2014 baseline).
+    PoolConfig("50btc", coin="BTC", domains=("50btc.com",), fee=0.03,
+               transparency=Transparency.TOTALS_ONLY),
+    PoolConfig("slushpool", coin="BTC", domains=("slushpool.com",), fee=0.02,
+               transparency=Transparency.TOTALS_ONLY),
+    PoolConfig("btcdig", coin="BTC", domains=("btcdig.com",), fee=0.02,
+               transparency=Transparency.TOTALS_ONLY),
+    PoolConfig("f2pool", coin="BTC", domains=("f2pool.com",), fee=0.025,
+               transparency=Transparency.TOTALS_ONLY),
+    PoolConfig("suprnova", coin="BTC", domains=("suprnova.cc",), fee=0.01,
+               transparency=Transparency.TOTALS_ONLY),
+    # Electroneum pool for the USA-138 case study.
+    PoolConfig("etn-pool", coin="ETN", domains=("pool.electroneum.space",),
+               fee=0.01, transparency=Transparency.RECENT_WINDOW),
+]
+
+
+class PoolDirectory:
+    """Live pool instances plus domain -> pool resolution."""
+
+    def __init__(self, configs: Optional[Iterable[PoolConfig]] = None) -> None:
+        self._pools: Dict[str, MiningPool] = {}
+        self._by_domain: Dict[str, str] = {}
+        for config in (configs if configs is not None else KNOWN_POOLS):
+            self.register(MiningPool(config))
+
+    def register(self, pool: MiningPool) -> None:
+        """Add a pool and index its domains (duplicate names rejected)."""
+        name = pool.config.name
+        if name in self._pools:
+            raise ValueError(f"duplicate pool name: {name}")
+        self._pools[name] = pool
+        for domain in pool.config.domains:
+            self._by_domain[domain.lower()] = name
+
+    def get(self, name: str) -> MiningPool:
+        """The pool named ``name`` (KeyError when unknown)."""
+        return self._pools[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._pools
+
+    def pools(self) -> List[MiningPool]:
+        """Every registered pool instance."""
+        return list(self._pools.values())
+
+    def names(self) -> List[str]:
+        """Every registered pool name."""
+        return list(self._pools)
+
+    def pool_for_domain(self, domain: str) -> Optional[MiningPool]:
+        """Resolve a contacted domain to a known pool, suffix-aware.
+
+        ``xmr-eu.dwarfpool.com`` and ``dwarfpool.com`` both resolve to
+        dwarfpool, mirroring the paper's pool-domain normalisation
+        (POOL vs URLPOOL in Table I).
+        """
+        domain = domain.lower()
+        if domain in self._by_domain:
+            return self._pools[self._by_domain[domain]]
+        parts = domain.split(".")
+        for start in range(1, len(parts) - 1):
+            suffix = ".".join(parts[start:])
+            if suffix in self._by_domain:
+                return self._pools[self._by_domain[suffix]]
+        # Also accept anything under a registered registrable domain.
+        for known_domain, name in self._by_domain.items():
+            if domain.endswith("." + known_domain):
+                return self._pools[name]
+        return None
+
+    def is_known_pool_domain(self, domain: str) -> bool:
+        """Whether a domain resolves to a registered pool."""
+        return self.pool_for_domain(domain) is not None
+
+    def transparent_pools(self) -> List[MiningPool]:
+        """Pools with any public per-wallet statistics (non-opaque)."""
+        return [
+            pool for pool in self._pools.values()
+            if pool.config.transparency is not Transparency.OPAQUE
+        ]
+
+
+def default_directory() -> PoolDirectory:
+    """Fresh directory with all known pools (each call isolates state)."""
+    return PoolDirectory()

@@ -1,0 +1,19 @@
+"""Plain-text renderers for the exhibit data structures."""
+
+from repro.reporting.render import (
+    format_table,
+    render_fig1,
+    render_table4,
+    render_table7,
+    render_table8,
+    render_table11,
+)
+
+__all__ = [
+    "format_table",
+    "render_fig1",
+    "render_table4",
+    "render_table7",
+    "render_table8",
+    "render_table11",
+]

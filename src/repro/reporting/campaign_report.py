@@ -1,0 +1,142 @@
+"""Per-campaign investigation reports (automating the §V writeups).
+
+Given one recovered campaign, produce the markdown dossier an analyst
+would assemble: identity and earnings, infrastructure (aliases, hosts,
+proxies), attribution (stock tools, PPI, known operations), payment
+timeline with fork/ban annotations, and the grouping evidence that
+holds the campaign together.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.analysis.exhibits import (
+    fig7_payment_timeline,
+    monthly_payment_series,
+)
+from repro.analysis.graphs import campaign_graph, structure_metrics
+from repro.common.simtime import POW_FORK_DATES
+from repro.core.aggregation import Campaign
+from repro.core.pipeline import MeasurementResult
+
+
+def _fmt_xmr(value: float) -> str:
+    return f"{value:,.1f} XMR"
+
+
+def _fork_for_month(month: str) -> Optional[str]:
+    for fork in POW_FORK_DATES:
+        if fork.strftime("%Y-%m") == month:
+            return fork.isoformat()
+    return None
+
+
+def render_campaign_report(result: MeasurementResult,
+                           campaign: Campaign,
+                           title: Optional[str] = None) -> str:
+    """Render the markdown dossier for one campaign."""
+    lines: List[str] = []
+    name = title or f"Campaign C#{campaign.campaign_id}"
+    lines.append(f"# {name}")
+    lines.append("")
+
+    # -- identity ------------------------------------------------------
+    lines.append("## Identity")
+    lines.append(f"- samples: {campaign.num_samples} "
+                 f"({len(campaign.miner_records)} miners)")
+    lines.append(f"- identifiers: {campaign.num_wallets} "
+                 f"({', '.join(sorted(campaign.coins)) or 'none'})")
+    for identifier in campaign.identifiers[:10]:
+        lines.append(f"  - `{identifier[:16]}...`")
+    period = "unknown"
+    if campaign.first_seen:
+        end = ("active" if campaign.active
+               else (campaign.last_share.isoformat()
+                     if campaign.last_share else "?"))
+        period = f"{campaign.first_seen.isoformat()} to {end}"
+    lines.append(f"- activity period: {period}")
+    lines.append(f"- earnings: {_fmt_xmr(campaign.total_xmr)} "
+                 f"(~${campaign.total_usd:,.0f})")
+    lines.append("")
+
+    # -- infrastructure --------------------------------------------------
+    lines.append("## Infrastructure")
+    lines.append(f"- pools used: {', '.join(campaign.pools_used) or '-'}")
+    if campaign.cname_aliases:
+        lines.append("- domain aliases fronting pools:")
+        for alias in sorted(campaign.cname_aliases):
+            lines.append(f"  - `{alias}`")
+    if campaign.proxies:
+        lines.append(f"- mining proxies: "
+                     f"{', '.join(sorted(campaign.proxies))}")
+    if campaign.hosting_ips:
+        lines.append(f"- malware hosts (by IP): "
+                     f"{', '.join(sorted(campaign.hosting_ips))}")
+    if campaign.hosting_urls:
+        lines.append("- hosting URLs (sample):")
+        for url in sorted(campaign.hosting_urls)[:5]:
+            lines.append(f"  - `{url}`")
+    lines.append("")
+
+    # -- attribution -------------------------------------------------------
+    lines.append("## Attribution")
+    lines.append(f"- known operations: "
+                 f"{', '.join(campaign.operations) or 'none (novel)'}")
+    lines.append(f"- PPI botnets: "
+                 f"{', '.join(campaign.ppi_botnets) or 'none observed'}")
+    if campaign.stock_tool_matches:
+        lines.append("- stock mining tools:")
+        for framework, version, sha in campaign.stock_tool_matches[:8]:
+            lines.append(f"  - {framework} {version} (`{sha[:12]}...`)")
+    else:
+        lines.append("- stock mining tools: none attributed")
+    if campaign.packers:
+        packers = ", ".join(f"{name} x{count}"
+                            for name, count in
+                            sorted(campaign.packers.items(),
+                                   key=lambda kv: -kv[1]))
+        lines.append(f"- packers: {packers}"
+                     + (" (campaign-level obfuscation)"
+                        if campaign.obfuscated else ""))
+    lines.append("")
+
+    # -- payments ------------------------------------------------------------
+    timeline = fig7_payment_timeline(result, campaign)
+    if timeline:
+        lines.append("## Payment timeline (XMR per month)")
+        totals: Dict[str, float] = {}
+        for series in monthly_payment_series(timeline).values():
+            for month, amount in series.items():
+                totals[month] = totals.get(month, 0.0) + amount
+        peak = max(totals.values()) if totals else 0.0
+        for month in sorted(totals):
+            bar = "#" * max(1, int(totals[month] / peak * 30)) if peak \
+                else ""
+            annotation = ""
+            fork = _fork_for_month(month)
+            if fork:
+                annotation = f"  <- PoW fork {fork}"
+            lines.append(f"- {month}: {totals[month]:>10.1f}  "
+                         f"{bar}{annotation}")
+        lines.append("")
+
+    # -- structure --------------------------------------------------------------
+    metrics = structure_metrics(campaign_graph(campaign))
+    lines.append("## Grouping evidence")
+    lines.append(f"- graph: {metrics['nodes']} nodes, "
+                 f"{metrics['edges']} edges")
+    for key in sorted(metrics):
+        if key.startswith("n_"):
+            lines.append(f"  - {key[2:]}: {int(metrics[key])}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_top_campaign_reports(result: MeasurementResult,
+                                top: int = 3) -> str:
+    """Dossiers for the highest-earning campaigns, concatenated."""
+    campaigns = sorted((c for c in result.campaigns if c.total_xmr > 0),
+                       key=lambda c: -c.total_xmr)[:top]
+    return "\n---\n\n".join(
+        render_campaign_report(result, campaign)
+        for campaign in campaigns
+    )

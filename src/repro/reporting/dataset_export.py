@@ -1,0 +1,130 @@
+"""Dataset export in the format of the paper's released repository.
+
+The authors publish their measurement data (per-sample records shaped
+like Table I, per-wallet records shaped like Table II, and per-campaign
+summaries).  This module writes the same three artifacts from a
+:class:`~repro.core.pipeline.MeasurementResult` so downstream tooling
+built for the original release can consume reproduction output.
+"""
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.pipeline import MeasurementResult
+
+_SAMPLE_FIELDS = [
+    "SHA256", "POOL", "URLPOOL", "USER", "PASS", "NTHREADS", "AGENT",
+    "DSTIP", "DSTPORT", "DNSRR", "SOURCE", "FS", "ITW_URL", "PACKER",
+    "POSITIVES", "TYPE",
+]
+
+_WALLET_FIELDS = [
+    "POOL", "USER", "HASHES", "HASHRATE", "LAST_SHARE", "BALANCE",
+    "TOTAL_PAID", "NUM_PAYMENTS", "DATE_QUERY", "USD",
+]
+
+
+def export_samples_csv(result: MeasurementResult,
+                       path: Union[str, Path]) -> int:
+    """Write the Table I per-sample dataset; returns rows written."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_SAMPLE_FIELDS)
+        writer.writeheader()
+        for record in result.records:
+            writer.writerow({
+                "SHA256": record.sha256,
+                "POOL": record.pool or "",
+                "URLPOOL": record.url_pool or "",
+                "USER": record.user or "",
+                "PASS": record.password or "",
+                "NTHREADS": record.nthreads if record.nthreads else "",
+                "AGENT": record.agent or "",
+                "DSTIP": record.dst_ip or "",
+                "DSTPORT": record.dst_port if record.dst_port else "",
+                "DNSRR": "|".join(record.dns_rr),
+                "SOURCE": record.source,
+                "FS": record.first_seen.isoformat()
+                if record.first_seen else "",
+                "ITW_URL": "|".join(record.itw_urls),
+                "PACKER": record.packer or "",
+                "POSITIVES": record.positives,
+                "TYPE": record.type,
+            })
+            rows += 1
+    return rows
+
+
+def export_wallets_csv(result: MeasurementResult,
+                       path: Union[str, Path]) -> int:
+    """Write the Table II per-wallet/per-pool dataset."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_WALLET_FIELDS)
+        writer.writeheader()
+        for profile in result.profiles.values():
+            for record in profile.records:
+                writer.writerow({
+                    "POOL": record.pool,
+                    "USER": record.user,
+                    "HASHES": f"{record.hashes:.0f}",
+                    "HASHRATE": f"{record.hashrate:.2f}",
+                    "LAST_SHARE": record.last_share.isoformat()
+                    if record.last_share else "",
+                    "BALANCE": f"{record.balance:.6f}",
+                    "TOTAL_PAID": f"{record.total_paid:.6f}",
+                    "NUM_PAYMENTS": record.num_payments,
+                    "DATE_QUERY": record.date_query.isoformat()
+                    if record.date_query else "",
+                    "USD": f"{record.usd:.2f}",
+                })
+                rows += 1
+    return rows
+
+
+def export_campaigns_json(result: MeasurementResult,
+                          path: Union[str, Path]) -> int:
+    """Write per-campaign summaries (the release's campaign index)."""
+    path = Path(path)
+    campaigns: List[Dict] = []
+    for campaign in result.campaigns:
+        campaigns.append({
+            "campaign_id": campaign.campaign_id,
+            "num_samples": campaign.num_samples,
+            "num_wallets": campaign.num_wallets,
+            "coins": sorted(campaign.coins),
+            "total_xmr": round(campaign.total_xmr, 6),
+            "total_usd": round(campaign.total_usd, 2),
+            "pools": campaign.pools_used,
+            "cname_aliases": sorted(campaign.cname_aliases),
+            "proxies": sorted(campaign.proxies),
+            "operations": sorted(campaign.operations),
+            "ppi_botnets": campaign.ppi_botnets,
+            "stock_tools": campaign.stock_tools,
+            "obfuscated": campaign.obfuscated,
+            "first_seen": campaign.first_seen.isoformat()
+            if campaign.first_seen else None,
+            "last_share": campaign.last_share.isoformat()
+            if campaign.last_share else None,
+            "active": campaign.active,
+        })
+    with path.open("w") as handle:
+        json.dump({"campaigns": campaigns}, handle, indent=1)
+    return len(campaigns)
+
+
+def export_all(result: MeasurementResult,
+               directory: Union[str, Path]) -> Dict[str, int]:
+    """Write the full release bundle into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return {
+        "samples": export_samples_csv(result, directory / "samples.csv"),
+        "wallets": export_wallets_csv(result, directory / "wallets.csv"),
+        "campaigns": export_campaigns_json(
+            result, directory / "campaigns.json"),
+    }

@@ -1,0 +1,97 @@
+"""Figure-series export: CSV data behind each plotted figure.
+
+The text renderers print tables; figures (CDFs, time series, trend
+lines) are better consumed by external plotting tools.  Each exporter
+writes one tidy CSV whose columns match the figure's axes, so any
+plotting stack (matplotlib, gnuplot, a spreadsheet) can regenerate the
+paper's graphics from reproduction data.
+"""
+
+import csv
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.analysis.exhibits import (
+    fig1_forum_trends,
+    fig4_cdf,
+    fig5_pools_per_campaign,
+)
+from repro.analysis.timeline import monthly_ecosystem_series
+from repro.core.pipeline import MeasurementResult
+from repro.forums.corpus import ForumCorpus
+
+PathLike = Union[str, Path]
+
+
+def export_fig1_series(corpus: ForumCorpus, path: PathLike) -> int:
+    """Fig. 1: year, coin, share-of-threads rows."""
+    shares = fig1_forum_trends(corpus)
+    rows = 0
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["year", "coin", "share"])
+        for year, per_coin in sorted(shares.items()):
+            for coin, share in sorted(per_coin.items()):
+                writer.writerow([year, coin, f"{share:.4f}"])
+                rows += 1
+    return rows
+
+
+def export_fig4_series(result: MeasurementResult, path: PathLike) -> int:
+    """Fig. 4: series, value, cumulative-fraction rows (CDF points)."""
+    cdf = fig4_cdf(result)
+    rows = 0
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "value", "cdf"])
+        for series, values in cdf.items():
+            n = len(values)
+            for index, value in enumerate(values, start=1):
+                writer.writerow([series, f"{value:.4f}",
+                                 f"{index / n:.4f}"])
+                rows += 1
+    return rows
+
+
+def export_fig5_series(result: MeasurementResult, path: PathLike) -> int:
+    """Fig. 5: earnings-band, pool-count, campaign-count rows."""
+    histograms = fig5_pools_per_campaign(result)
+    rows = 0
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["band", "num_pools", "campaigns"])
+        for band, histogram in histograms.items():
+            for num_pools, count in sorted(histogram.items()):
+                writer.writerow([band, num_pools, count])
+                rows += 1
+    return rows
+
+
+def export_monthly_series(result: MeasurementResult,
+                          path: PathLike) -> int:
+    """Ecosystem monthly series: month, xmr, usd, wallets rows."""
+    series = monthly_ecosystem_series(result)
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["month", "xmr_paid", "usd_paid", "wallets_paid"])
+        for point in series:
+            writer.writerow([point.month, f"{point.xmr_paid:.4f}",
+                             f"{point.usd_paid:.2f}",
+                             point.wallets_paid])
+    return len(series)
+
+
+def export_all_figures(result: MeasurementResult,
+                       corpus: ForumCorpus,
+                       directory: PathLike) -> Dict[str, int]:
+    """Write every figure series into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return {
+        "fig1": export_fig1_series(corpus, directory / "fig1_forums.csv"),
+        "fig4": export_fig4_series(result, directory / "fig4_cdf.csv"),
+        "fig5": export_fig5_series(result,
+                                   directory / "fig5_pools.csv"),
+        "monthly": export_monthly_series(
+            result, directory / "monthly_series.csv"),
+    }

@@ -1,0 +1,106 @@
+"""Text-table rendering for benchmark/example output."""
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for idx, cell in enumerate(row):
+            if idx < len(widths):
+                widths[idx] = max(widths[idx], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_fig1(shares: Dict[int, Dict[str, float]]) -> str:
+    """Text rendering of the Fig. 1 per-coin forum shares."""
+    coins = sorted({c for year in shares.values() for c in year})
+    rows = []
+    for year, per_coin in sorted(shares.items()):
+        rows.append([year] + [f"{per_coin.get(c, 0.0):.2f}" for c in coins])
+    return format_table(["year"] + coins, rows,
+                        title="Fig 1: forum mining-thread share per coin")
+
+
+def render_table4(data: Dict[str, object]) -> str:
+    """Text rendering of Table IV (currencies and samples/year)."""
+    rows = [[coin, count] for coin, count
+            in data["campaigns_per_currency"].items()]
+    rows.append(["Email", data["email_campaigns"]])
+    rows.append(["Unknown", data["unknown_campaigns"]])
+    rows.append(["Mixed", data["multi_currency_campaigns"]])
+    left = format_table(["identifier", "#campaigns"], rows,
+                        title="Table IV (left): campaigns per currency")
+    year_rows = []
+    years = sorted(set(data["samples_per_year"]["BTC"])
+                   | set(data["samples_per_year"]["XMR"]))
+    for year in years:
+        year_rows.append([
+            year,
+            data["samples_per_year"]["BTC"].get(year, 0),
+            data["samples_per_year"]["XMR"].get(year, 0),
+        ])
+    right = format_table(["year", "BTC", "XMR"], year_rows,
+                         title="Table IV (right): samples per year")
+    return left + "\n\n" + right
+
+
+def render_table7(rows: List[Dict[str, object]]) -> str:
+    """Text rendering of Table VII (pool popularity)."""
+    return format_table(
+        ["pool", "XMR mined", "#wallets", "USD"],
+        [[r["pool"], f"{r['xmr_mined']:.0f}", r["wallets"],
+          f"{r['usd']:.0f}"] for r in rows],
+        title="Table VII: pool popularity among criminals",
+    )
+
+
+def render_table8(data: Dict[str, object]) -> str:
+    """Text rendering of Table VIII plus the totals footer."""
+    rows = [[r["campaign"], r["samples"], r["wallets"], r["start"],
+             r["end"], f"{r['xmr']:.0f}", f"{r['usd']/1e6:.2f}M"]
+            for r in data["rows"]]
+    table = format_table(
+        ["campaign", "#S", "#W", "start", "end", "XMR", "USD"],
+        rows, title="Table VIII: top campaigns by XMR mined")
+    summary = (
+        f"\nALL-{data['campaigns_with_payments']}: "
+        f"{data['total_xmr']:.0f} XMR, "
+        f"{data['total_usd']/1e6:.1f}M USD; "
+        f"top-10 share {data['top_share']*100:.1f}%, "
+        f"top-1 share {data['top1_share']*100:.1f}%"
+    )
+    return table + summary
+
+
+def render_table11(columns: Dict[str, Dict[str, float]]) -> str:
+    """Text rendering of Table XI (features by profit band)."""
+    feature_keys = ["#campaigns", "ppi", "stock_tool", "both",
+                    "obfuscation", "cnames", "proxies",
+                    "active_after_apr18", "active_after_oct18",
+                    "active_after_mar19"]
+    bands = list(columns)
+    rows = []
+    for key in feature_keys:
+        row = [key]
+        for band in bands:
+            value = columns[band].get(key, 0.0)
+            if key == "#campaigns":
+                row.append(str(int(value)))
+            else:
+                row.append(f"{value*100:.1f}%")
+        rows.append(row)
+    return format_table(["feature"] + bands, rows,
+                        title="Table XI: infrastructure by profit band")

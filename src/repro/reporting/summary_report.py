@@ -1,0 +1,148 @@
+"""Full measurement report: every exhibit in one markdown document.
+
+Assembles the dataset funnel, currency demographics, pool popularity,
+top campaigns, infrastructure breakdown, case-study dossiers and the
+headline figures into a single report structured like the paper's
+evaluation section (§IV-§V).  ``python -m repro.cli fullreport`` writes
+it to disk.
+"""
+
+from typing import List
+
+from repro.analysis import (
+    fig1_forum_trends,
+    headline_monero_fraction,
+    table3_dataset,
+    table4_currencies,
+    table7_pool_popularity,
+    table8_top_campaigns,
+    table9_stock_tools,
+    table10_packers,
+    table11_infrastructure,
+    table15_email_pools,
+)
+from repro.analysis.exhibits import fork_dieoff, multi_pool_share
+from repro.analysis.validation import aggregation_quality
+from repro.core.pipeline import MeasurementResult
+from repro.corpus.model import SyntheticWorld
+from repro.reporting.campaign_report import render_campaign_report
+from repro.reporting.render import (
+    format_table,
+    render_fig1,
+    render_table4,
+    render_table7,
+    render_table8,
+    render_table11,
+)
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def render_measurement_report(world: SyntheticWorld,
+                              result: MeasurementResult,
+                              title: str = "Crypto-Mining Malware "
+                                           "Measurement Report") -> str:
+    """Render the complete markdown measurement report."""
+    parts: List[str] = [f"# {title}", ""]
+
+    # -- dataset -----------------------------------------------------------
+    stats = result.stats
+    parts.append("## Dataset (Table III)")
+    parts.append("")
+    parts.append(f"- collected: {stats.collected} samples")
+    parts.append(f"- executables passing the magic check: "
+                 f"{stats.executables}")
+    parts.append(f"- kept after sanity checks: {stats.miners} miners + "
+                 f"{stats.ancillaries} ancillaries")
+    parts.append(f"- wallet-exception admissions: "
+                 f"{stats.wallet_exception_hits}")
+    rows = table3_dataset(result)
+    parts.append("")
+    parts.append("```")
+    parts.append(format_table(["category", "count"],
+                              [[k, v] for k, v in rows.items()]))
+    parts.append("```")
+    parts.append("")
+
+    # -- underground economy -------------------------------------------------
+    if world.forum_corpus is not None:
+        parts.append(_section(
+            "Underground forums (Fig. 1)",
+            render_fig1(fig1_forum_trends(world.forum_corpus))))
+
+    # -- currencies -----------------------------------------------------------
+    parts.append(_section("Currencies (Table IV)",
+                          render_table4(table4_currencies(result))))
+
+    # -- pools ------------------------------------------------------------------
+    parts.append(_section("Mining pools (Table VII)",
+                          render_table7(table7_pool_popularity(result))))
+    share = multi_pool_share(result, 1000.0)
+    parts.append(f"Campaigns earning over 1K XMR using several pools: "
+                 f"{share*100:.0f}% (paper: 97%).")
+    emails = table15_email_pools(result)
+    if emails:
+        top_email_pool = max(emails, key=emails.get)
+        parts.append(f"E-mail identifiers concentrate at "
+                     f"{top_email_pool} ({emails[top_email_pool]} of "
+                     f"{sum(emails.values())}), which publishes no "
+                     "per-wallet statistics.")
+    parts.append("")
+
+    # -- campaigns ---------------------------------------------------------------
+    parts.append(_section("Top campaigns (Table VIII)",
+                          render_table8(table8_top_campaigns(result))))
+    parts.append(_section(
+        "Infrastructure by profit band (Table XI)",
+        render_table11(table11_infrastructure(result))))
+    dieoff = fork_dieoff(result)
+    parts.append("PoW-fork die-off: "
+                 + " / ".join(f"{d*100:.0f}%" for d in dieoff)
+                 + " (paper: 72% / 89% / 96%).")
+    parts.append("")
+
+    # -- tooling -------------------------------------------------------------------
+    tool_rows = table9_stock_tools(result)
+    if tool_rows:
+        parts.append(_section(
+            "Stock mining tools (Table IX)",
+            format_table(["tool", "#instances", "#versions", "#campaigns"],
+                         [[r["tool"], r["instances"], r["versions"],
+                           r["campaigns"]] for r in tool_rows])))
+    packer_rows = table10_packers(result)
+    parts.append(_section(
+        "Packers (Table X)",
+        format_table(["packer", "#samples"],
+                     [[k, v] for k, v in packer_rows.items()])))
+
+    # -- headline ----------------------------------------------------------------------
+    headline = headline_monero_fraction(result)
+    parts.append("## Headline (§IV-D)")
+    parts.append("")
+    parts.append(f"- illicit XMR observed: {headline['total_xmr']:,.0f}")
+    parts.append(f"- share of circulating supply: "
+                 f"{headline['fraction']*100:.2f}%")
+    parts.append(f"- estimated value: ${headline['total_usd']:,.0f}")
+    parts.append("")
+
+    # -- methodology quality ---------------------------------------------------------------
+    scores = aggregation_quality(world, result)
+    parts.append("## Aggregation quality vs ground truth")
+    parts.append("")
+    parts.append(f"- pairwise precision: {scores.precision:.3f}")
+    parts.append(f"- pairwise recall: {scores.recall:.3f}")
+    parts.append(f"- campaigns: {scores.n_predicted_clusters} recovered "
+                 f"vs {scores.n_true_clusters} true")
+    parts.append("")
+
+    # -- case studies ----------------------------------------------------------------------
+    for truth in world.ground_truth:
+        if truth.label is None:
+            continue
+        campaign = result.campaign_for_wallet(truth.identifiers[0])
+        if campaign is not None:
+            parts.append(render_campaign_report(result, campaign,
+                                                title=truth.label))
+    return "\n".join(parts)

@@ -1,0 +1,45 @@
+"""Dynamic-analysis substrate: behaviour scripts and a sandbox emulator.
+
+Real malware carries behaviour; our synthetic samples carry an explicit
+*behaviour script* (drop files, spawn miner processes with command
+lines, resolve pool domains, open Stratum connections, evade).  The
+:class:`Sandbox` executes a script under an instrumented environment and
+produces a :class:`SandboxReport` with exactly the artifact classes the
+paper's dynamic analysis consumes (§III-C): process command lines,
+dropped files, DNS resolutions and network flows.
+
+Evasion is modelled faithfully: execution-stalling code can outlast the
+sandbox timeout, sandbox fingerprinting can abort the payload, and idle
+mining simply succeeds in a sandbox (no user input ever arrives) — all
+three behaviours the paper discusses in §II and §VI.
+"""
+
+from repro.sandbox.behavior import (
+    Action,
+    BehaviorScript,
+    CheckIdle,
+    CheckSandbox,
+    DnsQuery,
+    DropFile,
+    HttpGet,
+    SpawnProcess,
+    Stall,
+    StratumSession,
+)
+from repro.sandbox.emulator import Sandbox, SandboxEnvironment, SandboxReport
+
+__all__ = [
+    "Action",
+    "BehaviorScript",
+    "CheckIdle",
+    "CheckSandbox",
+    "DnsQuery",
+    "DropFile",
+    "HttpGet",
+    "SpawnProcess",
+    "Stall",
+    "StratumSession",
+    "Sandbox",
+    "SandboxEnvironment",
+    "SandboxReport",
+]

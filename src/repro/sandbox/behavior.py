@@ -1,0 +1,119 @@
+"""Behaviour scripts: the dynamic side of a synthetic sample.
+
+A script is an ordered list of actions.  The corpus generator authors
+these to match each actor's tradecraft (dropper chains, stock-tool
+invocations, proxy connections, evasion), and the sandbox executes them.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+class Action:
+    """Base class for behaviour actions (marker only)."""
+
+    duration_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class SpawnProcess(Action):
+    """Start a process with a full command line (e.g. invoking xmrig)."""
+
+    image: str
+    cmdline: str
+    duration_s: float = 0.5
+
+
+@dataclass(frozen=True)
+class DropFile(Action):
+    """Write a file to disk; ``sha256`` links it to another sample."""
+
+    filename: str
+    sha256: str
+    duration_s: float = 0.2
+
+
+@dataclass(frozen=True)
+class DnsQuery(Action):
+    """Resolve a domain (recorded even when resolution fails)."""
+
+    domain: str
+    duration_s: float = 0.1
+
+
+@dataclass(frozen=True)
+class HttpGet(Action):
+    """Fetch a URL (droppers downloading payloads or stock tools)."""
+
+    url: str
+    duration_s: float = 1.0
+
+
+@dataclass(frozen=True)
+class StratumSession(Action):
+    """Open a Stratum mining connection and authenticate."""
+
+    host: str                 # domain or raw IP
+    port: int
+    login: str
+    password: str = "x"
+    agent: str = "xmrig/2.8.1"
+    algo: str = "cn/0"
+    duration_s: float = 2.0
+
+
+@dataclass(frozen=True)
+class Stall(Action):
+    """Execution-stalling code (Kolbitsch et al., the paper's [22])."""
+
+    seconds: float
+
+    @property
+    def duration_s(self) -> float:  # type: ignore[override]
+        return self.seconds
+
+
+@dataclass(frozen=True)
+class CheckSandbox(Action):
+    """Fingerprint the environment; abort the payload when detected.
+
+    ``detectability`` is the probability the check recognises the
+    sandbox (wear-and-tear artifacts etc.); evaluated deterministically
+    from the sample seed.
+    """
+
+    detectability: float = 0.5
+    duration_s: float = 0.3
+
+
+@dataclass(frozen=True)
+class CheckIdle(Action):
+    """Idle-mining gate: proceed only when no user input is observed.
+
+    In a sandbox nobody moves the mouse, so the gate *passes* — idle
+    mining evades users, not analysts (§I).
+    """
+
+    duration_s: float = 0.1
+
+
+@dataclass
+class BehaviorScript:
+    """Ordered behaviour of one sample."""
+
+    actions: List[Action] = field(default_factory=list)
+
+    def append(self, action: Action) -> "BehaviorScript":
+        """Append one action; returns self for chaining."""
+        self.actions.append(action)
+        return self
+
+    def __iter__(self):
+        return iter(self.actions)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def stratum_sessions(self) -> List[StratumSession]:
+        """Only the Stratum-session actions of the script."""
+        return [a for a in self.actions if isinstance(a, StratumSession)]

@@ -1,0 +1,149 @@
+"""The sandbox emulator.
+
+Executes a :class:`~repro.sandbox.behavior.BehaviorScript` under a
+virtual clock and produces a :class:`SandboxReport`.  Determinism: all
+probabilistic outcomes (sandbox-detection rolls) derive from the sample
+hash, so the same sample always behaves the same way.
+"""
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.simtime import Date
+from repro.netsim.dns import Resolver
+from repro.netsim.flows import FlowLog, FlowRecord
+from repro.sandbox.behavior import (
+    BehaviorScript,
+    CheckIdle,
+    CheckSandbox,
+    DnsQuery,
+    DropFile,
+    HttpGet,
+    SpawnProcess,
+    Stall,
+    StratumSession,
+)
+
+
+@dataclass
+class SandboxEnvironment:
+    """Analysis-environment knobs.
+
+    ``timeout_s`` mirrors the few-minute budget of real sandboxes —
+    execution-stalling malware that sleeps past it hides its payload.
+    ``hardened`` environments (bare-metal style, the paper's [7])
+    defeat fingerprinting checks entirely.
+    """
+
+    timeout_s: float = 300.0
+    is_sandbox: bool = True
+    hardened: bool = False
+    analysis_date: Optional[Date] = None
+
+
+@dataclass
+class SandboxReport:
+    """Everything dynamic analysis observed for one execution."""
+
+    sample_sha256: str
+    processes: List[str] = field(default_factory=list)       # command lines
+    images: List[str] = field(default_factory=list)          # process images
+    dropped_files: List[str] = field(default_factory=list)   # sha256 of drops
+    dns_queries: List[str] = field(default_factory=list)
+    flows: FlowLog = field(default_factory=FlowLog)
+    http_urls: List[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    timed_out: bool = False
+    aborted_by_evasion: bool = False
+    actions_executed: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """Whether the whole script ran inside the analysis budget."""
+        return not self.timed_out and not self.aborted_by_evasion
+
+
+class Sandbox:
+    """Executes behaviour scripts against a simulated network."""
+
+    def __init__(self, resolver: Optional[Resolver] = None,
+                 environment: Optional[SandboxEnvironment] = None) -> None:
+        self._resolver = resolver
+        self.environment = environment or SandboxEnvironment()
+
+    def run(self, sample_sha256: str, script: BehaviorScript) -> SandboxReport:
+        """Execute ``script``; returns the analysis report."""
+        env = self.environment
+        report = SandboxReport(sample_sha256=sample_sha256)
+        for index, action in enumerate(script):
+            if report.elapsed_s + action.duration_s > env.timeout_s:
+                report.timed_out = True
+                break
+            report.elapsed_s += action.duration_s
+            if isinstance(action, CheckSandbox):
+                if self._detects_sandbox(sample_sha256, index, action):
+                    report.aborted_by_evasion = True
+                    report.actions_executed += 1
+                    break
+            elif isinstance(action, CheckIdle):
+                pass  # sandbox is always idle: gate passes
+            elif isinstance(action, Stall):
+                pass  # time already charged above
+            elif isinstance(action, SpawnProcess):
+                report.processes.append(action.cmdline)
+                report.images.append(action.image)
+            elif isinstance(action, DropFile):
+                report.dropped_files.append(action.sha256)
+            elif isinstance(action, DnsQuery):
+                report.dns_queries.append(action.domain.lower())
+            elif isinstance(action, HttpGet):
+                report.http_urls.append(action.url)
+            elif isinstance(action, StratumSession):
+                self._run_stratum(action, report)
+            else:
+                raise TypeError(f"unknown action type: {type(action).__name__}")
+            report.actions_executed += 1
+        return report
+
+    # -- helpers -----------------------------------------------------------
+
+    def _detects_sandbox(self, sample_sha256: str, index: int,
+                         action: CheckSandbox) -> bool:
+        env = self.environment
+        if not env.is_sandbox or env.hardened:
+            return False
+        digest = hashlib.sha256(
+            f"evasion:{sample_sha256}:{index}".encode("ascii")
+        ).digest()
+        roll = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF
+        return roll < action.detectability
+
+    def _run_stratum(self, action: StratumSession,
+                     report: SandboxReport) -> None:
+        dst_ip = action.host
+        dst_host = ""
+        if any(c.isalpha() for c in action.host):
+            dst_host = action.host.lower()
+            report.dns_queries.append(dst_host)
+            dst_ip = "0.0.0.0"
+            if self._resolver is not None and self.environment.analysis_date:
+                result = self._resolver.resolve(
+                    dst_host, self.environment.analysis_date
+                )
+                if result.ip:
+                    dst_ip = result.ip
+        excerpt = (
+            '{"method":"login","params":{"login":"%s","pass":"%s",'
+            '"agent":"%s"}}' % (action.login, action.password, action.agent)
+        )
+        report.flows.record(FlowRecord(
+            dst_host=dst_host,
+            dst_ip=dst_ip,
+            dst_port=action.port,
+            protocol="stratum",
+            login=action.login,
+            password=action.password,
+            agent=action.agent,
+            payload_excerpt=excerpt,
+        ))

@@ -1,0 +1,42 @@
+"""Stratum mining protocol substrate (§II, §III-C).
+
+Stratum is the de-facto TCP protocol between miners and pools: newline-
+delimited JSON-RPC with ``login`` / ``job`` / ``submit`` / ``keepalived``
+methods.  This package implements the wire format, a miner-side client, a
+pool-side server session, and a mining *proxy* — the share-aggregation
+relay criminals use so that a pool sees a single IP instead of a botnet
+(§III-E "Mining proxies").
+"""
+
+from repro.stratum.framing import LineFramer, encode_frame
+from repro.stratum.messages import (
+    JobNotification,
+    LoginRequest,
+    LoginResult,
+    StratumError,
+    SubmitRequest,
+    SubmitResult,
+    parse_message,
+)
+from repro.stratum.channel import Channel, make_channel_pair
+from repro.stratum.client import StratumClient
+from repro.stratum.server import StratumServerSession, ShareSink
+from repro.stratum.proxy import MiningProxy
+
+__all__ = [
+    "LineFramer",
+    "encode_frame",
+    "JobNotification",
+    "LoginRequest",
+    "LoginResult",
+    "StratumError",
+    "SubmitRequest",
+    "SubmitResult",
+    "parse_message",
+    "Channel",
+    "make_channel_pair",
+    "StratumClient",
+    "StratumServerSession",
+    "ShareSink",
+    "MiningProxy",
+]

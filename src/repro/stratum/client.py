@@ -1,0 +1,139 @@
+"""Miner-side Stratum client.
+
+Drives a login → receive job → submit shares conversation over a
+:class:`~repro.stratum.channel.Channel`.  The client mimics stock miner
+behaviour: it identifies with a configurable agent string, computes
+pseudo share hashes for the advertised algorithm, and — crucially for
+the PoW-fork experiments — produces *invalid* shares when its supported
+algorithm no longer matches the job's algorithm.
+"""
+
+import hashlib
+from typing import List, Optional
+
+from repro.common.errors import ProtocolError
+from repro.stratum.channel import Channel
+from repro.stratum.framing import LineFramer, encode_frame
+from repro.stratum.messages import (
+    JobNotification,
+    LoginRequest,
+    LoginResult,
+    StratumError,
+    SubmitRequest,
+    SubmitResult,
+    parse_message,
+)
+
+
+class StratumClient:
+    """One mining connection from a (possibly infected) machine."""
+
+    def __init__(self, channel: Channel, login: str, *,
+                 password: str = "x", agent: str = "xmrig/2.8.1",
+                 supported_algo: str = "cn/0") -> None:
+        self._channel = channel
+        self._framer = LineFramer()
+        self._msg_id = 0
+        self.login = login
+        self.password = password
+        self.agent = agent
+        self.supported_algo = supported_algo
+        self.session_id: Optional[str] = None
+        self.current_job: Optional[JobNotification] = None
+        self.accepted_shares = 0
+        self.rejected_shares = 0
+        self.last_error: Optional[StratumError] = None
+
+    # -- wire helpers ---------------------------------------------------
+
+    def _next_id(self) -> int:
+        self._msg_id += 1
+        return self._msg_id
+
+    def _send(self, message: dict) -> None:
+        self._channel.send(encode_frame(message))
+
+    def _pump(self) -> List:
+        """Read and parse everything the pool has sent."""
+        parsed = []
+        while True:
+            chunk = self._channel.receive()
+            if chunk is None:
+                break
+            for frame in self._framer.feed(chunk):
+                message = parse_message(frame)
+                self._dispatch(message)
+                parsed.append(message)
+        return parsed
+
+    def _dispatch(self, message) -> None:
+        if isinstance(message, LoginResult):
+            self.session_id = message.session_id
+            self.current_job = message.job
+        elif isinstance(message, JobNotification):
+            self.current_job = message
+        elif isinstance(message, SubmitResult):
+            if message.accepted:
+                self.accepted_shares += 1
+            else:
+                self.rejected_shares += 1
+        elif isinstance(message, StratumError):
+            self.last_error = message
+            self.rejected_shares += 1
+
+    # -- public API -----------------------------------------------------
+
+    def poll(self) -> None:
+        """Process pending pool messages (job pushes, results)."""
+        self._pump()
+
+    def connect(self) -> bool:
+        """Send login; returns True when the pool accepted the session."""
+        self._send(LoginRequest(self._next_id(), self.login,
+                                self.password, self.agent).to_wire())
+        self._pump()
+        return self.session_id is not None
+
+    def share_hash(self, nonce: int) -> str:
+        """Pseudo PoW: hash of (job blob, nonce, client algo).
+
+        A share is valid only when the client's algorithm matches the
+        job's — the substrate's stand-in for real PoW verification, and
+        the mechanism behind outdated miners dying at forks.
+        """
+        if self.current_job is None:
+            raise ProtocolError("no job to mine against")
+        material = f"{self.current_job.blob}:{nonce}:{self.supported_algo}"
+        return hashlib.sha256(material.encode("ascii")).hexdigest()
+
+    def submit_share(self, nonce: int) -> bool:
+        """Mine one share and submit it; True when the pool accepted."""
+        if self.session_id is None or self.current_job is None:
+            raise ProtocolError("submit before successful login")
+        before = self.accepted_shares
+        request = SubmitRequest(
+            msg_id=self._next_id(),
+            session_id=self.session_id,
+            job_id=self.current_job.job_id,
+            nonce=f"{nonce:08x}",
+            result_hash=self.share_hash(nonce),
+        )
+        self._send(request.to_wire())
+        self._pump()
+        return self.accepted_shares > before
+
+    def mine(self, num_shares: int) -> int:
+        """Submit ``num_shares`` shares; returns how many were accepted."""
+        accepted = 0
+        for nonce in range(num_shares):
+            if self.session_id is None:
+                break
+            if self.submit_share(nonce):
+                accepted += 1
+            if self.last_error and "banned" in self.last_error.message.lower():
+                break
+        return accepted
+
+    def close(self) -> None:
+        """Close the underlying channel."""
+        self._channel.close()

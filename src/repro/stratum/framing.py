@@ -1,0 +1,51 @@
+"""Newline-delimited JSON framing for Stratum.
+
+Real Stratum frames are single-line JSON documents terminated by ``\\n``.
+``LineFramer`` is an incremental decoder that tolerates partial reads —
+bytes arrive in arbitrary chunks and complete frames are yielded as
+parsed JSON objects.
+"""
+
+import json
+from typing import List
+
+from repro.common.errors import ProtocolError
+
+MAX_FRAME_BYTES = 16 * 1024
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialise one message to its wire form."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+class LineFramer:
+    """Incremental newline-frame decoder."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[dict]:
+        """Feed raw bytes; return every complete frame now available."""
+        self._buffer.extend(data)
+        if len(self._buffer) > MAX_FRAME_BYTES and b"\n" not in self._buffer:
+            raise ProtocolError("frame exceeds maximum size without newline")
+        frames: List[dict] = []
+        while True:
+            idx = self._buffer.find(b"\n")
+            if idx < 0:
+                break
+            line = bytes(self._buffer[:idx])
+            del self._buffer[:idx + 1]
+            if not line.strip():
+                continue
+            try:
+                frames.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ProtocolError(f"malformed JSON frame: {exc}") from exc
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet framed."""
+        return len(self._buffer)

@@ -1,0 +1,259 @@
+"""Typed Stratum messages (CryptoNote pool dialect).
+
+The dialect follows what xmrig speaks to Monero pools::
+
+    -> {"id":1,"jsonrpc":"2.0","method":"login",
+        "params":{"login":"<wallet>","pass":"x","agent":"xmrig/2.8.1"}}
+    <- {"id":1,"jsonrpc":"2.0","result":{"id":"<session>","job":{...},
+        "status":"OK"},"error":null}
+    <- {"jsonrpc":"2.0","method":"job","params":{...}}
+    -> {"id":2,"jsonrpc":"2.0","method":"submit",
+        "params":{"id":"<session>","job_id":"...","nonce":"...",
+                  "result":"..."}}
+    <- {"id":2,"jsonrpc":"2.0","result":{"status":"OK"},"error":null}
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.common.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class LoginRequest:
+    """Miner -> pool authentication; ``login`` carries the wallet/e-mail."""
+
+    msg_id: int
+    login: str
+    password: str = "x"
+    agent: str = "xmrig/2.8.1"
+
+    def to_wire(self) -> dict:
+        """Wire frame for the login request."""
+        return {
+            "id": self.msg_id,
+            "jsonrpc": "2.0",
+            "method": "login",
+            "params": {
+                "login": self.login,
+                "pass": self.password,
+                "agent": self.agent,
+            },
+        }
+
+
+@dataclass(frozen=True)
+class JobNotification:
+    """Pool -> miner work assignment.
+
+    ``target`` encodes the share difficulty the CryptoNote way: an
+    8-hex-digit compact target where difficulty = 0xffffffff / target.
+    """
+
+    job_id: str
+    blob: str
+    target: str
+    algo: str
+    height: int = 0
+
+    @property
+    def difficulty(self) -> int:
+        """Share difficulty encoded by the compact target."""
+        try:
+            value = int(self.target, 16)
+        except ValueError:
+            return 1
+        if value <= 0:
+            return 1
+        return max(1, 0xFFFFFFFF // value)
+
+    @staticmethod
+    def target_for_difficulty(difficulty: int) -> str:
+        """Compact hex target for a difficulty (inverse of above)."""
+        difficulty = max(1, difficulty)
+        return f"{0xFFFFFFFF // difficulty:08x}"
+
+    def to_wire(self, result_id: Optional[int] = None,
+                session_id: Optional[str] = None) -> dict:
+        """Wire frame: login result when result_id given, else a job push."""
+        job = {
+            "job_id": self.job_id,
+            "blob": self.blob,
+            "target": self.target,
+            "algo": self.algo,
+            "height": self.height,
+        }
+        if result_id is not None:
+            return {
+                "id": result_id,
+                "jsonrpc": "2.0",
+                "result": {"id": session_id, "job": job, "status": "OK"},
+                "error": None,
+            }
+        return {"jsonrpc": "2.0", "method": "job", "params": job}
+
+
+@dataclass(frozen=True)
+class LoginResult:
+    """Pool -> miner login acknowledgement with the first job."""
+
+    msg_id: int
+    session_id: str
+    job: JobNotification
+
+    def to_wire(self) -> dict:
+        """Wire frame for the login acknowledgement with first job."""
+        return self.job.to_wire(result_id=self.msg_id, session_id=self.session_id)
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """Miner -> pool share submission."""
+
+    msg_id: int
+    session_id: str
+    job_id: str
+    nonce: str
+    result_hash: str
+
+    def to_wire(self) -> dict:
+        """Wire frame for a share submission."""
+        return {
+            "id": self.msg_id,
+            "jsonrpc": "2.0",
+            "method": "submit",
+            "params": {
+                "id": self.session_id,
+                "job_id": self.job_id,
+                "nonce": self.nonce,
+                "result": self.result_hash,
+            },
+        }
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    """Pool -> miner share acknowledgement."""
+
+    msg_id: int
+    accepted: bool
+    reason: str = ""
+
+    def to_wire(self) -> dict:
+        """Wire frame for a share acknowledgement or rejection."""
+        if self.accepted:
+            return {
+                "id": self.msg_id,
+                "jsonrpc": "2.0",
+                "result": {"status": "OK"},
+                "error": None,
+            }
+        return {
+            "id": self.msg_id,
+            "jsonrpc": "2.0",
+            "result": None,
+            "error": {"code": -1, "message": self.reason or "Low difficulty share"},
+        }
+
+
+@dataclass(frozen=True)
+class StratumError:
+    """Pool -> miner fatal error (e.g. banned wallet)."""
+
+    msg_id: Optional[int]
+    code: int
+    message: str
+
+    def to_wire(self) -> dict:
+        """Wire frame for a fatal error response."""
+        return {
+            "id": self.msg_id,
+            "jsonrpc": "2.0",
+            "result": None,
+            "error": {"code": self.code, "message": self.message},
+        }
+
+
+@dataclass(frozen=True)
+class KeepAlive:
+    """Miner -> pool liveness ping."""
+
+    msg_id: int
+
+    def to_wire(self) -> dict:
+        """Wire frame for the keepalive ping."""
+        return {
+            "id": self.msg_id,
+            "jsonrpc": "2.0",
+            "method": "keepalived",
+            "params": {},
+        }
+
+
+ParsedMessage = Union[
+    LoginRequest, SubmitRequest, KeepAlive, LoginResult, SubmitResult,
+    JobNotification, StratumError,
+]
+
+
+def parse_message(frame: dict) -> ParsedMessage:
+    """Parse a wire frame into a typed message.
+
+    Requests are recognised by their ``method``; responses by the shape
+    of ``result``/``error``.
+    """
+    method = frame.get("method")
+    if method == "login":
+        params = frame.get("params") or {}
+        if "login" not in params:
+            raise ProtocolError("login without login parameter")
+        return LoginRequest(
+            msg_id=frame.get("id", 0),
+            login=params["login"],
+            password=params.get("pass", ""),
+            agent=params.get("agent", ""),
+        )
+    if method == "submit":
+        params = frame.get("params") or {}
+        missing = {"id", "job_id", "nonce", "result"} - set(params)
+        if missing:
+            raise ProtocolError(f"submit missing fields: {sorted(missing)}")
+        return SubmitRequest(
+            msg_id=frame.get("id", 0),
+            session_id=params["id"],
+            job_id=params["job_id"],
+            nonce=params["nonce"],
+            result_hash=params["result"],
+        )
+    if method == "keepalived":
+        return KeepAlive(msg_id=frame.get("id", 0))
+    if method == "job":
+        params = frame.get("params") or {}
+        return _job_from_dict(params)
+    if "result" in frame or "error" in frame:
+        error = frame.get("error")
+        if error:
+            return StratumError(frame.get("id"), error.get("code", -1),
+                                error.get("message", ""))
+        result = frame.get("result") or {}
+        if "job" in result:
+            return LoginResult(
+                msg_id=frame.get("id", 0),
+                session_id=result.get("id", ""),
+                job=_job_from_dict(result["job"]),
+            )
+        return SubmitResult(msg_id=frame.get("id", 0), accepted=True)
+    raise ProtocolError(f"unrecognised stratum frame: {frame!r}")
+
+
+def _job_from_dict(job: dict) -> JobNotification:
+    try:
+        return JobNotification(
+            job_id=job["job_id"],
+            blob=job.get("blob", ""),
+            target=job.get("target", "ffffffff"),
+            algo=job.get("algo", "cn/0"),
+            height=job.get("height", 0),
+        )
+    except KeyError as exc:
+        raise ProtocolError(f"job missing field: {exc}") from exc

@@ -1,0 +1,91 @@
+"""Mining proxy: many bots in, one pool connection out.
+
+Pools ban wallets that connect from suspiciously many IPs (§VI); the
+countermeasure criminals deploy is a proxy that terminates every bot's
+Stratum session locally and re-submits their shares upstream over a
+single connection — the pool then sees exactly one IP.  The paper
+aggregates samples that share a proxy into the same campaign.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.stratum.channel import Channel, make_channel_pair
+from repro.stratum.client import StratumClient
+from repro.stratum.server import ShareSink, StratumServerSession
+
+
+class _ProxySink(ShareSink):
+    """Downstream sink: counts bot shares and forwards valid ones."""
+
+    def __init__(self, proxy: "MiningProxy") -> None:
+        self._proxy = proxy
+
+    def on_login(self, login: str, agent: str, src_ip: str) -> Optional[str]:
+        # The proxy accepts any bot; upstream identity is the proxy's own.
+        return None
+
+    def on_share(self, login: str, valid: bool, src_ip: str,
+                 difficulty: int = 1) -> None:
+        self._proxy._on_downstream_share(login, valid, src_ip)
+
+
+class MiningProxy:
+    """Aggregates downstream bot sessions into one upstream session.
+
+    ``upstream`` is the proxy's own :class:`StratumClient`, logged in at
+    the real pool with the operator's wallet.  Each bot that connects via
+    :meth:`accept_bot` gets a local server session whose algorithm always
+    matches upstream, so bots never see fork mismatches directly — the
+    proxy operator is the one who must keep the upstream side updated.
+    """
+
+    def __init__(self, upstream: StratumClient, proxy_ip: str) -> None:
+        self.upstream = upstream
+        self.proxy_ip = proxy_ip
+        self._sessions: List[StratumServerSession] = []
+        self._bot_ips: set = set()
+        self.downstream_shares = 0
+        self.forwarded_shares = 0
+        self._nonce = 0
+
+    def connect_upstream(self) -> bool:
+        """Log the proxy in at the real pool."""
+        return self.upstream.connect()
+
+    def accept_bot(self, src_ip: str) -> Channel:
+        """Accept one bot connection; returns the bot-side channel end."""
+        bot_end, proxy_end = make_channel_pair()
+        algo = (self.upstream.current_job.algo
+                if self.upstream.current_job else "cn/0")
+        session = StratumServerSession(
+            proxy_end, _ProxySink(self), current_algo=algo, src_ip=src_ip,
+        )
+        self._sessions.append(session)
+        self._bot_ips.add(src_ip)
+        return bot_end
+
+    def pump(self) -> None:
+        """Process pending downstream traffic."""
+        for session in self._sessions:
+            session.pump()
+
+    def _on_downstream_share(self, login: str, valid: bool, src_ip: str) -> None:
+        self.downstream_shares += 1
+        if not valid or self.upstream.session_id is None:
+            return
+        self._nonce += 1
+        if self.upstream.submit_share(self._nonce):
+            self.forwarded_shares += 1
+
+    @property
+    def distinct_bot_ips(self) -> int:
+        return len(self._bot_ips)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters: bots, distinct IPs, downstream/forwarded shares."""
+        return {
+            "bots": len(self._sessions),
+            "distinct_ips": self.distinct_bot_ips,
+            "downstream_shares": self.downstream_shares,
+            "forwarded_shares": self.forwarded_shares,
+        }

@@ -1,0 +1,190 @@
+"""Pool-side Stratum server session.
+
+One :class:`StratumServerSession` handles one miner connection.  Policy
+(accept/ban logins, credit shares) is delegated to a :class:`ShareSink`,
+implemented by the pool simulator in :mod:`repro.pools`.  Share validity
+is checked by recomputing the pseudo-PoW for the *job's* algorithm: a
+miner running pre-fork software hashes with the wrong algorithm and all
+of its shares are rejected, exactly the "mining with an outdated
+algorithm" failure mode of §VI.
+"""
+
+import hashlib
+import itertools
+from typing import Optional
+
+from repro.common.errors import ProtocolError
+from repro.stratum.channel import Channel
+from repro.stratum.framing import LineFramer, encode_frame
+from repro.stratum.messages import (
+    JobNotification,
+    KeepAlive,
+    LoginRequest,
+    LoginResult,
+    StratumError,
+    SubmitRequest,
+    SubmitResult,
+    parse_message,
+)
+
+_session_counter = itertools.count(1)
+
+
+class ShareSink:
+    """Policy interface the pool implements.
+
+    The default implementation accepts everything; the pool simulator
+    overrides these to enforce ban policies and do reward accounting.
+    """
+
+    def on_login(self, login: str, agent: str, src_ip: str) -> Optional[str]:
+        """Return None to accept, or a rejection reason string."""
+        return None
+
+    def on_share(self, login: str, valid: bool, src_ip: str,
+                 difficulty: int = 1) -> None:
+        """Called for every submitted share with its validity.
+
+        ``difficulty`` is the share difficulty of the job it solved —
+        one high-difficulty share proves as much work as ``difficulty``
+        unit shares, which is how vardiff keeps accounting fair.
+        """
+
+
+class StratumServerSession:
+    """Server half of one miner connection."""
+
+    #: shares per retarget window before vardiff doubles the difficulty.
+    VARDIFF_WINDOW = 16
+
+    def __init__(self, channel: Channel, sink: ShareSink, *,
+                 current_algo: str = "cn/0", src_ip: str = "0.0.0.0",
+                 job_seed: str = "deadbeef", difficulty: int = 1,
+                 vardiff: bool = False) -> None:
+        self._channel = channel
+        self._framer = LineFramer()
+        self._sink = sink
+        self._algo = current_algo
+        self._src_ip = src_ip
+        self._job_seed = job_seed
+        self._job_counter = 0
+        self._difficulty = max(1, difficulty)
+        self._vardiff = vardiff
+        self._shares_this_window = 0
+        self.session_id: Optional[str] = None
+        self.login: Optional[str] = None
+        self.agent: Optional[str] = None
+        self.current_job: Optional[JobNotification] = None
+        self.valid_shares = 0
+        self.invalid_shares = 0
+        # Process client bytes as they arrive (blocking-socket semantics).
+        channel.set_receive_callback(self.pump)
+
+    # -- job management ---------------------------------------------------
+
+    def _make_job(self) -> JobNotification:
+        self._job_counter += 1
+        blob = hashlib.sha256(
+            f"{self._job_seed}:{self._job_counter}".encode("ascii")
+        ).hexdigest()
+        return JobNotification(
+            job_id=f"job{self._job_counter:06d}",
+            blob=blob,
+            target=JobNotification.target_for_difficulty(self._difficulty),
+            algo=self._algo,
+            height=self._job_counter,
+        )
+
+    def set_algo(self, algo: str) -> None:
+        """Switch PoW algorithm (a fork); pushes a new job to the miner."""
+        self._algo = algo
+        if self.session_id is not None:
+            self.current_job = self._make_job()
+            self._send(self.current_job.to_wire())
+
+    @property
+    def difficulty(self) -> int:
+        return self._difficulty
+
+    def set_difficulty(self, difficulty: int) -> None:
+        """Retarget the session; pushes a new job at the new target."""
+        self._difficulty = max(1, difficulty)
+        self._shares_this_window = 0
+        if self.session_id is not None:
+            self.current_job = self._make_job()
+            self._send(self.current_job.to_wire())
+
+    # -- wire -------------------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        if not self._channel.closed and not self._channel.peer_closed:
+            self._channel.send(encode_frame(message))
+
+    def pump(self) -> None:
+        """Process every request the miner has sent so far."""
+        while True:
+            chunk = self._channel.receive()
+            if chunk is None:
+                break
+            for frame in self._framer.feed(chunk):
+                self._handle(parse_message(frame))
+
+    def _handle(self, message) -> None:
+        if isinstance(message, LoginRequest):
+            self._handle_login(message)
+        elif isinstance(message, SubmitRequest):
+            self._handle_submit(message)
+        elif isinstance(message, KeepAlive):
+            self._send(SubmitResult(message.msg_id, accepted=True).to_wire())
+        else:
+            raise ProtocolError(f"unexpected client message: {message!r}")
+
+    def _handle_login(self, request: LoginRequest) -> None:
+        reason = self._sink.on_login(request.login, request.agent, self._src_ip)
+        if reason is not None:
+            self._send(StratumError(request.msg_id, -32000, reason).to_wire())
+            return
+        self.login = request.login
+        self.agent = request.agent
+        self.session_id = f"sess{next(_session_counter):08d}"
+        self.current_job = self._make_job()
+        self._send(LoginResult(request.msg_id, self.session_id,
+                               self.current_job).to_wire())
+
+    def _handle_submit(self, request: SubmitRequest) -> None:
+        if self.session_id is None or request.session_id != self.session_id:
+            self._send(StratumError(request.msg_id, -32001,
+                                    "Unauthenticated").to_wire())
+            return
+        valid = self._verify_share(request)
+        difficulty = (self.current_job.difficulty
+                      if self.current_job else 1)
+        self._sink.on_share(self.login or "", valid, self._src_ip,
+                            difficulty=difficulty)
+        if valid:
+            self.valid_shares += 1
+            self._send(SubmitResult(request.msg_id, accepted=True).to_wire())
+            # vardiff: a miner flooding cheap shares gets retargeted so
+            # the pool's share-verification load stays bounded.
+            if self._vardiff:
+                self._shares_this_window += 1
+                if self._shares_this_window >= self.VARDIFF_WINDOW:
+                    self.set_difficulty(self._difficulty * 2)
+        else:
+            self.invalid_shares += 1
+            self._send(SubmitResult(request.msg_id, accepted=False,
+                                    reason="Low difficulty share").to_wire())
+
+    def _verify_share(self, request: SubmitRequest) -> bool:
+        """Recompute the pseudo-PoW with the job's algorithm."""
+        if self.current_job is None or request.job_id != self.current_job.job_id:
+            return False
+        try:
+            nonce = int(request.nonce, 16)
+        except ValueError:
+            return False
+        expected = hashlib.sha256(
+            f"{self.current_job.blob}:{nonce}:{self.current_job.algo}"
+            .encode("ascii")
+        ).hexdigest()
+        return request.result_hash == expected

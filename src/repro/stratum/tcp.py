@@ -1,0 +1,244 @@
+"""Real-socket Stratum transport (asyncio).
+
+The in-memory :mod:`repro.stratum.channel` keeps simulations fast and
+deterministic; this module provides the same protocol over actual TCP
+for interoperability testing and for driving the pool simulator from
+external processes.  The framing and message types are shared — only
+the byte transport differs.
+
+Server::
+
+    pool = MiningPool(PoolConfig("demo"))
+    server = StratumTcpServer(pool, host="127.0.0.1", port=0)
+    await server.start()
+
+Client::
+
+    client = StratumTcpClient("127.0.0.1", server.port, login=WALLET)
+    await client.connect()
+    accepted = await client.mine(10)
+"""
+
+import asyncio
+import hashlib
+from typing import List, Optional
+
+from repro.common.errors import ProtocolError
+from repro.stratum.framing import LineFramer, encode_frame
+from repro.stratum.messages import (
+    JobNotification,
+    LoginRequest,
+    LoginResult,
+    StratumError,
+    SubmitRequest,
+    SubmitResult,
+    parse_message,
+)
+from repro.stratum.server import ShareSink, StratumServerSession
+
+
+class _TcpChannelAdapter:
+    """Adapts an asyncio writer to the Channel interface sessions use.
+
+    Incoming bytes are pushed by the reader loop; outgoing bytes go
+    straight to the socket.  The receive-callback mechanism is unused —
+    the reader loop drives the session explicitly.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self._incoming: List[bytes] = []
+        self.closed = False
+        self.peer_closed = False
+
+    def set_receive_callback(self, callback) -> None:
+        pass  # the reader loop pumps the session
+
+    def send(self, data: bytes) -> None:
+        if self.closed:
+            raise ConnectionError("channel is closed")
+        self._writer.write(data)
+
+    def push(self, data: bytes) -> None:
+        self._incoming.append(data)
+
+    def receive(self) -> Optional[bytes]:
+        if not self._incoming:
+            return None
+        return self._incoming.pop(0)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class StratumTcpServer:
+    """Serves a :class:`~repro.stratum.server.ShareSink` over TCP."""
+
+    def __init__(self, sink: ShareSink, host: str = "127.0.0.1",
+                 port: int = 0, current_algo: str = "cn/0") -> None:
+        self._sink = sink
+        self._host = host
+        self._requested_port = port
+        self._algo = current_algo
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.sessions: List[StratumServerSession] = []
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._requested_port)
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listening socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername") or ("?", 0)
+        adapter = _TcpChannelAdapter(writer)
+        session = StratumServerSession(
+            adapter, self._sink, current_algo=self._algo,
+            src_ip=str(peer[0]))
+        self.sessions.append(session)
+        try:
+            while True:
+                data = await reader.read(4096)
+                if not data:
+                    break
+                adapter.push(data)
+                session.pump()
+                await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            adapter.close()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+class StratumTcpClient:
+    """Miner-side client over TCP (async mirror of StratumClient)."""
+
+    def __init__(self, host: str, port: int, login: str, *,
+                 password: str = "x", agent: str = "xmrig/2.8.1",
+                 supported_algo: str = "cn/0") -> None:
+        self._host = host
+        self._port = port
+        self.login = login
+        self.password = password
+        self.agent = agent
+        self.supported_algo = supported_algo
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._framer = LineFramer()
+        self._msg_id = 0
+        self.session_id: Optional[str] = None
+        self.current_job: Optional[JobNotification] = None
+        self.accepted_shares = 0
+        self.rejected_shares = 0
+        self.last_error: Optional[StratumError] = None
+
+    def _next_id(self) -> int:
+        self._msg_id += 1
+        return self._msg_id
+
+    async def _send(self, message: dict) -> None:
+        if self._writer is None:
+            raise ProtocolError("not connected")
+        self._writer.write(encode_frame(message))
+        await self._writer.drain()
+
+    async def _read_until_response(self, expect_id: int) -> None:
+        """Read frames until the response for ``expect_id`` arrives."""
+        if self._reader is None:
+            raise ProtocolError("not connected")
+        while True:
+            data = await asyncio.wait_for(self._reader.read(4096),
+                                          timeout=5.0)
+            if not data:
+                raise ProtocolError("connection closed by pool")
+            done = False
+            for frame in self._framer.feed(data):
+                message = parse_message(frame)
+                self._dispatch(message)
+                if getattr(message, "msg_id", None) == expect_id:
+                    done = True
+            if done:
+                return
+
+    def _dispatch(self, message) -> None:
+        if isinstance(message, LoginResult):
+            self.session_id = message.session_id
+            self.current_job = message.job
+        elif isinstance(message, JobNotification):
+            self.current_job = message
+        elif isinstance(message, SubmitResult):
+            if message.accepted:
+                self.accepted_shares += 1
+            else:
+                self.rejected_shares += 1
+        elif isinstance(message, StratumError):
+            self.last_error = message
+            self.rejected_shares += 1
+
+    async def connect(self) -> bool:
+        """Open the socket and log in; True when accepted."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port)
+        msg_id = self._next_id()
+        await self._send(LoginRequest(msg_id, self.login, self.password,
+                                      self.agent).to_wire())
+        await self._read_until_response(msg_id)
+        return self.session_id is not None
+
+    def _share_hash(self, nonce: int) -> str:
+        if self.current_job is None:
+            raise ProtocolError("no job to mine against")
+        material = f"{self.current_job.blob}:{nonce}:{self.supported_algo}"
+        return hashlib.sha256(material.encode("ascii")).hexdigest()
+
+    async def submit_share(self, nonce: int) -> bool:
+        """Mine one share and submit it; True when accepted."""
+        if self.session_id is None or self.current_job is None:
+            raise ProtocolError("submit before successful login")
+        before = self.accepted_shares
+        msg_id = self._next_id()
+        await self._send(SubmitRequest(
+            msg_id=msg_id,
+            session_id=self.session_id,
+            job_id=self.current_job.job_id,
+            nonce=f"{nonce:08x}",
+            result_hash=self._share_hash(nonce),
+        ).to_wire())
+        await self._read_until_response(msg_id)
+        return self.accepted_shares > before
+
+    async def mine(self, num_shares: int) -> int:
+        """Submit ``num_shares`` shares; returns accepted count."""
+        accepted = 0
+        for nonce in range(num_shares):
+            if await self.submit_share(nonce):
+                accepted += 1
+        return accepted
+
+    async def close(self) -> None:
+        """Close the TCP connection."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None

@@ -1,0 +1,34 @@
+"""Cryptocurrency wallet-address substrate.
+
+Provides address *generation* (used by the synthetic corpus to mint
+actor wallets) and address *detection* (used by the extraction stage to
+classify identifiers pulled out of binaries, command lines and Stratum
+logins — §III-C and §IV-B of the paper).
+"""
+
+from repro.wallets.base58 import b58decode, b58encode
+from repro.wallets.addresses import (
+    Coin,
+    COINS,
+    WalletFactory,
+    checksum_suffix,
+    is_valid_address,
+)
+from repro.wallets.detect import (
+    IdentifierKind,
+    classify_identifier,
+    extract_identifiers,
+)
+
+__all__ = [
+    "b58decode",
+    "b58encode",
+    "Coin",
+    "COINS",
+    "WalletFactory",
+    "checksum_suffix",
+    "is_valid_address",
+    "IdentifierKind",
+    "classify_identifier",
+    "extract_identifiers",
+]

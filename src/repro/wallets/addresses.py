@@ -1,0 +1,135 @@
+"""Address formats and generation for the coins the paper observes.
+
+Table IV of the paper lists campaigns per currency: Monero, Bitcoin,
+zCash, Electroneum, Ethereum, Aeon, Sumokoin, Intensecoin, Turtlecoin and
+Bytecoin.  Each coin here carries enough format structure (prefix, body
+length, alphabet) that (a) generated addresses are unique and verifiable
+and (b) the detection regexes in :mod:`repro.wallets.detect` can classify
+them the same way the paper's pipeline classifies real wallets.
+"""
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.rng import DeterministicRNG
+from repro.wallets.base58 import ALPHABET, is_base58
+
+_CHECK_LEN = 4  # base58 characters of checksum at the end of the body
+
+
+@dataclass(frozen=True)
+class Coin:
+    """Static description of a cryptocurrency's address format.
+
+    ``prefix`` is the human-visible leading string, ``body_length`` the
+    number of alphabet characters after the prefix (checksum included),
+    and ``alphabet`` either ``"base58"`` or ``"hex"``.
+    """
+
+    ticker: str
+    name: str
+    prefix: str
+    body_length: int
+    alphabet: str = "base58"
+    cryptonote: bool = False  # CryptoNote PoW family (ASIC-resistant)
+
+    @property
+    def total_length(self) -> int:
+        return len(self.prefix) + self.body_length
+
+
+#: Registry of coin formats, keyed by ticker.  Lengths follow the real
+#: formats closely enough for regex classification to be unambiguous.
+COINS: Dict[str, Coin] = {
+    "XMR": Coin("XMR", "Monero", "4", 94, cryptonote=True),
+    # Monero subaddresses ('8...') share the XMR ticker: operators use
+    # them to segment botnets under one underlying wallet.
+    "XMR_SUB": Coin("XMR", "Monero subaddress", "8", 94, cryptonote=True),
+    "BTC": Coin("BTC", "Bitcoin", "1", 32),
+    "ZEC": Coin("ZEC", "zCash", "t1", 33),
+    "ETN": Coin("ETN", "Electroneum", "etn", 95, cryptonote=True),
+    "ETH": Coin("ETH", "Ethereum", "0x", 40, alphabet="hex"),
+    "AEON": Coin("AEON", "Aeon", "Wm", 95, cryptonote=True),
+    "SUMO": Coin("SUMO", "Sumokoin", "Sumoo", 94, cryptonote=True),
+    "ITNS": Coin("ITNS", "Intensecoin", "iz", 95, cryptonote=True),
+    "TRTL": Coin("TRTL", "Turtlecoin", "TRTL", 95, cryptonote=True),
+    "BCN": Coin("BCN", "Bytecoin", "2", 94, cryptonote=True),
+    "LTC": Coin("LTC", "Litecoin", "L", 32),
+    "DOGE": Coin("DOGE", "Dogecoin", "D", 32),
+}
+
+
+def checksum_suffix(prefix: str, body: str) -> str:
+    """Deterministic 4-character checksum over prefix + body head.
+
+    A stand-in for the real coin checksums: enough to let
+    :func:`is_valid_address` reject mangled or truncated strings, which
+    the paper's extraction heuristics must also do.
+    """
+    digest = hashlib.sha256((prefix + body).encode("ascii")).digest()
+    return "".join(ALPHABET[b % 58] for b in digest[:_CHECK_LEN])
+
+
+def is_valid_address(address: str, coin: Optional[Coin] = None) -> bool:
+    """Validate structure + checksum of a generated address.
+
+    When ``coin`` is None, every registered coin is tried.
+    """
+    candidates = [coin] if coin else list(COINS.values())
+    for c in candidates:
+        if not address.startswith(c.prefix):
+            continue
+        body = address[len(c.prefix):]
+        if len(body) != c.body_length:
+            continue
+        if c.alphabet == "hex":
+            if not all(ch in "0123456789abcdef" for ch in body):
+                continue
+            return True  # hex coins (ETH) carry no base58 checksum here
+        if not is_base58(body):
+            continue
+        head, check = body[:-_CHECK_LEN], body[-_CHECK_LEN:]
+        if checksum_suffix(c.prefix, head) == check:
+            return True
+    return False
+
+
+class WalletFactory:
+    """Mints unique, valid wallet addresses for the synthetic corpus."""
+
+    def __init__(self, rng: DeterministicRNG) -> None:
+        self._rng = rng.substream("wallets")
+        self._minted: set = set()
+
+    def new_address(self, ticker: str) -> str:
+        """Generate a fresh, checksum-valid address for ``ticker``."""
+        coin = COINS[ticker]
+        while True:
+            if coin.alphabet == "hex":
+                body = self._rng.hexbytes(coin.body_length // 2)
+                address = coin.prefix + body
+            else:
+                head_len = coin.body_length - _CHECK_LEN
+                head = "".join(
+                    self._rng.choice(ALPHABET) for _ in range(head_len)
+                )
+                address = coin.prefix + head + checksum_suffix(coin.prefix, head)
+            if address not in self._minted:
+                self._minted.add(address)
+                return address
+
+    def new_email(self, pool_hint: str = "minergate") -> str:
+        """Generate an e-mail identifier (97% of e-mails mine at minergate)."""
+        user = "".join(
+            self._rng.choice("abcdefghijklmnopqrstuvwxyz0123456789")
+            for _ in range(self._rng.randint(6, 14))
+        )
+        domain = self._rng.choice(
+            ["gmail.com", "mail.ru", "yandex.ru", "protonmail.com", "qq.com"]
+        )
+        return f"{user}@{domain}"
+
+    def new_username(self) -> str:
+        """Generate a bare pool username (the paper's 'unknown' identifiers)."""
+        return "worker_" + self._rng.hexbytes(6)

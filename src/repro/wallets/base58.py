@@ -1,0 +1,47 @@
+"""Minimal Base58 codec (Bitcoin alphabet, no 0/O/I/l).
+
+Used to mint syntactically plausible wallet addresses and to verify the
+lightweight checksum embedded in generated addresses.
+"""
+
+ALPHABET = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+_INDEX = {ch: i for i, ch in enumerate(ALPHABET)}
+
+
+def b58encode(data: bytes) -> str:
+    """Encode bytes as a Base58 string (leading zeros become '1')."""
+    num = int.from_bytes(data, "big")
+    encoded = []
+    while num > 0:
+        num, rem = divmod(num, 58)
+        encoded.append(ALPHABET[rem])
+    pad = 0
+    for byte in data:
+        if byte == 0:
+            pad += 1
+        else:
+            break
+    return "1" * pad + "".join(reversed(encoded))
+
+
+def b58decode(text: str) -> bytes:
+    """Decode a Base58 string; raises ValueError on foreign characters."""
+    num = 0
+    for ch in text:
+        try:
+            num = num * 58 + _INDEX[ch]
+        except KeyError:
+            raise ValueError(f"invalid base58 character: {ch!r}") from None
+    body = num.to_bytes((num.bit_length() + 7) // 8, "big") if num else b""
+    pad = 0
+    for ch in text:
+        if ch == "1":
+            pad += 1
+        else:
+            break
+    return b"\x00" * pad + body
+
+
+def is_base58(text: str) -> bool:
+    """True when every character belongs to the Base58 alphabet."""
+    return bool(text) and all(ch in _INDEX for ch in text)

@@ -1,0 +1,25 @@
+"""Mini-YARA rule engine (``yarm`` = YARA, reduced, matching).
+
+The paper applies publicly available YARA rules to decide whether a
+malware sample is a crypto-miner (§III-B).  This package implements a
+self-contained subset of YARA — text strings, regex strings, hex strings,
+and boolean conditions over them (``any of them``, ``2 of them``,
+``$a and not $b``, parentheses) — plus the built-in miner rule set the
+pipeline ships with.
+"""
+
+from repro.yarm.engine import (
+    CompiledRule,
+    Match,
+    RuleSet,
+    compile_rules,
+)
+from repro.yarm.builtin import builtin_miner_rules
+
+__all__ = [
+    "CompiledRule",
+    "Match",
+    "RuleSet",
+    "compile_rules",
+    "builtin_miner_rules",
+]

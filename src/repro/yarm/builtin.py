@@ -1,0 +1,82 @@
+"""Built-in miner-detection rules.
+
+A condensed equivalent of the public Yara-Rules crypto-mining set the
+paper applies: Stratum protocol markers, well-known pool domains, wallet
+prefixes and miner command-line flags.
+"""
+
+from repro.yarm.engine import RuleSet, compile_rules
+
+_MINER_RULES_SOURCE = r'''
+rule StratumProtocol : miner network {
+    meta:
+        description = "Stratum mining protocol URI or login method"
+    strings:
+        $uri1 = "stratum+tcp://"
+        $uri2 = "stratum+ssl://"
+        $login = "\"method\":\"login\""
+        $submit = "\"method\":\"submit\""
+    condition:
+        any of them
+}
+
+rule KnownPoolDomains : miner network {
+    meta:
+        description = "Hard-coded well-known mining pool domains"
+    strings:
+        $p1 = "crypto-pool.fr" nocase
+        $p2 = "dwarfpool.com" nocase
+        $p3 = "minexmr.com" nocase
+        $p4 = "nanopool.org" nocase
+        $p5 = "supportxmr.com" nocase
+        $p6 = "minergate.com" nocase
+        $p7 = "monerohash.com" nocase
+        $p8 = "ppxxmr.com" nocase
+        $p9 = "prohash.net" nocase
+        $p10 = "poolto.be" nocase
+    condition:
+        any of them
+}
+
+rule MinerCommandLine : miner cmdline {
+    meta:
+        description = "Stock miner command-line options"
+    strings:
+        $o1 = "--donate-level"
+        $o2 = "-o stratum"
+        $u1 = "-u 4"
+        $a1 = "--algo cryptonight"
+        $a2 = "--algo=cryptonight"
+        $t1 = "--max-cpu-usage"
+    condition:
+        any of them
+}
+
+rule CryptonoteWallet : miner wallet {
+    meta:
+        description = "CryptoNote-style wallet address prefix heuristics"
+    strings:
+        $xmr = /4[1-9A-HJ-NP-Za-km-z]{93}[1-9A-HJ-NP-Za-km-z]/
+        $etn = /etn[1-9A-HJ-NP-Za-km-z]{95}/
+        $aeon = /Wm[1-9A-HJ-NP-Za-km-z]{95}/
+    condition:
+        any of them
+}
+
+rule IdleMiningEvasion : miner evasion {
+    meta:
+        description = "Idle-mining / monitor-evasion markers"
+    strings:
+        $i1 = "GetLastInputInfo"
+        $i2 = "idle_mining"
+        $t1 = "Taskmgr.exe" nocase
+        $s1 = "--cpu-priority 0"
+    condition:
+        any of them
+}
+'''
+
+
+def builtin_miner_rules() -> RuleSet:
+    """Compile and return the built-in miner rule set."""
+    return compile_rules(_MINER_RULES_SOURCE)

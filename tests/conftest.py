@@ -1,0 +1,33 @@
+"""Shared fixtures.
+
+The synthetic world and the pipeline run are expensive (seconds), so
+they are session-scoped: every integration test shares one deterministic
+world (seed 1, scale 0.01) and one measurement result.
+"""
+
+import pytest
+
+from repro.common.rng import DeterministicRNG
+from repro.core.pipeline import MeasurementPipeline
+from repro.corpus.generator import generate_world
+from repro.corpus.model import ScenarioConfig
+
+
+@pytest.fixture
+def rng():
+    return DeterministicRNG(1234)
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    return generate_world(ScenarioConfig(seed=1, scale=0.01))
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(small_world):
+    return MeasurementPipeline(small_world).run()
+
+
+@pytest.fixture(scope="session")
+def stock_catalog(small_world):
+    return small_world.stock_catalog

@@ -1,0 +1,277 @@
+"""Tests for the exhibit generators against the shared world.
+
+These assert the *shapes* the paper reports: who wins, skew, band
+structure — not absolute values (the corpus is scaled down ~100x).
+"""
+
+import datetime
+
+import pytest
+
+from repro.analysis import (
+    fig1_forum_trends,
+    fig4_cdf,
+    fig5_pools_per_campaign,
+    fig6_campaign_structure,
+    fig7_payment_timeline,
+    headline_monero_fraction,
+    table3_dataset,
+    table4_currencies,
+    table5_pre2014_reuse,
+    table6_hosting_domains,
+    table7_pool_popularity,
+    table8_top_campaigns,
+    table9_stock_tools,
+    table10_packers,
+    table11_infrastructure,
+    table12_related_work,
+    table14_top_wallets,
+    table15_email_pools,
+)
+from repro.analysis.exhibits import (
+    cdf_quantile,
+    fork_dieoff,
+    monthly_payment_series,
+    multi_pool_share,
+    stock_tool_campaign_share,
+)
+
+D = datetime.date
+
+
+class TestFig1:
+    def test_monero_wins_2018(self, small_world):
+        shares = fig1_forum_trends(small_world.forum_corpus)
+        assert max(shares[2018], key=shares[2018].get) == "Monero"
+
+    def test_bitcoin_wins_2012(self, small_world):
+        shares = fig1_forum_trends(small_world.forum_corpus)
+        assert max(shares[2012], key=shares[2012].get) == "Bitcoin"
+
+
+class TestTable3:
+    def test_structure(self, pipeline_result):
+        rows = table3_dataset(pipeline_result)
+        assert rows["ALL EXECUTABLES"] == (rows["Miner Binaries"]
+                                           + rows["Ancillary Binaries"])
+        assert rows["Miner Binaries"] > rows["Ancillary Binaries"]
+        assert rows["Sandbox Analysis"] > 0
+
+
+class TestTable4:
+    def test_monero_most_common(self, pipeline_result):
+        data = table4_currencies(pipeline_result)
+        per_currency = data["campaigns_per_currency"]
+        assert max(per_currency, key=per_currency.get) == "XMR"
+        assert per_currency["XMR"] > per_currency.get("BTC", 0)
+
+    def test_email_campaigns_counted(self, pipeline_result):
+        data = table4_currencies(pipeline_result)
+        assert data["email_campaigns"] > 0
+
+    def test_xmr_samples_peak_2017(self, pipeline_result):
+        data = table4_currencies(pipeline_result)
+        xmr_years = data["samples_per_year"]["XMR"]
+        if "2017" in xmr_years:
+            assert xmr_years["2017"] >= xmr_years.get("2014", 0)
+
+
+class TestFig4:
+    def test_skew(self, pipeline_result):
+        """99% of campaigns earn <100 XMR (paper, Fig. 4 narrative)."""
+        cdf = fig4_cdf(pipeline_result)
+        share_small = cdf_quantile(cdf["earnings_xmr"], 100.0)
+        assert share_small >= 0.7
+        assert cdf["samples"][0] >= 1
+
+    def test_sorted(self, pipeline_result):
+        cdf = fig4_cdf(pipeline_result)
+        for series in cdf.values():
+            assert series == sorted(series)
+
+
+class TestTable5:
+    def test_four_pre2014_droppers(self, pipeline_result):
+        rows = table5_pre2014_reuse(pipeline_result)
+        assert len(rows) == 4
+        assert sorted(r["year"] for r in rows) == \
+            ["2012", "2013", "2013", "2013"]
+
+    def test_shared_wallet_pair(self, pipeline_result):
+        """Two of the four link to the same XMR wallet (Table V)."""
+        rows = table5_pre2014_reuse(pipeline_result)
+        wallets = [r["xmr_wallet"] for r in rows]
+        assert len(set(wallets)) < len(wallets)
+
+
+class TestTable6:
+    def test_rows_sorted_by_samples(self, pipeline_result):
+        rows = table6_hosting_domains(pipeline_result)
+        counts = [r[1] for r in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_public_repos_present(self, pipeline_result):
+        domains = {r[0] for r in table6_hosting_domains(pipeline_result,
+                                                        top=100)}
+        assert any("github" in d or "amazonaws" in d or "weebly" in d
+                   for d in domains)
+
+
+class TestFig5:
+    def test_rich_campaigns_use_more_pools(self, pipeline_result):
+        share = multi_pool_share(pipeline_result, min_xmr=1000.0)
+        assert share > 0.5  # paper: 97%
+
+    def test_histograms_cover_campaigns(self, pipeline_result):
+        histograms = fig5_pools_per_campaign(pipeline_result)
+        total = sum(sum(h.values()) for h in histograms.values())
+        xmr_paying = [c for c in pipeline_result.campaigns
+                      if "XMR" in c.coins and c.total_xmr > 0]
+        assert total == len(xmr_paying)
+
+
+class TestTable7:
+    def test_sorted_by_volume(self, pipeline_result):
+        rows = table7_pool_popularity(pipeline_result)
+        volumes = [r["xmr_mined"] for r in rows]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_big_three_present(self, pipeline_result):
+        pools = {r["pool"] for r in table7_pool_popularity(pipeline_result)}
+        assert {"crypto-pool", "dwarfpool", "minexmr"} <= pools
+
+    def test_minergate_absent(self, pipeline_result):
+        """Opaque pools cannot appear in payment-derived stats."""
+        pools = {r["pool"] for r in table7_pool_popularity(pipeline_result)}
+        assert "minergate" not in pools
+
+
+class TestTable8:
+    def test_top1_dominates(self, pipeline_result):
+        data = table8_top_campaigns(pipeline_result)
+        assert data["top1_share"] > 0.15  # paper: ~22%
+
+    def test_rows_sorted(self, pipeline_result):
+        data = table8_top_campaigns(pipeline_result)
+        xmr = [r["xmr"] for r in data["rows"]]
+        assert xmr == sorted(xmr, reverse=True)
+
+    def test_freebuf_is_top(self, small_world, pipeline_result):
+        data = table8_top_campaigns(pipeline_result)
+        assert data["rows"][0]["xmr"] == pytest.approx(163_756, rel=0.05)
+        assert data["rows"][0]["end"] == "active*"
+
+
+class TestTable9:
+    def test_attributions_exist(self, pipeline_result):
+        rows = table9_stock_tools(pipeline_result)
+        assert rows
+        names = {r["tool"] for r in rows}
+        assert names <= {"xmrig", "claymore", "niceHash", "learnMiner",
+                         "ccminer"}
+
+    def test_share_of_campaigns(self, pipeline_result):
+        share = stock_tool_campaign_share(pipeline_result)
+        assert 0.0 < share < 0.5  # paper: ~18%
+
+
+class TestTable10:
+    def test_upx_dominant(self, pipeline_result):
+        rows = table10_packers(pipeline_result)
+        packed = {k: v for k, v in rows.items() if k != "Not packed"}
+        assert max(packed, key=packed.get) == "UPX"
+
+    def test_majority_unpacked(self, pipeline_result):
+        rows = table10_packers(pipeline_result)
+        packed_total = sum(v for k, v in rows.items()
+                           if k != "Not packed")
+        assert rows["Not packed"] > packed_total
+
+
+class TestTable11:
+    def test_cnames_concentrate_at_top(self, pipeline_result):
+        columns = table11_infrastructure(pipeline_result)
+        assert columns[">=10k"]["cnames"] >= columns["<100"]["cnames"]
+
+    def test_fork_dieoff_shape(self, pipeline_result):
+        dieoff = fork_dieoff(pipeline_result)
+        assert len(dieoff) == 3
+        assert dieoff[0] > 0.5            # most campaigns die at fork 1
+        assert dieoff == sorted(dieoff)   # cumulative attrition
+
+    def test_all_column_counts(self, pipeline_result):
+        columns = table11_infrastructure(pipeline_result)
+        band_total = sum(int(columns[b]["#campaigns"])
+                         for b in ["<100", "[100-1k)", "[1k-10k)", ">=10k"])
+        assert band_total == int(columns["ALL"]["#campaigns"])
+
+
+class TestTable12:
+    def test_static_rows(self):
+        rows = table12_related_work()
+        assert len(rows) == 6
+
+    def test_with_result_appends_ours(self, pipeline_result):
+        rows = table12_related_work(pipeline_result)
+        assert rows[-1]["work"] == "This reproduction"
+        assert "XMR" in rows[-1]["profits"]
+
+
+class TestFig6and7:
+    def _freebuf(self, small_world, pipeline_result):
+        truth = [c for c in small_world.ground_truth
+                 if c.label == "Freebuf"][0]
+        return pipeline_result.campaign_for_wallet(truth.identifiers[0])
+
+    def test_structure_summary(self, small_world, pipeline_result):
+        campaign = self._freebuf(small_world, pipeline_result)
+        structure = fig6_campaign_structure(pipeline_result, campaign)
+        assert structure["wallets"] == 7
+        assert "xt.freebuf.info" in structure["cname_aliases"]
+
+    def test_payment_timeline(self, small_world, pipeline_result):
+        campaign = self._freebuf(small_world, pipeline_result)
+        timeline = fig7_payment_timeline(pipeline_result, campaign)
+        assert timeline
+        monthly = monthly_payment_series(timeline)
+        months = sorted({m for series in monthly.values()
+                         for m in series})
+        assert months[0] < "2017"
+        assert months[-1] >= "2018-10"
+
+    def test_intervention_reduces_payments(self, small_world,
+                                           pipeline_result):
+        """After the Oct-2018 bans + fork, Freebuf's payments collapse
+        (Fig. 8: 'nearly turning it off')."""
+        campaign = self._freebuf(small_world, pipeline_result)
+        monthly = monthly_payment_series(
+            fig7_payment_timeline(pipeline_result, campaign))
+        total_by_month = {}
+        for series in monthly.values():
+            for month, amount in series.items():
+                total_by_month[month] = total_by_month.get(month, 0) + amount
+        before = [v for m, v in total_by_month.items()
+                  if "2018-04" <= m < "2018-10"]
+        after = [v for m, v in total_by_month.items() if m >= "2018-11"]
+        assert before and after
+        assert max(after) < max(before) * 0.5
+
+
+class TestTables14and15:
+    def test_top_wallets_sorted(self, pipeline_result):
+        rows = table14_top_wallets(pipeline_result)
+        values = [r["xmr"] for r in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_emails_concentrate_at_minergate(self, pipeline_result):
+        rows = table15_email_pools(pipeline_result)
+        assert rows
+        assert max(rows, key=rows.get) == "minergate"
+
+
+class TestHeadline:
+    def test_fraction_positive(self, pipeline_result):
+        headline = headline_monero_fraction(pipeline_result)
+        assert headline["total_xmr"] > 0
+        assert 0 < headline["fraction"] < 0.05
+        assert headline["circulating_supply"] > 16e6

@@ -1,0 +1,83 @@
+"""Tests for the Fig. 6 campaign-graph exports."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.graphs import (
+    NODE_COLORS,
+    campaign_graph,
+    structure_metrics,
+    to_dot,
+    to_edge_list,
+)
+
+
+@pytest.fixture(scope="module")
+def freebuf_campaign(small_world, pipeline_result):
+    truth = next(c for c in small_world.ground_truth
+                 if c.label == "Freebuf")
+    return pipeline_result.campaign_for_wallet(truth.identifiers[0])
+
+
+@pytest.fixture(scope="module")
+def freebuf_graph(freebuf_campaign):
+    return campaign_graph(freebuf_campaign)
+
+
+class TestCampaignGraph:
+    def test_node_types_present(self, freebuf_graph):
+        types = {attrs["node_type"]
+                 for _, attrs in freebuf_graph.nodes(data=True)}
+        assert {"miner", "wallet", "domain"} <= types
+
+    def test_wallet_count_matches(self, freebuf_campaign, freebuf_graph):
+        wallets = [n for n, a in freebuf_graph.nodes(data=True)
+                   if a["node_type"] == "wallet"]
+        assert len(wallets) == freebuf_campaign.num_wallets
+
+    def test_aliases_as_domain_nodes(self, freebuf_graph):
+        domains = {n for n, a in freebuf_graph.nodes(data=True)
+                   if a["node_type"] == "domain"}
+        assert "d:xt.freebuf.info" in domains
+
+    def test_graph_connected_through_features(self, freebuf_graph):
+        """The Fig. 6a observation: the campaign holds together through
+        identifier + ancestor + CNAME paths."""
+        # isolated operation marker nodes aside, the core is connected
+        core = freebuf_graph.subgraph([
+            n for n, a in freebuf_graph.nodes(data=True)
+            if a["node_type"] != "operation"
+        ])
+        giant = max(nx.connected_components(core), key=len)
+        assert len(giant) / core.number_of_nodes() > 0.9
+
+    def test_edge_features_labelled(self, freebuf_graph):
+        features = {attrs["feature"]
+                    for _, _, attrs in freebuf_graph.edges(data=True)}
+        assert "same_identifier" in features
+        assert "cname" in features
+
+
+class TestSerialisation:
+    def test_dot_output(self, freebuf_graph):
+        dot = to_dot(freebuf_graph, title="freebuf")
+        assert dot.startswith('graph "freebuf"')
+        assert dot.rstrip().endswith("}")
+        assert NODE_COLORS["wallet"] in dot
+        assert '"d:xt.freebuf.info"' in dot
+
+    def test_edge_list_sorted_and_stable(self, freebuf_graph):
+        edges = to_edge_list(freebuf_graph)
+        assert edges == sorted(edges)
+        assert to_edge_list(freebuf_graph) == edges
+
+    def test_metrics(self, freebuf_graph):
+        metrics = structure_metrics(freebuf_graph)
+        assert metrics["nodes"] > 0
+        assert metrics["n_wallet"] == 7
+        assert metrics["edges"] >= metrics["nodes"] - metrics["components"]
+
+    def test_empty_graph_metrics(self):
+        metrics = structure_metrics(nx.Graph())
+        assert metrics["nodes"] == 0
+        assert metrics["components"] == 0

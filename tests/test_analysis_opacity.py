@@ -1,0 +1,43 @@
+"""Tests for the opaque-pool gap estimator."""
+
+import pytest
+
+from repro.analysis.opacity import (
+    estimate_opacity_gap,
+    opaque_identifiers,
+)
+
+
+class TestOpaqueIdentifiers:
+    def test_minergate_emails_counted(self, pipeline_result):
+        hidden = opaque_identifiers(pipeline_result)
+        emails = [i for i in hidden if "@" in i]
+        assert emails  # the minergate e-mail population is invisible
+
+    def test_profiled_wallets_excluded(self, pipeline_result):
+        hidden = set(opaque_identifiers(pipeline_result))
+        assert not hidden & set(pipeline_result.profiles)
+
+
+class TestGapEstimate:
+    def test_shape(self, pipeline_result):
+        gap = estimate_opacity_gap(pipeline_result)
+        assert gap.measured_identifiers > 0
+        assert gap.measured_xmr > 0
+        assert gap.opaque_identifiers > 0
+        assert gap.estimated_hidden_xmr_median >= 0
+
+    def test_median_bound_conservative(self, pipeline_result):
+        """Skew makes the mean bound >= the median bound."""
+        gap = estimate_opacity_gap(pipeline_result)
+        assert gap.estimated_hidden_xmr_mean >= \
+            gap.estimated_hidden_xmr_median
+
+    def test_undercount_fraction_bounded(self, pipeline_result):
+        gap = estimate_opacity_gap(pipeline_result)
+        assert 0.0 <= gap.undercount_fraction_median < 1.0
+
+    def test_consistency(self, pipeline_result):
+        gap = estimate_opacity_gap(pipeline_result)
+        assert gap.estimated_hidden_xmr_median == pytest.approx(
+            gap.median_xmr_per_identifier * gap.opaque_identifiers)

@@ -1,0 +1,114 @@
+"""Tests for the wallet-rotation detector."""
+
+import datetime
+
+import pytest
+
+from repro.analysis.rotation import (
+    RotationCandidate,
+    detect_rotations,
+    score_against_campaigns,
+)
+from repro.core.pipeline import MeasurementResult
+from repro.core.profit import WalletProfile
+from repro.core.records import WalletRecord
+
+D = datetime.date
+
+
+def _profile(wallet, pool, history):
+    record = WalletRecord(pool=pool, user=wallet,
+                          hashrate_history=history,
+                          total_paid=1.0)
+    profile = WalletProfile(identifier=wallet, records=[record])
+    return profile
+
+
+def _result_with(profiles):
+    return MeasurementResult(records=[], campaigns=[],
+                             profiles=profiles, verdicts={},
+                             stats=None, proxy_ips=set())
+
+
+def _steady(start, end, rate, step=7):
+    days = []
+    current = start
+    while current <= end:
+        days.append((current, rate))
+        current += datetime.timedelta(days=step)
+    return days
+
+
+class TestDetection:
+    def test_clean_handover_detected(self):
+        profiles = {
+            "WA": _profile("WA", "minexmr",
+                           _steady(D(2018, 1, 1), D(2018, 4, 1), 5e5)),
+            "WB": _profile("WB", "minexmr",
+                           _steady(D(2018, 4, 10), D(2018, 9, 1), 4.5e5)),
+        }
+        candidates = detect_rotations(_result_with(profiles), "minexmr")
+        assert len(candidates) == 1
+        c = candidates[0]
+        assert (c.from_wallet, c.to_wallet) == ("WA", "WB")
+        assert c.rate_similarity > 0.8
+
+    def test_large_gap_rejected(self):
+        profiles = {
+            "WA": _profile("WA", "minexmr",
+                           _steady(D(2018, 1, 1), D(2018, 2, 1), 5e5)),
+            "WB": _profile("WB", "minexmr",
+                           _steady(D(2018, 8, 1), D(2018, 9, 1), 5e5)),
+        }
+        assert detect_rotations(_result_with(profiles), "minexmr") == []
+
+    def test_concurrent_wallets_not_rotation(self):
+        profiles = {
+            "WA": _profile("WA", "minexmr",
+                           _steady(D(2018, 1, 1), D(2018, 9, 1), 5e5)),
+            "WB": _profile("WB", "minexmr",
+                           _steady(D(2018, 1, 1), D(2018, 9, 1), 5e5)),
+        }
+        assert detect_rotations(_result_with(profiles), "minexmr") == []
+
+    def test_dissimilar_rates_rejected(self):
+        profiles = {
+            "WA": _profile("WA", "minexmr",
+                           _steady(D(2018, 1, 1), D(2018, 4, 1), 5e6)),
+            "WB": _profile("WB", "minexmr",
+                           _steady(D(2018, 4, 10), D(2018, 9, 1), 2e3)),
+        }
+        assert detect_rotations(_result_with(profiles), "minexmr") == []
+
+    def test_dust_rates_ignored(self):
+        profiles = {
+            "WA": _profile("WA", "minexmr",
+                           _steady(D(2018, 1, 1), D(2018, 4, 1), 10.0)),
+            "WB": _profile("WB", "minexmr",
+                           _steady(D(2018, 4, 10), D(2018, 9, 1), 10.0)),
+        }
+        assert detect_rotations(_result_with(profiles), "minexmr") == []
+
+    def test_other_pool_history_not_used(self):
+        profiles = {
+            "WA": _profile("WA", "crypto-pool",
+                           _steady(D(2018, 1, 1), D(2018, 4, 1), 5e5)),
+            "WB": _profile("WB", "crypto-pool",
+                           _steady(D(2018, 4, 10), D(2018, 9, 1), 5e5)),
+        }
+        assert detect_rotations(_result_with(profiles), "minexmr") == []
+
+
+class TestOnMeasuredWorld:
+    def test_freebuf_rotation_found(self, small_world, pipeline_result):
+        """Freebuf rotates wallets at minexmr around the 2018 forks —
+        the detector should surface at least one in-campaign hand-over."""
+        candidates = detect_rotations(pipeline_result, "minexmr")
+        assert candidates
+        scores = score_against_campaigns(candidates, pipeline_result)
+        assert scores["inside_campaign"] >= 1
+
+    def test_scores_partition(self, pipeline_result):
+        candidates = detect_rotations(pipeline_result, "minexmr")
+        scores = score_against_campaigns(candidates, pipeline_result)
+        assert sum(scores.values()) == len(candidates)

@@ -1,0 +1,43 @@
+"""Tests for the Appendix C source-overlap analysis."""
+
+import pytest
+
+from repro.analysis.sources import (
+    exclusive_counts,
+    source_coverage,
+    source_overlap_matrix,
+)
+
+
+class TestSourceOverlap:
+    def test_feeds_overlap(self, small_world, pipeline_result):
+        """Per-feed counts exceed the dataset size (Table III shape)."""
+        by_source = pipeline_result.stats.by_source
+        total = len(pipeline_result.records)
+        assert sum(by_source.values()) > total
+
+    def test_vt_dominates_coverage(self, small_world, pipeline_result):
+        coverage = source_coverage(small_world, pipeline_result)
+        assert coverage["Virus Total"] == max(coverage.values())
+        assert coverage["Virus Total"] > 0.6
+
+    def test_vt_pa_pair_is_largest_overlap(self, small_world,
+                                           pipeline_result):
+        matrix = source_overlap_matrix(small_world, pipeline_result)
+        assert matrix
+        biggest = max(matrix, key=matrix.get)
+        assert set(biggest) == {"Palo Alto Networks", "Virus Total"}
+
+    def test_exclusive_plus_shared_consistent(self, small_world,
+                                              pipeline_result):
+        exclusive = exclusive_counts(small_world, pipeline_result)
+        total = len(pipeline_result.records)
+        shared = total - sum(exclusive.values())
+        assert shared > 0
+        assert sum(exclusive.values()) > 0
+
+    def test_coverage_fractions_bounded(self, small_world,
+                                        pipeline_result):
+        for feed, fraction in source_coverage(small_world,
+                                              pipeline_result).items():
+            assert 0.0 < fraction <= 1.0, feed

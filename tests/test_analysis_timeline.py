@@ -1,0 +1,104 @@
+"""Tests for ecosystem timeline analytics and scenario presets."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    active_campaigns_per_month,
+    average_monthly_usd,
+    campaign_starts_per_month,
+    monthly_ecosystem_series,
+    peak_month,
+)
+from repro.corpus.model import ScenarioConfig
+from repro.corpus.scenarios import available_scenarios, scenario
+
+
+class TestMonthlySeries:
+    def test_series_sorted_and_positive(self, pipeline_result):
+        series = monthly_ecosystem_series(pipeline_result)
+        assert series
+        months = [p.month for p in series]
+        assert months == sorted(months)
+        assert all(p.xmr_paid > 0 for p in series)
+        assert all(p.wallets_paid >= 1 for p in series)
+
+    def test_usd_tracks_price_regime(self, pipeline_result):
+        """USD/XMR ratio must be far higher near the Jan-2018 peak than
+        in the 2016 sub-10-dollar era."""
+        series = monthly_ecosystem_series(pipeline_result)
+        by_month = {p.month: p for p in series}
+        early = [p for m, p in by_month.items() if m < "2016-09"]
+        peak = [p for m, p in by_month.items()
+                if "2017-12" <= m <= "2018-02"]
+        if early and peak:
+            early_rate = sum(p.usd_paid for p in early) / \
+                sum(p.xmr_paid for p in early)
+            peak_rate = sum(p.usd_paid for p in peak) / \
+                sum(p.xmr_paid for p in peak)
+            assert peak_rate > early_rate * 10
+
+    def test_post_fork_collapse(self, pipeline_result):
+        """XMR paid per month collapses after the October 2018 fork +
+        intervention (Fig. 7/8 at ecosystem level)."""
+        series = monthly_ecosystem_series(pipeline_result)
+        mid_2018 = [p.xmr_paid for p in series
+                    if "2018-04" <= p.month <= "2018-09"]
+        early_2019 = [p.xmr_paid for p in series
+                      if "2019-01" <= p.month <= "2019-04"]
+        assert mid_2018 and early_2019
+        assert max(early_2019) < max(mid_2018)
+
+    def test_average_monthly_usd_range_filter(self, pipeline_result):
+        series = monthly_ecosystem_series(pipeline_result)
+        overall = average_monthly_usd(series)
+        windowed = average_monthly_usd(series, first="2018-01",
+                                       last="2018-06")
+        assert overall > 0
+        assert windowed >= 0
+        assert average_monthly_usd(series, first="2030-01") == 0.0
+
+    def test_peak_month(self, pipeline_result):
+        series = monthly_ecosystem_series(pipeline_result)
+        peak = peak_month(series)
+        assert peak is not None
+        assert peak.usd_paid == max(p.usd_paid for p in series)
+        assert peak_month([]) is None
+
+
+class TestCampaignActivity:
+    def test_active_campaigns_counts(self, pipeline_result):
+        active = active_campaigns_per_month(pipeline_result)
+        assert active
+        paying = len([c for c in pipeline_result.campaigns
+                      if c.total_xmr > 0])
+        assert max(active.values()) <= paying
+
+    def test_starts_per_month(self, pipeline_result):
+        starts = campaign_starts_per_month(pipeline_result)
+        total = sum(starts.values())
+        with_fs = len([c for c in pipeline_result.campaigns
+                       if c.first_seen is not None])
+        assert total == with_fs
+
+
+class TestScenarios:
+    def test_known_presets(self):
+        assert {"smoke", "test", "bench", "large"} <= \
+            set(available_scenarios())
+
+    def test_fresh_instances(self):
+        a = scenario("smoke")
+        b = scenario("smoke")
+        assert a is not b
+        a.scale = 99.0
+        assert scenario("smoke").scale != 99.0
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            scenario("nope")
+
+    def test_presets_are_valid_configs(self):
+        for name in available_scenarios():
+            config = scenario(name)
+            assert isinstance(config, ScenarioConfig)
+            assert config.scale > 0

@@ -1,0 +1,79 @@
+"""Tests for the Huang et al. 2014 baseline (§VII comparison)."""
+
+import pytest
+
+from repro.baselines.huang2014 import (
+    attempt_on_monero,
+    build_btc_ledger_from_world,
+    run_huang2014_baseline,
+)
+
+
+def btc_wallets(world):
+    return [
+        wallet
+        for campaign in world.ground_truth
+        if campaign.coin == "BTC"
+        for wallet in campaign.identifiers
+    ]
+
+
+class TestLedgerConstruction:
+    def test_payouts_materialised(self, small_world):
+        ledger = build_btc_ledger_from_world(small_world)
+        funded = [w for w in btc_wallets(small_world)
+                  if ledger.balance_received(w) > 0]
+        assert funded
+
+    def test_deterministic(self, small_world):
+        l1 = build_btc_ledger_from_world(small_world, seed=11)
+        l2 = build_btc_ledger_from_world(small_world, seed=11)
+        wallets = btc_wallets(small_world)
+        assert [l1.balance_received(w) for w in wallets] == \
+            [l2.balance_received(w) for w in wallets]
+
+
+class TestBaselineOnBtc:
+    def test_recovers_wallet_income(self, small_world):
+        result = run_huang2014_baseline(small_world,
+                                        btc_wallets(small_world))
+        assert result.wallets_analyzed > 0
+        assert result.total_btc > 0
+
+    def test_btc_earnings_negligible_in_usd(self, small_world):
+        """§IV-B: BTC wallets in the dataset earned < 5K USD total."""
+        result = run_huang2014_baseline(small_world,
+                                        btc_wallets(small_world))
+        assert result.total_usd < 5000
+
+    def test_cospend_clusters_multiwallet_campaigns(self, small_world):
+        result = run_huang2014_baseline(small_world,
+                                        btc_wallets(small_world))
+        assert result.operations >= 1
+        # every cluster is within one ground-truth campaign (no merges)
+        wallet_owner = {
+            wallet: campaign.campaign_id
+            for campaign in small_world.ground_truth
+            for wallet in campaign.identifiers
+        }
+        for cluster in result.clusters:
+            owners = {wallet_owner[w] for w in cluster
+                      if w in wallet_owner}
+            assert len(owners) == 1
+
+    def test_unknown_wallets_skipped(self, small_world):
+        result = run_huang2014_baseline(small_world, ["1NotARealWallet"])
+        assert result.wallets_analyzed == 0
+
+
+class TestBaselineOnMonero:
+    def test_fails_on_opaque_ledger(self, small_world):
+        """The methodology pivot: chain analysis is impossible on
+        CryptoNote coins, so the paper queries pools instead."""
+        xmr_wallets = [
+            w for c in small_world.ground_truth if c.coin == "XMR"
+            for w in c.identifiers
+        ]
+        message = attempt_on_monero(xmr_wallets)
+        assert "opaque" in message
+        assert "pool" in message

@@ -1,0 +1,127 @@
+"""Tests for the botnet-population and economics substrate."""
+
+import datetime
+
+import pytest
+
+from repro.botnet.economics import MarketRates, campaign_roi
+from repro.botnet.population import (
+    HASHRATE_PER_BOT,
+    BotnetConfig,
+    BotnetSimulator,
+)
+from repro.common.rng import DeterministicRNG
+
+D = datetime.date
+
+
+def simulate(config=None, start=D(2017, 6, 1), end=D(2018, 6, 1),
+             seed=9):
+    sim = BotnetSimulator(config or BotnetConfig(),
+                          DeterministicRNG(seed))
+    return sim, sim.run(start, end)
+
+
+class TestPopulation:
+    def test_trace_covers_window(self):
+        _, trace = simulate()
+        assert len(trace) == 365
+        assert trace[0].day == D(2017, 6, 1)
+
+    def test_deterministic(self):
+        _, t1 = simulate(seed=4)
+        _, t2 = simulate(seed=4)
+        assert [d.bots for d in t1] == [d.bots for d in t2]
+
+    def test_attrition_decays_without_resupply(self):
+        config = BotnetConfig(initial_installs=1000,
+                              max_resupplies=0, target_cap=None)
+        _, trace = simulate(config)
+        assert trace[-1].bots < trace[0].bots * 0.2
+
+    def test_resupply_sustains_population(self):
+        config = BotnetConfig(initial_installs=1000, resupply_batch=600,
+                              max_resupplies=20, target_cap=None)
+        _, trace = simulate(config)
+        assert trace[-1].bots > 300
+        assert sum(d.installs_bought for d in trace) > 0
+
+    def test_target_cap_respected(self):
+        """The '<2K bots' stealth advice from the forums (§II)."""
+        config = BotnetConfig(initial_installs=5000, target_cap=2000)
+        _, trace = simulate(config)
+        assert max(d.bots for d in trace) <= 2000
+
+    def test_idle_mining_duty_cycle(self):
+        idle_cfg = BotnetConfig(idle_mining=True)
+        greedy_cfg = BotnetConfig(idle_mining=False)
+        _, idle = simulate(idle_cfg)
+        _, greedy = simulate(greedy_cfg)
+        assert idle[0].effective_bots < greedy[0].effective_bots
+        assert idle[0].bots == greedy[0].bots
+
+    def test_hashrate_proportional_to_bots(self):
+        _, trace = simulate()
+        for day in trace[:20]:
+            assert day.hashrate_hs == pytest.approx(
+                day.effective_bots * HASHRATE_PER_BOT)
+
+    def test_distinct_ips_grow_with_resupply(self):
+        sim, trace = simulate(BotnetConfig(
+            initial_installs=1000, resupply_batch=800,
+            max_resupplies=10, target_cap=None))
+        ips = sim.distinct_ips(trace)
+        assert ips > trace[0].bots  # cumulative > instantaneous
+
+    def test_mined_xmr_positive(self):
+        sim, trace = simulate()
+        assert sim.mined_xmr(trace) > 0
+
+
+class TestEconomics:
+    def test_roi_high_for_typical_operation(self):
+        """§VIII: 'relatively low cost and high return of investment'."""
+        sim, trace = simulate(BotnetConfig(initial_installs=2000,
+                                           target_cap=None,
+                                           max_resupplies=5))
+        economics = campaign_roi(sim, trace)
+        assert economics.revenue_usd > economics.total_cost
+        assert economics.roi > 3.0
+
+    def test_cost_components(self):
+        sim, trace = simulate()
+        economics = campaign_roi(sim, trace, uses_proxy=True,
+                                 uses_private_pool=True)
+        assert economics.install_cost > 0
+        assert economics.tooling_cost >= MarketRates().encrypted_miner
+        assert economics.infra_cost > 0
+        assert economics.total_cost == pytest.approx(
+            economics.install_cost + economics.tooling_cost
+            + economics.infra_cost)
+
+    def test_proxy_adds_cost(self):
+        sim, trace = simulate()
+        plain = campaign_roi(sim, trace, uses_proxy=False)
+        proxied = campaign_roi(sim, trace, uses_proxy=True)
+        assert proxied.total_cost > plain.total_cost
+        assert proxied.revenue_usd == pytest.approx(plain.revenue_usd)
+
+    def test_revenue_uses_dated_prices(self):
+        """Mining across the Jan-2018 peak is worth far more per XMR
+        than the 54-USD flat average."""
+        sim, trace = simulate(start=D(2017, 12, 1), end=D(2018, 2, 1))
+        economics = campaign_roi(sim, trace)
+        assert economics.revenue_usd > economics.mined_xmr * 54 * 3
+
+    def test_profit_definition(self):
+        sim, trace = simulate()
+        economics = campaign_roi(sim, trace)
+        assert economics.profit_usd == pytest.approx(
+            economics.revenue_usd - economics.total_cost)
+
+    def test_zero_cost_roi_infinite(self):
+        from repro.botnet.economics import CampaignEconomics
+        economics = CampaignEconomics(
+            installs=0, install_cost=0.0, tooling_cost=0.0,
+            infra_cost=0.0, mined_xmr=1.0, revenue_usd=54.0)
+        assert economics.roi == float("inf")

@@ -1,0 +1,65 @@
+"""Tests for the campaign-dossier renderer."""
+
+import pytest
+
+from repro.reporting.campaign_report import (
+    render_campaign_report,
+    render_top_campaign_reports,
+)
+
+
+@pytest.fixture(scope="module")
+def freebuf(small_world, pipeline_result):
+    truth = next(c for c in small_world.ground_truth
+                 if c.label == "Freebuf")
+    return pipeline_result.campaign_for_wallet(truth.identifiers[0])
+
+
+class TestCampaignReport:
+    def test_sections_present(self, pipeline_result, freebuf):
+        report = render_campaign_report(pipeline_result, freebuf,
+                                        title="Freebuf")
+        for heading in ("# Freebuf", "## Identity", "## Infrastructure",
+                        "## Attribution", "## Payment timeline",
+                        "## Grouping evidence"):
+            assert heading in report
+
+    def test_identity_details(self, pipeline_result, freebuf):
+        report = render_campaign_report(pipeline_result, freebuf)
+        assert "identifiers: 7" in report
+        assert "XMR" in report
+
+    def test_aliases_listed(self, pipeline_result, freebuf):
+        report = render_campaign_report(pipeline_result, freebuf)
+        assert "xt.freebuf.info" in report
+        assert "x.alibuf.com" in report
+
+    def test_fork_annotations(self, pipeline_result, freebuf):
+        report = render_campaign_report(pipeline_result, freebuf)
+        assert "PoW fork 2018-04-06" in report or \
+            "PoW fork 2018-10-18" in report
+
+    def test_novel_campaign_marked(self, pipeline_result, freebuf):
+        report = render_campaign_report(pipeline_result, freebuf)
+        assert "none (novel)" in report  # §V: previously unreported
+
+    def test_wallet_truncation(self, pipeline_result, freebuf):
+        """Full wallets never leak into reports, only prefixes."""
+        report = render_campaign_report(pipeline_result, freebuf)
+        for identifier in freebuf.identifiers:
+            assert identifier not in report
+            assert identifier[:16] in report
+
+    def test_top_reports_concatenated(self, pipeline_result):
+        bundle = render_top_campaign_reports(pipeline_result, top=2)
+        assert bundle.count("# Campaign C#") == 2
+        assert "---" in bundle
+
+    def test_campaign_without_payments(self, pipeline_result):
+        silent = next((c for c in pipeline_result.campaigns
+                       if c.total_xmr == 0), None)
+        if silent is None:
+            pytest.skip("no zero-earning campaign at this seed")
+        report = render_campaign_report(pipeline_result, silent)
+        assert "## Payment timeline" not in report
+        assert "## Identity" in report

@@ -1,0 +1,139 @@
+"""Unit tests for the blockchain substrate (emission, PoW, BTC ledger)."""
+
+import datetime
+
+import pytest
+
+from repro.chain.btc_ledger import BtcLedger, OpaqueLedger, Transaction
+from repro.chain.emission import (
+    EmissionSchedule,
+    MONERO_EMISSION,
+    network_hashrate_hs,
+)
+from repro.chain.pow import ALGO_BY_ERA, algo_at, max_era_for_software
+from repro.common.errors import ReproError
+
+D = datetime.date
+
+
+class TestEmission:
+    def test_zero_before_genesis(self):
+        assert MONERO_EMISSION.circulating_supply(D(2013, 1, 1)) == 0.0
+
+    def test_supply_monotone(self):
+        dates = [D(2015, 1, 1), D(2016, 1, 1), D(2017, 1, 1),
+                 D(2018, 1, 1), D(2019, 1, 1)]
+        supplies = [MONERO_EMISSION.circulating_supply(d) for d in dates]
+        assert supplies == sorted(supplies)
+        assert supplies[0] > 0
+
+    def test_supply_matches_real_monero_apr_2019(self):
+        """~16.9M XMR circulating when the paper's polling ended."""
+        supply = MONERO_EMISSION.circulating_supply(D(2019, 4, 30))
+        assert 16.0e6 < supply < 17.5e6
+
+    def test_paper_headline_fraction(self):
+        """741K XMR must be ~4.4% of supply (paper: 4.37%)."""
+        fraction = MONERO_EMISSION.fraction_of_supply(741_000,
+                                                      D(2019, 4, 30))
+        assert 0.040 < fraction < 0.047
+
+    def test_block_reward_decreasing(self):
+        r2015 = MONERO_EMISSION.block_reward(D(2015, 1, 1))
+        r2018 = MONERO_EMISSION.block_reward(D(2018, 1, 1))
+        assert r2015 > r2018 > 0.6
+
+    def test_daily_emission_consistency(self):
+        day = D(2018, 6, 1)
+        assert MONERO_EMISSION.daily_emission(day) == pytest.approx(
+            MONERO_EMISSION.block_reward(day) * 720)
+
+    def test_fraction_of_zero_supply(self):
+        schedule = EmissionSchedule()
+        assert schedule.fraction_of_supply(10, D(2010, 1, 1)) == 0.0
+
+
+class TestHashrate:
+    def test_positive_everywhere(self):
+        for year in range(2014, 2020):
+            assert network_hashrate_hs(D(year, 6, 1)) > 0
+
+    def test_fork_drop_april_2018(self):
+        """ASIC expulsion: hashrate halves across the April 2018 fork."""
+        before = network_hashrate_hs(D(2018, 4, 4))
+        after = network_hashrate_hs(D(2018, 4, 8))
+        assert after < before * 0.6
+
+    def test_growth_2016_to_2018(self):
+        assert network_hashrate_hs(D(2018, 1, 1)) > \
+            10 * network_hashrate_hs(D(2016, 1, 1))
+
+    def test_clamps_outside_range(self):
+        assert network_hashrate_hs(D(2010, 1, 1)) == \
+            network_hashrate_hs(D(2014, 1, 1))
+
+
+class TestPow:
+    def test_four_eras(self):
+        assert [a.name for a in ALGO_BY_ERA] == \
+            ["cn/0", "cn/1", "cn/2", "cn/r"]
+
+    def test_algo_at_fork_dates(self):
+        assert algo_at(D(2018, 4, 5)).name == "cn/0"
+        assert algo_at(D(2018, 4, 6)).name == "cn/1"
+        assert algo_at(D(2018, 10, 18)).name == "cn/2"
+        assert algo_at(D(2019, 3, 9)).name == "cn/r"
+
+    def test_software_era(self):
+        assert max_era_for_software(D(2017, 6, 1)) == 0
+        assert max_era_for_software(D(2018, 6, 1)) == 1
+        assert max_era_for_software(D(2019, 4, 1)) == 3
+
+
+class TestBtcLedger:
+    def test_balance_received(self):
+        ledger = BtcLedger()
+        ledger.payout("t1", D(2014, 1, 1), "pool:50btc", "w1", 1.5)
+        ledger.payout("t2", D(2014, 2, 1), "pool:50btc", "w1", 0.5)
+        assert ledger.balance_received("w1") == pytest.approx(2.0)
+        assert ledger.balance_received("unknown") == 0.0
+
+    def test_transactions_of_dedup(self):
+        ledger = BtcLedger()
+        tx = Transaction("t1", D(2014, 1, 1), ("w1",), (("w1", 1.0),))
+        ledger.append(tx)
+        assert len(ledger.transactions_of("w1")) == 1
+
+    def test_cospend_clustering(self):
+        """Huang et al.'s common-input heuristic."""
+        ledger = BtcLedger()
+        ledger.append(Transaction("t1", D(2014, 1, 1), ("a", "b"),
+                                  (("x", 1.0),)))
+        ledger.append(Transaction("t2", D(2014, 1, 2), ("b", "c"),
+                                  (("y", 1.0),)))
+        ledger.append(Transaction("t3", D(2014, 1, 3), ("d",),
+                                  (("z", 1.0),)))
+        clusters = {frozenset(c) for c in ledger.cluster_by_cospend()}
+        assert frozenset({"a", "b", "c"}) in clusters
+        assert frozenset({"d"}) in clusters
+
+    def test_pool_inputs_not_clustered(self):
+        ledger = BtcLedger()
+        # two wallets paid by the same pool must NOT merge
+        ledger.payout("t1", D(2014, 1, 1), "pool:x", "w1", 1.0)
+        ledger.payout("t2", D(2014, 1, 1), "pool:x", "w2", 1.0)
+        clusters = {frozenset(c) for c in ledger.cluster_by_cospend()}
+        assert frozenset({"w1", "w2"}) not in clusters
+
+
+class TestOpaqueLedger:
+    """Monero-style opacity: the Huang methodology must fail (§VII)."""
+
+    def test_all_queries_raise(self):
+        ledger = OpaqueLedger()
+        with pytest.raises(ReproError):
+            ledger.balance_received("w")
+        with pytest.raises(ReproError):
+            ledger.transactions_of("w")
+        with pytest.raises(ReproError):
+            ledger.cluster_by_cospend()

@@ -1,0 +1,126 @@
+"""Unit tests for the deterministic RNG substrate."""
+
+import math
+
+import pytest
+
+from repro.common.rng import DeterministicRNG, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_range(self):
+        assert 0 <= derive_seed(7, "x") < 2 ** 64
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(5)
+        b = DeterministicRNG(5)
+        assert [a.random() for _ in range(10)] == \
+            [b.random() for _ in range(10)]
+
+    def test_substreams_independent(self):
+        root = DeterministicRNG(5)
+        s1 = root.substream("one")
+        s2 = root.substream("two")
+        assert [s1.random() for _ in range(5)] != \
+            [s2.random() for _ in range(5)]
+
+    def test_substream_stable_across_consumption(self):
+        # Consuming draws from the parent must not perturb children.
+        a = DeterministicRNG(5)
+        _ = [a.random() for _ in range(100)]
+        child_after = a.substream("x").random()
+        b = DeterministicRNG(5)
+        child_before = b.substream("x").random()
+        assert child_after == child_before
+
+
+class TestDistributions:
+    def test_bernoulli_bounds(self):
+        rng = DeterministicRNG(1)
+        with pytest.raises(ValueError):
+            rng.bernoulli(1.5)
+        with pytest.raises(ValueError):
+            rng.bernoulli(-0.1)
+
+    def test_bernoulli_extremes(self):
+        rng = DeterministicRNG(1)
+        assert all(not rng.bernoulli(0.0) for _ in range(20))
+        assert all(rng.bernoulli(1.0) for _ in range(20))
+
+    def test_bernoulli_rate(self):
+        rng = DeterministicRNG(1)
+        hits = sum(rng.bernoulli(0.3) for _ in range(5000))
+        assert 0.25 < hits / 5000 < 0.35
+
+    def test_pareto_min(self):
+        rng = DeterministicRNG(2)
+        values = [rng.pareto(1.2, xmin=3.0) for _ in range(1000)]
+        assert min(values) >= 3.0
+
+    def test_pareto_heavy_tail(self):
+        rng = DeterministicRNG(2)
+        values = sorted(rng.pareto(1.1) for _ in range(5000))
+        # the top 1% should hold a disproportionate share of the mass
+        top_share = sum(values[-50:]) / sum(values)
+        assert top_share > 0.15
+
+    def test_lognormal_median(self):
+        rng = DeterministicRNG(3)
+        values = sorted(rng.lognormal_median(100.0, 0.5)
+                        for _ in range(4001))
+        median = values[len(values) // 2]
+        assert 80 < median < 125
+
+    def test_poisson_zero_rate(self):
+        rng = DeterministicRNG(4)
+        assert rng.poisson(0) == 0
+        assert rng.poisson(-1) == 0
+
+    def test_poisson_mean(self):
+        rng = DeterministicRNG(4)
+        draws = [rng.poisson(5.0) for _ in range(3000)]
+        mean = sum(draws) / len(draws)
+        assert 4.5 < mean < 5.5
+
+    def test_poisson_large_rate_uses_normal_branch(self):
+        rng = DeterministicRNG(4)
+        draws = [rng.poisson(800.0) for _ in range(200)]
+        mean = sum(draws) / len(draws)
+        assert 750 < mean < 850
+        assert all(d >= 0 for d in draws)
+
+    def test_zipf_rank_bounds(self):
+        rng = DeterministicRNG(5)
+        ranks = [rng.zipf_rank(10) for _ in range(500)]
+        assert min(ranks) >= 1 and max(ranks) <= 10
+
+    def test_zipf_rank_skew(self):
+        rng = DeterministicRNG(5)
+        ranks = [rng.zipf_rank(10) for _ in range(3000)]
+        assert ranks.count(1) > ranks.count(10)
+
+    def test_zipf_rank_invalid(self):
+        rng = DeterministicRNG(5)
+        with pytest.raises(ValueError):
+            rng.zipf_rank(0)
+
+    def test_hexbytes_format(self):
+        rng = DeterministicRNG(6)
+        value = rng.hexbytes(8)
+        assert len(value) == 16
+        int(value, 16)  # must parse
+
+    def test_randbytes_length(self):
+        rng = DeterministicRNG(6)
+        assert len(rng.randbytes(33)) == 33

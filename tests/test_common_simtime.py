@@ -1,0 +1,99 @@
+"""Unit tests for the simulation time model."""
+
+import datetime
+
+import pytest
+
+from repro.common import simtime
+
+
+class TestParseDate:
+    def test_string(self):
+        assert simtime.parse_date("2018-04-06") == datetime.date(2018, 4, 6)
+
+    def test_passthrough(self):
+        d = datetime.date(2017, 1, 1)
+        assert simtime.parse_date(d) is d
+
+    def test_bad_string(self):
+        with pytest.raises(ValueError):
+            simtime.parse_date("April 6th 2018")
+
+
+class TestDateRange:
+    def test_exclusive_end(self):
+        days = list(simtime.date_range(datetime.date(2018, 1, 1),
+                                       datetime.date(2018, 1, 4)))
+        assert len(days) == 3
+        assert days[-1] == datetime.date(2018, 1, 3)
+
+    def test_stride(self):
+        days = list(simtime.date_range(datetime.date(2018, 1, 1),
+                                       datetime.date(2018, 1, 10), 3))
+        assert days == [datetime.date(2018, 1, 1),
+                        datetime.date(2018, 1, 4),
+                        datetime.date(2018, 1, 7)]
+
+    def test_empty(self):
+        assert list(simtime.date_range(datetime.date(2018, 1, 5),
+                                       datetime.date(2018, 1, 5))) == []
+
+    def test_bad_stride(self):
+        with pytest.raises(ValueError):
+            list(simtime.date_range(datetime.date(2018, 1, 1),
+                                    datetime.date(2018, 1, 2), 0))
+
+
+class TestUnixConversion:
+    def test_roundtrip(self):
+        day = datetime.date(2018, 10, 18)
+        assert simtime.from_unix(simtime.to_unix(day)) == day
+
+    def test_intraday_offset(self):
+        day = datetime.date(2018, 10, 18)
+        ts = simtime.to_unix(day, 3600)
+        assert simtime.from_unix(ts) == day
+
+    def test_offset_bounds(self):
+        with pytest.raises(ValueError):
+            simtime.to_unix(datetime.date(2018, 1, 1), 86400)
+
+
+class TestPowEra:
+    def test_before_all_forks(self):
+        assert simtime.pow_era(datetime.date(2017, 12, 31)) == 0
+
+    def test_fork_boundaries(self):
+        assert simtime.pow_era(datetime.date(2018, 4, 5)) == 0
+        assert simtime.pow_era(datetime.date(2018, 4, 6)) == 1
+        assert simtime.pow_era(datetime.date(2018, 10, 18)) == 2
+        assert simtime.pow_era(datetime.date(2019, 3, 9)) == 3
+
+    def test_monotone(self):
+        eras = [simtime.pow_era(d) for d in simtime.date_range(
+            datetime.date(2018, 1, 1), datetime.date(2019, 4, 1), 10)]
+        assert eras == sorted(eras)
+
+
+class TestClampAndHelpers:
+    def test_clamp_inside(self):
+        d = datetime.date(2015, 6, 1)
+        assert simtime.clamp(d) == d
+
+    def test_clamp_low(self):
+        assert simtime.clamp(datetime.date(2000, 1, 1)) == simtime.SIM_START
+
+    def test_clamp_high(self):
+        assert simtime.clamp(datetime.date(2030, 1, 1)) == simtime.SIM_END
+
+    def test_month_floor(self):
+        assert simtime.month_floor(datetime.date(2018, 7, 23)) == \
+            datetime.date(2018, 7, 1)
+
+    def test_days_between_negative(self):
+        assert simtime.days_between(datetime.date(2018, 1, 2),
+                                    datetime.date(2018, 1, 1)) == -1
+
+    def test_add_days(self):
+        assert simtime.add_days(datetime.date(2018, 12, 31), 1) == \
+            datetime.date(2019, 1, 1)

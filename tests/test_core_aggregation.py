@@ -1,0 +1,196 @@
+"""Unit tests for the campaign aggregation graph (§III-E)."""
+
+import pytest
+
+from repro.core.aggregation import (
+    CampaignAggregator,
+    GroupingPolicy,
+    is_public_repo_host,
+)
+from repro.core.records import MinerRecord
+from repro.osint.feeds import KnownOperation, OsintFeeds
+
+
+def miner(sha, wallets=(), parents=(), dropped=(), itw=(),
+          cnames=(), dst_ip=None, coins=None):
+    record = MinerRecord(sha256=sha)
+    record.identifiers = list(wallets)
+    record.identifier_coins = list(coins or ["XMR"] * len(wallets))
+    record.parents = list(parents)
+    record.dropped = list(dropped)
+    record.itw_urls = list(itw)
+    record.cname_aliases = list(cnames)
+    record.dst_ip = dst_ip
+    record.type = "Miner" if wallets else "Ancillary"
+    return record
+
+
+def aggregate(records, policy=None, osint=None, proxies=None):
+    aggregator = CampaignAggregator(osint or OsintFeeds(),
+                                    policy or GroupingPolicy.full(),
+                                    proxy_ips=set(proxies or []))
+    return aggregator.aggregate(records)
+
+
+class TestGroupingFeatures:
+    def test_same_identifier(self):
+        campaigns = aggregate([
+            miner("s1", wallets=["W1"]),
+            miner("s2", wallets=["W1"]),
+            miner("s3", wallets=["W2"]),
+        ])
+        assert len(campaigns) == 2
+        sizes = sorted(c.num_samples for c in campaigns)
+        assert sizes == [1, 2]
+
+    def test_ancestor_links(self):
+        campaigns = aggregate([
+            miner("dropper", parents=(), dropped=("m1", "m2")),
+            miner("m1", wallets=["W1"]),
+            miner("m2", wallets=["W2"]),
+        ])
+        assert len(campaigns) == 1
+        assert campaigns[0].num_wallets == 2
+
+    def test_parent_metadata_links(self):
+        campaigns = aggregate([
+            miner("m1", wallets=["W1"], parents=["dropper"]),
+            miner("m2", wallets=["W2"], parents=["dropper"]),
+        ])
+        assert len(campaigns) == 1
+
+    def test_exact_url_hosting(self):
+        campaigns = aggregate([
+            miner("m1", wallets=["W1"], itw=["http://x.ru/a.exe"]),
+            miner("m2", wallets=["W2"], itw=["http://x.ru/a.exe"]),
+        ])
+        assert len(campaigns) == 1
+
+    def test_different_urls_same_public_repo_not_linked(self):
+        """GitHub hosting must not merge unrelated campaigns."""
+        campaigns = aggregate([
+            miner("m1", wallets=["W1"],
+                  itw=["http://github.com/a/miner.exe"]),
+            miner("m2", wallets=["W2"],
+                  itw=["http://github.com/b/miner.exe"]),
+        ])
+        assert len(campaigns) == 2
+
+    def test_url_parameters_distinguish(self):
+        """file8desktop-style ?p= parameters identify the resource."""
+        campaigns = aggregate([
+            miner("m1", wallets=["W1"],
+                  itw=["http://f.com/download/get56?p=19363"]),
+            miner("m2", wallets=["W2"],
+                  itw=["http://f.com/download/get56?p=99999"]),
+        ])
+        assert len(campaigns) == 2
+
+    def test_ip_hosting_links(self):
+        campaigns = aggregate([
+            miner("m1", wallets=["W1"],
+                  itw=["http://221.9.251.236/a.exe"]),
+            miner("m2", wallets=["W2"],
+                  itw=["http://221.9.251.236/b.exe"]),
+        ])
+        assert len(campaigns) == 1
+        assert campaigns[0].hosting_ips == ["221.9.251.236"]
+
+    def test_cname_alias_links(self):
+        campaigns = aggregate([
+            miner("m1", wallets=["W1"], cnames=["xt.freebuf.info"]),
+            miner("m2", wallets=["W2"], cnames=["xt.freebuf.info"]),
+        ])
+        assert len(campaigns) == 1
+        assert campaigns[0].cname_aliases == ["xt.freebuf.info"]
+
+    def test_proxy_links(self):
+        campaigns = aggregate([
+            miner("m1", wallets=["W1"], dst_ip="10.9.9.9"),
+            miner("m2", wallets=["W2"], dst_ip="10.9.9.9"),
+        ], proxies=["10.9.9.9"])
+        assert len(campaigns) == 1
+        assert campaigns[0].proxies == ["10.9.9.9"]
+
+    def test_non_proxy_ip_not_linked(self):
+        campaigns = aggregate([
+            miner("m1", wallets=["W1"], dst_ip="10.9.9.9"),
+            miner("m2", wallets=["W2"], dst_ip="10.9.9.9"),
+        ], proxies=[])
+        assert len(campaigns) == 2
+
+    def test_known_operation_links(self):
+        osint = OsintFeeds()
+        osint.operation("Photominer").wallets.update({"W1", "W2"})
+        campaigns = aggregate([
+            miner("m1", wallets=["W1"]),
+            miner("m2", wallets=["W2"]),
+        ], osint=osint)
+        assert len(campaigns) == 1
+        assert campaigns[0].operations == ["Photominer"]
+
+
+class TestDonationWallets:
+    def test_donation_wallet_does_not_merge(self):
+        """The paper's donation-wallet whitelist prevents gluing
+        unrelated campaigns through developer wallets."""
+        osint = OsintFeeds()
+        osint.whitelist_donation_wallet("DON")
+        campaigns = aggregate([
+            miner("m1", wallets=["W1", "DON"], coins=["XMR", "XMR"]),
+            miner("m2", wallets=["W2", "DON"], coins=["XMR", "XMR"]),
+        ], osint=osint)
+        assert len(campaigns) == 2
+
+    def test_without_whitelist_overaggregates(self):
+        """Ablation: disabling the whitelist produces the mega-merge."""
+        policy = GroupingPolicy(exclude_donation_wallets=False)
+        osint = OsintFeeds()
+        osint.whitelist_donation_wallet("DON")
+        campaigns = aggregate([
+            miner("m1", wallets=["W1", "DON"], coins=["XMR", "XMR"]),
+            miner("m2", wallets=["W2", "DON"], coins=["XMR", "XMR"]),
+        ], policy=policy, osint=osint)
+        assert len(campaigns) == 1
+
+
+class TestPolicies:
+    def test_wallet_only_baseline(self):
+        """Prior work's wallet-only clustering misses CNAME links."""
+        records = [
+            miner("m1", wallets=["W1"], cnames=["alias.x"]),
+            miner("m2", wallets=["W2"], cnames=["alias.x"]),
+        ]
+        full = aggregate(records)
+        baseline = aggregate(records, policy=GroupingPolicy.wallet_only())
+        assert len(full) == 1
+        assert len(baseline) == 2
+
+    def test_infrastructure_only_fragments_dropped(self):
+        """Components without any miner sample are not campaigns."""
+        campaigns = aggregate([
+            miner("anc-only", itw=["http://x.ru/a.exe"]),
+        ])
+        assert campaigns == []
+
+
+class TestCampaignProperties:
+    def test_stable_renumbering_biggest_first(self):
+        campaigns = aggregate([
+            miner("a1", wallets=["W1"]),
+            miner("a2", wallets=["W1"]),
+            miner("b1", wallets=["W2"]),
+        ])
+        assert campaigns[0].campaign_id == 1
+        assert campaigns[0].num_samples == 2
+
+    def test_coins_collected(self):
+        campaigns = aggregate([
+            miner("m1", wallets=["W1", "E1"], coins=["XMR", "ETN"]),
+        ])
+        assert campaigns[0].coins == {"XMR", "ETN"}
+
+    def test_public_repo_detection(self):
+        assert is_public_repo_host("github.com")
+        assert is_public_repo_host("s3.amazonaws.com")
+        assert not is_public_repo_host("hrtests.ru")

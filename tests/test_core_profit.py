@@ -1,0 +1,122 @@
+"""Unit tests for the profit analysis stage (§III-D)."""
+
+import datetime
+
+import pytest
+
+from repro.core.profit import ProfitAnalyzer, WalletProfile
+from repro.market.rates import AVERAGE_XMR_USD
+from repro.pools.directory import PoolDirectory
+from repro.pools.pool import MiningPool, PoolConfig, Transparency
+
+D = datetime.date
+
+
+@pytest.fixture
+def directory():
+    return PoolDirectory([
+        PoolConfig("full", transparency=Transparency.FULL_HISTORY,
+                   payout_threshold=0.1),
+        PoolConfig("totals", transparency=Transparency.TOTALS_ONLY,
+                   payout_threshold=0.1),
+        PoolConfig("opaque", transparency=Transparency.OPAQUE),
+    ])
+
+
+def mine(pool: MiningPool, wallet: str, days: int = 40,
+         start: D = D(2018, 6, 1), hashrate: float = 2e6) -> float:
+    total = 0.0
+    for i in range(days):
+        total += pool.credit_mining_day(
+            wallet, start + datetime.timedelta(days=i), hashrate)
+    return total
+
+
+class TestProfiling:
+    def test_wallet_found_in_one_pool(self, directory):
+        mine(directory.get("full"), "W1")
+        profile = ProfitAnalyzer(directory).profile_wallet("W1")
+        assert profile.pools == ["full"]
+        assert profile.total_paid > 0
+
+    def test_wallet_across_multiple_pools(self, directory):
+        """'We queried all the wallets against all the pools.'"""
+        mine(directory.get("full"), "W1")
+        mine(directory.get("totals"), "W1")
+        profile = ProfitAnalyzer(directory).profile_wallet("W1")
+        assert set(profile.pools) == {"full", "totals"}
+
+    def test_opaque_pool_invisible(self, directory):
+        account = directory.get("opaque")._account("W2")
+        account.total_paid = 100.0
+        profile = ProfitAnalyzer(directory).profile_wallet("W2")
+        assert profile.records == []
+
+    def test_unknown_wallet_empty(self, directory):
+        profile = ProfitAnalyzer(directory).profile_wallet("GHOST")
+        assert profile.total_paid == 0
+        assert profile.last_share is None
+
+    def test_profile_many_filters_misses(self, directory):
+        mine(directory.get("full"), "W1")
+        profiles = ProfitAnalyzer(directory).profile_many(
+            ["W1", "GHOST"])
+        assert set(profiles) == {"W1"}
+
+    def test_payments_ordered(self, directory):
+        mine(directory.get("full"), "W1")
+        profile = ProfitAnalyzer(directory).profile_wallet("W1")
+        dates = [d for d, _, _ in profile.payments()]
+        assert dates == sorted(dates)
+
+    def test_active_flag(self, directory):
+        mine(directory.get("full"), "W1", start=D(2019, 4, 2), days=5)
+        profile = ProfitAnalyzer(directory).profile_wallet("W1")
+        assert profile.active
+        mine(directory.get("full"), "W2", start=D(2018, 1, 1), days=5)
+        assert not ProfitAnalyzer(directory).profile_wallet("W2").active
+
+
+class TestUsdConversion:
+    def test_dated_payments_use_daily_rate(self, directory):
+        mined = mine(directory.get("full"), "W1", days=10,
+                     start=D(2018, 1, 5))  # near the price peak
+        profile = ProfitAnalyzer(directory).profile_wallet("W1")
+        paid = profile.total_paid
+        # near the peak the rate is ~8x the 54-USD fallback
+        assert profile.total_usd > paid * AVERAGE_XMR_USD * 3
+
+    def test_totals_only_uses_fallback(self, directory):
+        mine(directory.get("totals"), "W1", days=10, start=D(2018, 1, 5))
+        profile = ProfitAnalyzer(directory).profile_wallet("W1")
+        record = profile.records[0]
+        assert record.payments == []
+        assert record.usd == pytest.approx(
+            record.total_paid * AVERAGE_XMR_USD)
+
+    def test_xmr_total_excludes_other_coins(self):
+        directory = PoolDirectory([
+            PoolConfig("xmrpool1", coin="XMR", payout_threshold=0.01),
+            PoolConfig("etnpool1", coin="ETN", payout_threshold=0.01),
+        ])
+        account = directory.get("etnpool1")._account("W1")
+        account.total_paid = 500.0
+        account.payments.append((D(2018, 6, 1), 500.0))
+        account.last_share = D(2018, 6, 1)
+        mine(directory.get("xmrpool1"), "W1", days=10)
+        profile = ProfitAnalyzer(directory).profile_wallet("W1")
+        assert profile.total_paid_in("ETN") == pytest.approx(500.0)
+        assert profile.total_paid < 500.0  # XMR only
+
+
+class TestWalletProfileAggregates:
+    def test_num_payments(self, directory):
+        mine(directory.get("full"), "W1")
+        profile = ProfitAnalyzer(directory).profile_wallet("W1")
+        assert profile.num_payments == len(profile.payments())
+
+    def test_last_share_max_across_pools(self, directory):
+        mine(directory.get("full"), "W1", start=D(2018, 1, 1), days=5)
+        mine(directory.get("totals"), "W1", start=D(2018, 8, 1), days=5)
+        profile = ProfitAnalyzer(directory).profile_wallet("W1")
+        assert profile.last_share == D(2018, 8, 5)

@@ -1,0 +1,188 @@
+"""Tests for the synthetic ecosystem generator and mining driver."""
+
+import datetime
+from collections import Counter
+
+import pytest
+
+from repro.corpus.distributions import band_of, BAND_LABELS
+from repro.corpus.generator import generate_world
+from repro.corpus.model import ScenarioConfig
+
+D = datetime.date
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        config = ScenarioConfig(seed=9, scale=0.003,
+                                include_case_studies=False,
+                                include_junk=False)
+        w1 = generate_world(config)
+        w2 = generate_world(config)
+        assert [s.sha256 for s in w1.samples] == \
+            [s.sha256 for s in w2.samples]
+
+    def test_different_seed_different_world(self):
+        base = dict(scale=0.003, include_case_studies=False,
+                    include_junk=False)
+        w1 = generate_world(ScenarioConfig(seed=1, **base))
+        w2 = generate_world(ScenarioConfig(seed=2, **base))
+        assert [s.sha256 for s in w1.samples] != \
+            [s.sha256 for s in w2.samples]
+
+
+class TestWorldShape:
+    def test_sample_kinds(self, small_world):
+        kinds = Counter(s.kind for s in small_world.samples)
+        assert kinds["miner"] > kinds["ancillary"] > 0
+        assert kinds["junk"] > 0
+
+    def test_junk_ratio_applied(self, small_world):
+        kinds = Counter(s.kind for s in small_world.samples)
+        mining = kinds["miner"] + kinds["ancillary"] + kinds["tool"]
+        assert kinds["junk"] == pytest.approx(
+            mining * small_world.config.junk_ratio, rel=0.05)
+
+    def test_every_sample_has_vt_report(self, small_world):
+        for sample in small_world.samples:
+            assert small_world.vt.get_report(sample.sha256) is not None
+
+    def test_unique_hashes(self, small_world):
+        hashes = [s.sha256 for s in small_world.samples]
+        assert len(hashes) == len(set(hashes))
+
+    def test_currencies_present(self, small_world):
+        coins = {c.coin for c in small_world.ground_truth if c.coin}
+        assert {"XMR", "BTC", "ZEC", "ETN", "ETH"} <= coins
+
+    def test_email_and_unknown_campaigns(self, small_world):
+        kinds = Counter(c.identifier_kind for c in small_world.ground_truth)
+        assert kinds["email"] >= 5
+        assert kinds["unknown"] >= 2
+        assert kinds["wallet"] > kinds["unknown"]
+
+    def test_xmr_band_skew(self, small_world):
+        bands = Counter(c.band for c in small_world.ground_truth
+                        if c.coin == "XMR" and c.band is not None)
+        assert bands[0] > bands.get(2, 0) + bands.get(3, 0)
+
+    def test_pool_dns_configured(self, small_world):
+        result = small_world.resolver.resolve("pool.minexmr.com",
+                                              D(2018, 6, 1))
+        assert result.resolved
+
+    def test_donation_whitelist_populated(self, small_world):
+        assert len(small_world.osint.donation_wallets) == 14
+
+
+class TestMiningDriver:
+    def test_earnings_near_targets(self, small_world):
+        for campaign in small_world.ground_truth:
+            if campaign.coin != "XMR" or campaign.target_xmr <= 0:
+                continue
+            if campaign.custom_driven:
+                continue
+            assert campaign.actual_xmr == pytest.approx(
+                campaign.target_xmr, rel=0.05), campaign.campaign_id
+
+    def test_payments_within_activity_window(self, small_world):
+        for pool in small_world.pool_directory.pools():
+            for wallet in pool.known_wallets():
+                stats = pool._account(wallet)
+                for when, amount in stats.payments:
+                    assert amount > 0
+                    assert D(2012, 1, 1) <= when <= D(2019, 5, 1)
+
+    def test_btc_earnings_negligible(self, small_world):
+        """§IV-B: BTC wallets show <5K USD in total."""
+        total_btc = 0.0
+        for campaign in small_world.ground_truth:
+            if campaign.coin != "BTC":
+                continue
+            for pool_name in campaign.pools:
+                pool = small_world.pool_directory.get(pool_name)
+                account = pool._account(campaign.identifiers[0])
+                total_btc += account.total_paid
+        assert total_btc * 20000 < 5000  # even at peak BTC prices
+
+
+class TestCaseStudies:
+    def _by_label(self, world, label):
+        return [c for c in world.ground_truth if c.label == label][0]
+
+    def test_freebuf_target(self, small_world):
+        freebuf = self._by_label(small_world, "Freebuf")
+        assert freebuf.actual_xmr == pytest.approx(163_756, rel=0.02)
+        assert len(freebuf.identifiers) == 7
+
+    def test_freebuf_cnames(self, small_world):
+        freebuf = self._by_label(small_world, "Freebuf")
+        assert "xt.freebuf.info" in freebuf.cname_domains
+        assert "x.alibuf.com" in freebuf.cname_domains
+
+    def test_alibuf_fronted_two_pools(self, small_world):
+        targets = small_world.passive_dns.ever_cname_targets("x.alibuf.com")
+        assert len(targets) == 2
+
+    def test_freebuf_wallets_banned_after_report(self, small_world):
+        freebuf = self._by_label(small_world, "Freebuf")
+        minexmr = small_world.pool_directory.get("minexmr")
+        banned = [w for w in freebuf.identifiers if minexmr.is_banned(w)]
+        assert len(banned) == 2  # the two wallets of Fig. 8
+
+    def test_usa138_target(self, small_world):
+        usa = self._by_label(small_world, "USA-138")
+        assert usa.actual_xmr == pytest.approx(7_242, rel=0.02)
+
+    def test_usa138_has_etn_wallet(self, small_world):
+        usa = self._by_label(small_world, "USA-138")
+        etn = [i for i in usa.identifiers if i.startswith("etn")]
+        assert len(etn) == 1
+
+    def test_usa138_host_pinned(self, small_world):
+        usa = self._by_label(small_world, "USA-138")
+        assert any("221.9.251.236" in url for url in usa.hosting_urls)
+
+
+class TestFixtures:
+    def test_pre2014_droppers(self, small_world):
+        # BTC campaigns legitimately pre-date 2014; the Table V fixture
+        # is the set of pre-2014 samples inside *Monero* campaigns.
+        xmr_ids = {c.campaign_id for c in small_world.ground_truth
+                   if c.coin == "XMR"}
+        old = [s for s in small_world.samples
+               if s.first_seen and s.first_seen < D(2014, 1, 1)
+               and s.true_campaign_id in xmr_ids]
+        assert len(old) == 4
+        years = sorted(s.first_seen.year for s in old)
+        assert years == [2012, 2013, 2013, 2013]
+
+    def test_known_operations_assigned(self, small_world):
+        named = {c.known_operation for c in small_world.ground_truth
+                 if c.known_operation}
+        assert len(named) >= 3  # scale-limited subset of the six
+
+    def test_operation_iocs_published(self, small_world):
+        for operation in small_world.osint.operations():
+            if operation.wallets:
+                campaign = [c for c in small_world.ground_truth
+                            if c.known_operation == operation.name][0]
+                assert operation.wallets <= set(campaign.identifiers)
+
+
+class TestScaling:
+    def test_scale_changes_counts(self):
+        base = dict(seed=3, include_case_studies=False, include_junk=False)
+        small = generate_world(ScenarioConfig(scale=0.002, **base))
+        large = generate_world(ScenarioConfig(scale=0.01, **base))
+        assert len(large.ground_truth) > len(small.ground_truth)
+
+
+class TestBandHelper:
+    def test_band_of(self):
+        assert band_of(5) == 0
+        assert band_of(100) == 1
+        assert band_of(999.9) == 1
+        assert band_of(1000) == 2
+        assert band_of(50000) == 3
+        assert len(BAND_LABELS) == 4

@@ -1,0 +1,182 @@
+"""Tests for the countermeasures substrate (§VI made executable)."""
+
+import datetime
+
+import pytest
+
+from repro.defense.blacklist import BlacklistDefense
+from repro.defense.fork_policy import (
+    compare_cadences,
+    historical_forks,
+    quarterly_forks,
+    simulate_fork_cadence,
+)
+from repro.defense.host_monitor import (
+    CpuAnomalyMonitor,
+    HostState,
+    MinerTrick,
+    PowerMeterMonitor,
+    typical_day_trace,
+)
+from repro.defense.intervention import WalletReportingCampaign
+from repro.core.records import MinerRecord
+from repro.pools.directory import default_directory
+
+D = datetime.date
+
+
+def miner_record(sha, host, port=4444, cnames=(), dst_ip=None):
+    record = MinerRecord(sha256=sha)
+    record.identifiers = ["W" + sha]
+    record.identifier_coins = ["XMR"]
+    record.url_pool = f"stratum+tcp://{host}:{port}"
+    record.cname_aliases = list(cnames)
+    record.dst_ip = dst_ip
+    record.type = "Miner"
+    return record
+
+
+class TestBlacklist:
+    def test_known_pool_blocked(self):
+        defense = BlacklistDefense(default_directory())
+        report = defense.evaluate([
+            miner_record("s1", "pool.minexmr.com")])
+        assert report.blocked == 1
+        assert report.block_rate == 1.0
+
+    def test_cname_alias_evades(self):
+        """The paper's core point: aliases defeat domain blacklists."""
+        defense = BlacklistDefense(default_directory())
+        report = defense.evaluate([
+            miner_record("s1", "xt.freebuf.info",
+                         cnames=["xt.freebuf.info"])])
+        assert report.blocked == 0
+        assert report.evaded_by_cname == 1
+
+    def test_proxy_evades(self):
+        defense = BlacklistDefense(default_directory())
+        report = defense.evaluate(
+            [miner_record("s1", "10.9.9.9", dst_ip="10.9.9.9")],
+            proxy_ips={"10.9.9.9"})
+        assert report.evaded_by_proxy == 1
+
+    def test_raw_ip_evades(self):
+        defense = BlacklistDefense(default_directory())
+        report = defense.evaluate(
+            [miner_record("s1", "198.51.100.7", dst_ip="198.51.100.7")])
+        assert report.evaded_by_raw_ip == 1
+
+    def test_alias_learning_closes_gap(self):
+        """Feeding the pipeline's de-aliased CNAMEs back into the
+        blacklist blocks the previously evading samples."""
+        records = [miner_record("s1", "xt.freebuf.info",
+                                cnames=["xt.freebuf.info"])]
+        naive = BlacklistDefense(default_directory()).evaluate(records)
+        learned = BlacklistDefense(
+            default_directory()).evaluate_with_alias_learning(records)
+        assert naive.blocked == 0
+        assert learned.blocked == 1
+
+    def test_extra_domains(self):
+        defense = BlacklistDefense(default_directory(),
+                                   extra_domains=["bad.example"])
+        assert defense.is_blocked_domain("BAD.EXAMPLE")
+
+    def test_block_rate_on_world(self, small_world, pipeline_result):
+        defense = BlacklistDefense(small_world.pool_directory)
+        report = defense.evaluate(pipeline_result.miner_records(),
+                                  pipeline_result.proxy_ips)
+        assert report.total_miners > 0
+        # blocking catches a substantial share but is far from complete
+        assert 0.1 < report.block_rate < 0.95
+        # the paper's evasions are all present in the ecosystem
+        assert report.evaded_by_cname > 0
+        assert report.evaded > 0
+
+
+class TestIntervention:
+    def test_bans_freebuf_wallets(self, small_world, pipeline_result):
+        report = WalletReportingCampaign(
+            small_world.pool_directory).run(pipeline_result)
+        assert report.wallets_reported > 0
+        # cooperative pools act on at least some botnet-scale wallets
+        assert report.wallets_banned >= 1
+        assert report.ban_rate <= 1.0
+
+    def test_noncooperative_pools_refuse(self, small_world,
+                                         pipeline_result):
+        report = WalletReportingCampaign(
+            small_world.pool_directory).run(pipeline_result)
+        # dwarfpool is non-cooperative by config: never in the ban list
+        assert "dwarfpool" not in report.bans_by_pool
+
+    def test_disrupted_run_rate_nonnegative(self, small_world,
+                                            pipeline_result):
+        report = WalletReportingCampaign(
+            small_world.pool_directory).run(pipeline_result)
+        assert report.disrupted_run_rate >= 0.0
+
+
+class TestForkPolicy:
+    def test_no_forks_retains_everything(self, small_world):
+        outcome = simulate_fork_cadence(small_world.ground_truth, [])
+        assert outcome.retained_fraction == 1.0
+        assert outcome.surviving_campaigns == outcome.campaigns
+
+    def test_more_forks_more_disruption(self, small_world):
+        none, historical, quarterly = compare_cadences(
+            small_world.ground_truth)
+        assert none.retained_fraction == 1.0
+        assert historical.retained_fraction <= none.retained_fraction
+        assert quarterly.retained_fraction <= historical.retained_fraction
+        assert quarterly.disruption > 0.2
+
+    def test_quarterly_calendar_density(self):
+        forks = quarterly_forks(D(2016, 1, 1), D(2019, 4, 30))
+        assert len(forks) > 3 * len(historical_forks())
+
+    def test_deterministic(self, small_world):
+        a = simulate_fork_cadence(small_world.ground_truth,
+                                  historical_forks(), seed=3)
+        b = simulate_fork_cadence(small_world.ground_truth,
+                                  historical_forks(), seed=3)
+        assert a == b
+
+
+class TestHostMonitor:
+    def test_naive_miner_caught_by_cpu_monitor(self):
+        trace = typical_day_trace()
+        outcome = CpuAnomalyMonitor().evaluate(trace, MinerTrick.NONE)
+        assert outcome.detected
+
+    def test_idle_mining_weakens_cpu_monitor(self):
+        trace = typical_day_trace()
+        naive = CpuAnomalyMonitor().evaluate(trace, MinerTrick.NONE)
+        idle = CpuAnomalyMonitor().evaluate(trace, MinerTrick.IDLE_MINING)
+        assert idle.alerts < naive.alerts
+
+    def test_rootkit_defeats_cpu_monitor(self):
+        """Malware controls the host: readings can be falsified (§VI)."""
+        trace = typical_day_trace()
+        outcome = CpuAnomalyMonitor().evaluate(trace, MinerTrick.ROOTKIT)
+        assert not outcome.detected
+        assert outcome.alerts == 0
+
+    def test_power_meter_defeats_rootkit(self):
+        """The externalised detector the paper proposes: physics wins."""
+        trace = typical_day_trace()
+        outcome = PowerMeterMonitor().evaluate(trace, MinerTrick.ROOTKIT)
+        assert outcome.detected
+
+    def test_power_meter_quiet_on_clean_host(self):
+        trace = [HostState(user_active=True, task_manager_open=False,
+                           mining_load=0.0) for _ in range(24)]
+        outcome = PowerMeterMonitor().evaluate(trace, MinerTrick.NONE)
+        assert not outcome.detected
+
+    def test_monitor_aware_throttles_during_taskmgr(self):
+        state = HostState(user_active=True, task_manager_open=True,
+                          mining_load=0.9)
+        assert state.actual_cpu(MinerTrick.MONITOR_AWARE) == \
+            pytest.approx(state.baseline_load)
+        assert state.actual_cpu(MinerTrick.NONE) > 0.9

@@ -1,0 +1,71 @@
+"""Documentation meta-test: every public item carries a docstring.
+
+Walks all ``repro`` modules and asserts that public modules, classes
+and functions are documented — the deliverable contract for a library
+release.  Private names (leading underscore) and generated members
+(dataclass plumbing, Enum values) are exempt.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for module_info in pkgutil.walk_packages(repro.__path__,
+                                             prefix="repro."):
+        yield importlib.import_module(module_info.name)
+
+
+ALL_MODULES = list(_iter_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES,
+                         ids=lambda m: m.__name__)
+def test_module_docstring(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+
+def _public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-exported from elsewhere
+        yield name, member
+
+
+@pytest.mark.parametrize("module", ALL_MODULES,
+                         ids=lambda m: m.__name__)
+def test_public_members_documented(module):
+    undocumented = [
+        f"{module.__name__}.{name}"
+        for name, member in _public_members(module)
+        if not inspect.getdoc(member)
+    ]
+    assert not undocumented, f"undocumented: {undocumented}"
+
+
+@pytest.mark.parametrize("module", ALL_MODULES,
+                         ids=lambda m: m.__name__)
+def test_public_methods_documented(module):
+    undocumented = []
+    for name, member in _public_members(module):
+        if not inspect.isclass(member):
+            continue
+        for attr_name, attr in vars(member).items():
+            if attr_name.startswith("_"):
+                continue
+            if not inspect.isfunction(attr):
+                continue
+            if not inspect.getdoc(attr):
+                undocumented.append(
+                    f"{module.__name__}.{name}.{attr_name}")
+    assert not undocumented, f"undocumented: {undocumented}"

@@ -1,0 +1,65 @@
+"""Smoke tests for the runnable examples.
+
+Fast examples run end-to-end in a subprocess; the slower, fixed-scale
+ones get a compile/import check so a broken import can never ship.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+class TestCompile:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_compiles(self, name):
+        py_compile.compile(str(EXAMPLES_DIR / name), doraise=True)
+
+
+class TestRun:
+    def _run(self, name, *args, timeout=240):
+        return subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / name), *args],
+            capture_output=True, text=True, timeout=timeout, check=False)
+
+    def test_quickstart_small_scale(self):
+        proc = self._run("quickstart.py", "0.002")
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "headline" in proc.stdout
+        assert "aggregation quality" in proc.stdout
+
+    def test_botnet_protocol_example(self):
+        proc = self._run("botnet_mining_protocol.py")
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "pool sees 1 distinct IP(s)" in proc.stdout
+        assert "after the operator updates the bot: 5/5" in proc.stdout
+
+    def test_underground_economy_example(self):
+        proc = self._run("underground_economy.py")
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "most-discussed coin in 2018: Monero" in proc.stdout
+
+    def test_operator_economics_example(self):
+        proc = self._run("operator_economics.py")
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "ROI" in proc.stdout
+
+
+class TestExampleCoverage:
+    def test_at_least_seven_examples(self):
+        assert len(ALL_EXAMPLES) >= 7
+
+    def test_quickstart_present(self):
+        assert "quickstart.py" in ALL_EXAMPLES
+
+    def test_all_examples_have_docstrings(self):
+        for name in ALL_EXAMPLES:
+            source = (EXAMPLES_DIR / name).read_text()
+            assert '"""' in source.split("\n", 3)[1] + \
+                source.split("\n", 3)[2], name

@@ -1,0 +1,85 @@
+"""Tests for the figure-series CSV exporters."""
+
+import csv
+
+import pytest
+
+from repro.reporting.figure_export import (
+    export_all_figures,
+    export_fig1_series,
+    export_fig4_series,
+    export_fig5_series,
+    export_monthly_series,
+)
+
+
+def read_csv(path):
+    with path.open() as handle:
+        return list(csv.DictReader(handle))
+
+
+class TestFig1Export:
+    def test_rows_and_schema(self, small_world, tmp_path):
+        path = tmp_path / "fig1.csv"
+        rows = export_fig1_series(small_world.forum_corpus, path)
+        data = read_csv(path)
+        assert len(data) == rows
+        assert set(data[0]) == {"year", "coin", "share"}
+
+    def test_shares_sum_to_one_per_year(self, small_world, tmp_path):
+        path = tmp_path / "fig1.csv"
+        export_fig1_series(small_world.forum_corpus, path)
+        totals = {}
+        for row in read_csv(path):
+            totals[row["year"]] = totals.get(row["year"], 0.0) \
+                + float(row["share"])
+        for year, total in totals.items():
+            assert total == pytest.approx(1.0, abs=0.02), year
+
+
+class TestFig4Export:
+    def test_cdf_monotone(self, pipeline_result, tmp_path):
+        path = tmp_path / "fig4.csv"
+        export_fig4_series(pipeline_result, path)
+        by_series = {}
+        for row in read_csv(path):
+            by_series.setdefault(row["series"], []).append(
+                (float(row["value"]), float(row["cdf"])))
+        for series, points in by_series.items():
+            values = [v for v, _ in points]
+            cdfs = [c for _, c in points]
+            assert values == sorted(values), series
+            assert cdfs == sorted(cdfs), series
+            assert cdfs[-1] == pytest.approx(1.0)
+
+
+class TestFig5Export:
+    def test_counts_match_exhibit(self, pipeline_result, tmp_path):
+        from repro.analysis import fig5_pools_per_campaign
+        path = tmp_path / "fig5.csv"
+        export_fig5_series(pipeline_result, path)
+        total_csv = sum(int(row["campaigns"]) for row in read_csv(path))
+        histograms = fig5_pools_per_campaign(pipeline_result)
+        total_exhibit = sum(sum(h.values()) for h in histograms.values())
+        assert total_csv == total_exhibit
+
+
+class TestMonthlyExport:
+    def test_months_sorted(self, pipeline_result, tmp_path):
+        path = tmp_path / "monthly.csv"
+        count = export_monthly_series(pipeline_result, path)
+        data = read_csv(path)
+        assert len(data) == count
+        months = [row["month"] for row in data]
+        assert months == sorted(months)
+
+
+class TestBundle:
+    def test_export_all(self, small_world, pipeline_result, tmp_path):
+        counts = export_all_figures(pipeline_result,
+                                    small_world.forum_corpus,
+                                    tmp_path / "figs")
+        assert set(counts) == {"fig1", "fig4", "fig5", "monthly"}
+        for name in ("fig1_forums.csv", "fig4_cdf.csv",
+                     "fig5_pools.csv", "monthly_series.csv"):
+            assert (tmp_path / "figs" / name).exists()

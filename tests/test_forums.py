@@ -1,0 +1,87 @@
+"""Unit tests for the underground-forum substrate (Fig. 1, §II)."""
+
+import pytest
+
+from repro.common.rng import DeterministicRNG
+from repro.forums.corpus import generate_forum_corpus
+from repro.forums.trends import (
+    coin_thread_shares,
+    dominant_coin,
+    mining_topic_threads,
+    offer_price_stats,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_forum_corpus(DeterministicRNG(42), scale=1.0)
+
+
+class TestGeneration:
+    def test_nonempty(self, corpus):
+        assert len(corpus) > 500
+
+    def test_deterministic(self):
+        c1 = generate_forum_corpus(DeterministicRNG(7), scale=0.3)
+        c2 = generate_forum_corpus(DeterministicRNG(7), scale=0.3)
+        assert len(c1) == len(c2)
+        assert [t.title for t in c1.threads[:20]] == \
+            [t.title for t in c2.threads[:20]]
+
+    def test_years_span(self, corpus):
+        years = {t.created_on.year for t in corpus.threads}
+        assert years == set(range(2012, 2019))
+
+    def test_threads_have_posts(self, corpus):
+        assert all(t.posts for t in corpus.threads)
+
+
+class TestTrends:
+    def test_shares_normalised(self, corpus):
+        shares = coin_thread_shares(corpus)
+        for year, per_coin in shares.items():
+            assert sum(per_coin.values()) == pytest.approx(1.0)
+
+    def test_bitcoin_dominates_2012(self, corpus):
+        assert dominant_coin(corpus, 2012) == "Bitcoin"
+
+    def test_monero_dominates_2018(self, corpus):
+        """The paper's headline Fig. 1 finding."""
+        assert dominant_coin(corpus, 2018) == "Monero"
+
+    def test_monero_rises_monotonically(self, corpus):
+        shares = coin_thread_shares(corpus)
+        series = [shares[y].get("Monero", 0.0) for y in (2015, 2016,
+                                                         2017, 2018)]
+        assert series[-1] > series[0]
+
+    def test_bitcoin_declines(self, corpus):
+        shares = coin_thread_shares(corpus)
+        assert shares[2018].get("Bitcoin", 0) < shares[2013]["Bitcoin"]
+
+    def test_dominant_coin_missing_year(self, corpus):
+        assert dominant_coin(corpus, 1999) is None
+
+
+class TestCommoditisation:
+    def test_miner_sale_price_near_35(self, corpus):
+        """§II: encrypted Monero miners sell for ~$35 on average."""
+        count, average = offer_price_stats(corpus, "miner_sale")
+        assert count > 10
+        assert 28 < average < 42
+
+    def test_builder_price_near_13(self, corpus):
+        count, average = offer_price_stats(corpus, "builder")
+        assert count > 10
+        assert 10 < average < 17
+
+    def test_unknown_kind_empty(self, corpus):
+        assert offer_price_stats(corpus, "nonexistent") == (0, 0.0)
+
+    def test_keyword_search(self, corpus):
+        hits = mining_topic_threads(corpus, "proxy")
+        assert hits
+        assert all(
+            "proxy" in t.title.lower()
+            or any("proxy" in p.body.lower() for p in t.posts)
+            for t in hits)

@@ -1,0 +1,124 @@
+"""Unit tests for the CTPH fuzzy-hash implementation."""
+
+import pytest
+
+from repro.binfmt.codegen import pseudo_code
+from repro.common.rng import DeterministicRNG
+from repro.fuzzyhash.ctph import (
+    FuzzyHash,
+    compare,
+    compute,
+    distance,
+    edit_distance,
+    signature_grams,
+)
+
+
+@pytest.fixture
+def base_data():
+    return pseudo_code(DeterministicRNG(21), 4096)
+
+
+class TestCompute:
+    def test_deterministic(self, base_data):
+        assert str(compute(base_data)) == str(compute(base_data))
+
+    def test_format(self, base_data):
+        fh = compute(base_data)
+        text = str(fh)
+        parts = text.split(":")
+        assert len(parts) == 3
+        assert int(parts[0]) >= 3
+
+    def test_parse_roundtrip(self, base_data):
+        fh = compute(base_data)
+        parsed = FuzzyHash.parse(str(fh))
+        assert parsed == fh
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            FuzzyHash.parse("justonefield")
+
+    def test_signature_budget(self, base_data):
+        fh = compute(base_data)
+        assert len(fh.signature) <= 64
+        assert len(fh.double_signature) <= 64
+
+    def test_small_input(self):
+        fh = compute(b"abc")
+        assert fh.blocksize == 3
+
+    def test_empty_input(self):
+        fh = compute(b"")
+        assert fh.signature  # degenerate single-char signature
+
+
+class TestCompare:
+    def test_identical_is_100(self, base_data):
+        fh = compute(base_data)
+        assert compare(fh, fh) == 100
+
+    def test_small_mutation_high_score(self, base_data):
+        mutated = bytearray(base_data)
+        mutated[100:108] = b"XXXXXXXX"
+        score = compare(compute(base_data), compute(bytes(mutated)))
+        assert score >= 85
+
+    def test_unrelated_is_zero(self, base_data):
+        rng = DeterministicRNG(22)
+        other = rng.randbytes(len(base_data))
+        assert compare(compute(base_data), compute(other)) == 0
+
+    def test_incompatible_blocksizes(self, base_data):
+        small = compute(b"tiny input here")
+        large = compute(base_data)
+        if large.blocksize > small.blocksize * 2:
+            assert compare(small, large) == 0
+
+    def test_symmetry(self, base_data):
+        mutated = bytearray(base_data)
+        mutated[50:54] = b"ZZZZ"
+        h1, h2 = compute(base_data), compute(bytes(mutated))
+        assert compare(h1, h2) == compare(h2, h1)
+
+    def test_distance_complements_score(self, base_data):
+        fh = compute(base_data)
+        assert distance(fh, fh) == 0.0
+        rng = DeterministicRNG(23)
+        other = compute(rng.randbytes(4096))
+        assert distance(fh, other) == 1.0
+
+
+class TestEditDistance:
+    def test_identity(self):
+        assert edit_distance("abc", "abc") == 0
+
+    def test_insertion_deletion(self):
+        assert edit_distance("abc", "abxc") == 1
+        assert edit_distance("abxc", "abc") == 1
+
+    def test_substitution(self):
+        assert edit_distance("abc", "axc") == 1
+
+    def test_empty(self):
+        assert edit_distance("", "abc") == 3
+
+    def test_triangle_inequality(self):
+        a, b, c = "kitten", "sitting", "mitten"
+        assert edit_distance(a, c) <= \
+            edit_distance(a, b) + edit_distance(b, c)
+
+
+class TestGrams:
+    def test_short_signature_empty(self):
+        assert signature_grams("abc") == frozenset()
+
+    def test_gram_count(self):
+        grams = signature_grams("abcdefghij")
+        assert len(grams) == 4  # 10 - 7 + 1
+
+    def test_shared_gram_required_for_score(self):
+        # two signatures with no common 7-gram must score 0
+        h1 = compute(b"a" * 500)
+        h2 = compute(b"b" * 500)
+        assert compare(h1, h2) == 0

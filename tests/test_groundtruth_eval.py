@@ -1,0 +1,70 @@
+"""Tests for the sanity-funnel evaluation (§VI quantified)."""
+
+import pytest
+
+from repro.analysis.groundtruth_eval import (
+    FunnelQuality,
+    av_threshold_sweep,
+    funnel_quality,
+)
+from repro.corpus.generator import generate_world
+from repro.corpus.model import ScenarioConfig
+
+
+class TestFunnelQuality:
+    def test_high_precision_at_default_threshold(self, small_world,
+                                                 pipeline_result):
+        quality = funnel_quality(small_world, pipeline_result)
+        # the paper errs on minimising FPs (§VI)
+        assert quality.precision > 0.99
+
+    def test_fn_exist_as_paper_acknowledges(self, small_world,
+                                            pipeline_result):
+        quality = funnel_quality(small_world, pipeline_result)
+        assert quality.false_negatives > 0  # the under-approximation
+        assert quality.recall > 0.8
+
+    def test_junk_rejected(self, small_world, pipeline_result):
+        quality = funnel_quality(small_world, pipeline_result)
+        junk_total = sum(1 for s in small_world.samples
+                         if s.kind == "junk")
+        assert quality.true_negatives > junk_total * 0.95
+
+    def test_counts_partition_non_tool_samples(self, small_world,
+                                               pipeline_result):
+        quality = funnel_quality(small_world, pipeline_result)
+        non_tool = sum(1 for s in small_world.samples
+                       if s.kind != "tool")
+        assert (quality.true_positives + quality.false_positives
+                + quality.false_negatives
+                + quality.true_negatives) == non_tool
+
+    def test_metric_edge_cases(self):
+        empty = FunnelQuality(0, 0, 0, 10)
+        assert empty.precision == 1.0
+        assert empty.recall == 1.0
+        zero = FunnelQuality(0, 5, 5, 0)
+        assert zero.f1 == 0.0
+
+
+class TestThresholdSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        world = generate_world(ScenarioConfig(
+            seed=21, scale=0.004, include_case_studies=False))
+        return av_threshold_sweep(world, thresholds=(3, 10, 20))
+
+    def test_recall_monotone_down_in_threshold(self, sweep):
+        recalls = [row["recall"] for row in sweep]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_kept_miners_monotone(self, sweep):
+        kept = [row["kept_miners"] for row in sweep]
+        assert kept == sorted(kept, reverse=True)
+
+    def test_paper_conjecture_on_five_avs(self, sweep):
+        """Low thresholds stay precise because the tool whitelist soaks
+        the likeliest FPs — the §VI conjecture."""
+        low = sweep[0]
+        assert low["threshold"] == 3.0
+        assert low["precision"] > 0.95

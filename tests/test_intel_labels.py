@@ -1,0 +1,85 @@
+"""Tests for AV-label normalisation."""
+
+import datetime
+
+import pytest
+
+from repro.intel.labels import (
+    family_distribution,
+    family_of,
+    normalize_token,
+    tokenize_label,
+)
+from repro.intel.vt import AV_VENDORS, AvReport
+
+D = datetime.date
+
+
+def report_with_labels(labels):
+    detections = {
+        AV_VENDORS[i]: (label, D(2018, 1, 1))
+        for i, label in enumerate(labels)
+    }
+    return AvReport(sha256="x", detections=detections)
+
+
+class TestTokenisation:
+    def test_generic_tokens_dropped(self):
+        assert tokenize_label("Trojan.Generic.Agent") == []
+
+    def test_family_token_kept(self):
+        assert "virut" in tokenize_label("Win32.Virut.ab")
+
+    def test_hex_variants_dropped(self):
+        tokens = tokenize_label("Trojan.CoinMiner.deadbeef")
+        assert "deadbeef" not in tokens
+
+    def test_short_tokens_dropped(self):
+        assert tokenize_label("W32.ab.x") == []
+
+    def test_separators(self):
+        assert tokenize_label("Win32/Virut!gen") == ["virut"]
+
+
+class TestNormalisation:
+    def test_miner_synonyms_collapse(self):
+        for token in ("coinminer", "bitcoinminer", "miner",
+                      "cryptonight", "xmrig"):
+            assert normalize_token(token) == "coinminer"
+
+    def test_other_tokens_preserved(self):
+        assert normalize_token("virut") == "virut"
+
+
+class TestFamilyVote:
+    def test_plurality(self):
+        report = report_with_labels([
+            "Trojan.CoinMiner.aa", "Win32.BitcoinMiner.x",
+            "Riskware.Miner", "Win32.Virut.b"])
+        assert family_of(report) == "coinminer"
+
+    def test_min_votes_threshold(self):
+        report = report_with_labels(["Win32.Virut.b"])
+        assert family_of(report) is None
+        assert family_of(report, min_votes=1) == "virut"
+
+    def test_all_generic_is_none(self):
+        report = report_with_labels(["Trojan.Generic.a",
+                                     "Malware.Heur.b"])
+        assert family_of(report) is None
+
+    def test_distribution(self):
+        reports = [
+            report_with_labels(["Trojan.CoinMiner.a", "PUA.Miner.b"]),
+            report_with_labels(["Win32.Virut.a", "Virut.gen"]),
+        ]
+        dist = family_distribution(reports)
+        assert dist == {"coinminer": 1, "virut": 1}
+
+    def test_on_world_miners(self, small_world):
+        """Most generated miner samples vote 'coinminer'."""
+        miners = [s for s in small_world.samples
+                  if s.kind == "miner"][:100]
+        reports = [small_world.vt.get_report(s.sha256) for s in miners]
+        dist = family_distribution(reports)
+        assert dist.get("coinminer", 0) > len(miners) * 0.5

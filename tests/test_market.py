@@ -1,0 +1,64 @@
+"""Unit tests for the exchange-rate substrate."""
+
+import datetime
+
+import pytest
+
+from repro.market.rates import AVERAGE_XMR_USD, RATES, ExchangeRates
+
+D = datetime.date
+
+
+class TestXmrRates:
+    def test_none_before_launch(self):
+        assert RATES["XMR"].rate(D(2013, 1, 1)) is None
+
+    def test_january_2018_peak(self):
+        peak = RATES["XMR"].rate(D(2018, 1, 7))
+        assert 400 < peak < 540
+
+    def test_late_2018_decay(self):
+        assert RATES["XMR"].rate(D(2018, 12, 20)) < 70
+
+    def test_sub_dollar_2015(self):
+        assert RATES["XMR"].rate(D(2015, 3, 1)) < 1.5
+
+    def test_interpolation_continuity(self):
+        r1 = RATES["XMR"].rate(D(2017, 10, 1))
+        r2 = RATES["XMR"].rate(D(2017, 10, 2))
+        assert abs(r1 - r2) / r1 < 0.15  # wobble + drift only
+
+    def test_wobble_deterministic(self):
+        assert RATES["XMR"].rate(D(2018, 6, 1)) == \
+            RATES["XMR"].rate(D(2018, 6, 1))
+
+
+class TestConversion:
+    def test_dated_conversion(self):
+        usd = RATES["XMR"].to_usd(10.0, D(2018, 1, 7))
+        assert usd > 4000  # near the peak
+
+    def test_fallback_for_undated(self):
+        assert RATES["XMR"].to_usd(10.0, None) == \
+            pytest.approx(10.0 * AVERAGE_XMR_USD)
+
+    def test_fallback_before_series(self):
+        assert RATES["XMR"].to_usd(10.0, D(2012, 1, 1)) == \
+            pytest.approx(10.0 * AVERAGE_XMR_USD)
+
+    def test_no_fallback_configured(self):
+        assert RATES["ETN"].to_usd(10.0, None) == 0.0
+
+    def test_btc_2014(self):
+        """Huang et al.: 4.5K BTC was worth ~$3.2M around 2014."""
+        rate = RATES["BTC"].rate(D(2014, 6, 1))
+        assert 2_000_000 < 4500 * rate < 4_500_000
+
+
+class TestValidation:
+    def test_empty_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            ExchangeRates("X", [])
+
+    def test_first_date(self):
+        assert RATES["XMR"].first_date == D(2014, 6, 1)

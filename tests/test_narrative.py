@@ -1,0 +1,119 @@
+"""The paper's headline findings, asserted in one place.
+
+Each test corresponds to one of the numbered findings in §I and the
+take-aways in §IV-F, checked against the shared measured world.  This
+is the "story" regression suite: if a refactor breaks the ecosystem's
+shape, it fails here with the finding's name attached.
+"""
+
+import datetime
+
+import pytest
+
+from repro.analysis import (
+    fig1_forum_trends,
+    headline_monero_fraction,
+    table4_currencies,
+    table7_pool_popularity,
+    table8_top_campaigns,
+    table11_infrastructure,
+    table15_email_pools,
+)
+from repro.analysis.exhibits import fork_dieoff, multi_pool_share
+
+D = datetime.date
+
+
+class TestFinding1MoneroDominance:
+    """'Monero (XMR) is by far the most popular crypto-currency among
+    cyber-criminals' (§I finding 1)."""
+
+    def test_forum_discussion(self, small_world):
+        shares = fig1_forum_trends(small_world.forum_corpus)
+        assert max(shares[2018], key=shares[2018].get) == "Monero"
+
+    def test_campaign_counts(self, pipeline_result):
+        per_currency = table4_currencies(
+            pipeline_result)["campaigns_per_currency"]
+        assert per_currency["XMR"] == max(per_currency.values())
+
+    def test_supply_fraction_positive(self, pipeline_result):
+        headline = headline_monero_fraction(pipeline_result)
+        assert headline["fraction"] > 0
+        assert headline["total_usd"] > 1e6
+
+
+class TestFinding2SkewAndNovelCampaigns:
+    """'A small number of actors monopolize the ecosystem'; Freebuf and
+    USA-138 are previously unreported (§I finding 2, §IV-F take-away 1)."""
+
+    def test_top1_dominates(self, pipeline_result):
+        data = table8_top_campaigns(pipeline_result)
+        assert data["top1_share"] > 0.15  # paper: ~22%
+
+    def test_top10_outearn_rest(self, pipeline_result):
+        data = table8_top_campaigns(pipeline_result)
+        top10 = sum(r["xmr"] for r in data["rows"])
+        assert top10 > data["total_xmr"] - top10
+
+    def test_case_studies_not_linked_to_known_operations(
+            self, small_world, pipeline_result):
+        for label in ("Freebuf", "USA-138"):
+            truth = next(c for c in small_world.ground_truth
+                         if c.label == label)
+            campaign = pipeline_result.campaign_for_wallet(
+                truth.identifiers[0])
+            assert campaign.operations == [], label
+
+
+class TestFinding3SimpleEvasions:
+    """'Campaigns use simple mechanisms to evade detection, like
+    domain aliases ... or idle mining' (§I finding 3)."""
+
+    def test_cname_aliases_present_and_concentrated(self,
+                                                    pipeline_result):
+        columns = table11_infrastructure(pipeline_result)
+        assert columns["ALL"]["cnames"] > 0
+        assert columns[">=10k"]["cnames"] >= columns["<100"]["cnames"]
+
+    def test_aliases_resolve_to_known_pools(self, small_world,
+                                            pipeline_result):
+        aliased = [c for c in pipeline_result.campaigns
+                   if c.cname_aliases]
+        assert aliased
+        for campaign in aliased[:5]:
+            for alias in campaign.cname_aliases:
+                targets = small_world.passive_dns.ever_cname_targets(
+                    alias)
+                assert targets, alias
+
+
+class TestFinding4InfrastructureChoices:
+    """Stock tools + public hosting on one end, PPI botnets on the
+    other (§I finding 4, §IV-F take-away 2)."""
+
+    def test_stock_tools_in_use(self, pipeline_result):
+        assert any(c.stock_tools for c in pipeline_result.campaigns)
+
+    def test_big_three_pools(self, pipeline_result):
+        pools = [r["pool"] for r in
+                 table7_pool_popularity(pipeline_result)[:5]]
+        assert set(pools) & {"crypto-pool", "dwarfpool", "minexmr"}
+
+    def test_minergate_opaque_but_popular_with_emails(self,
+                                                      pipeline_result):
+        emails = table15_email_pools(pipeline_result)
+        assert max(emails, key=emails.get) == "minergate"
+
+
+class TestTakeAwayForks:
+    """'Most of the campaigns stopped due to PoW updates' (§IV-F /
+    §VI)."""
+
+    def test_dieoff_increases_across_forks(self, pipeline_result):
+        dieoff = fork_dieoff(pipeline_result)
+        assert dieoff == sorted(dieoff)
+        assert dieoff[-1] > 0.7
+
+    def test_rich_campaigns_use_multiple_pools(self, pipeline_result):
+        assert multi_pool_share(pipeline_result, 1000.0) > 0.5

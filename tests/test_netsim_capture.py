@@ -1,0 +1,75 @@
+"""Tests for the JSONL flow-capture interchange."""
+
+import pytest
+
+from repro.netsim.capture import (
+    dump_flows,
+    flow_from_dict,
+    flow_to_dict,
+    load_flows,
+    merge_captures,
+)
+from repro.netsim.flows import FlowLog, FlowRecord
+
+
+def sample_log():
+    log = FlowLog()
+    log.record(FlowRecord("pool.minexmr.com", "10.1.1.1", 4444,
+                          "stratum", login="W1", password="x",
+                          agent="xmrig/2.8.1",
+                          payload_excerpt='{"method":"login"}'))
+    log.record(FlowRecord("", "198.51.100.9", 80, "http"))
+    return log
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self):
+        flow = sample_log().stratum_flows()[0]
+        assert flow_from_dict(flow_to_dict(flow)) == flow
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "capture.jsonl"
+        original = sample_log()
+        written = dump_flows(original, path)
+        assert written == 2
+        loaded = load_flows(path)
+        assert len(loaded) == 2
+        assert list(loaded) == list(original)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "capture.jsonl"
+        dump_flows(sample_log(), path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_flows(path)) == 2
+
+    def test_stratum_fields_survive(self, tmp_path):
+        path = tmp_path / "capture.jsonl"
+        dump_flows(sample_log(), path)
+        loaded = load_flows(path)
+        stratum = loaded.stratum_flows()[0]
+        assert stratum.login == "W1"
+        assert stratum.agent == "xmrig/2.8.1"
+
+
+class TestMerge:
+    def test_merge(self):
+        merged = merge_captures([sample_log(), sample_log()])
+        assert len(merged) == 4
+
+    def test_merge_empty(self):
+        assert len(merge_captures([])) == 0
+
+
+class TestSandboxIntegration:
+    def test_sandbox_capture_exports(self, small_world, tmp_path):
+        from repro.sandbox.emulator import Sandbox
+        miner = next(s for s in small_world.samples if s.kind == "miner")
+        report = Sandbox(small_world.resolver).run(miner.sha256,
+                                                   miner.behavior)
+        path = tmp_path / "run.jsonl"
+        written = dump_flows(report.flows, path)
+        assert written == len(report.flows)
+        if written:
+            reloaded = load_flows(path)
+            assert reloaded.contacted_hosts() == \
+                report.flows.contacted_hosts()

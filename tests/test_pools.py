@@ -1,0 +1,211 @@
+"""Unit tests for the mining-pool simulator and directory."""
+
+import datetime
+
+import pytest
+
+from repro.common.errors import PoolError
+from repro.pools.directory import KNOWN_POOLS, PoolDirectory, default_directory
+from repro.pools.pool import (
+    BanPolicy,
+    MiningPool,
+    PoolConfig,
+    Transparency,
+)
+
+D = datetime.date
+
+
+@pytest.fixture
+def pool():
+    return MiningPool(PoolConfig("testpool", fee=0.01,
+                                 payout_threshold=0.3,
+                                 exposes_hashrate_history=True))
+
+
+class TestAccrual:
+    def test_credit_proportional_to_hashrate(self, pool):
+        day = D(2018, 6, 1)
+        small = pool.credit_mining_day("W1", day, 1e5)
+        large = pool.credit_mining_day("W2", day, 1e6)
+        assert large == pytest.approx(small * 10, rel=1e-6)
+
+    def test_fee_applied(self):
+        day = D(2018, 6, 1)
+        free = MiningPool(PoolConfig("free", fee=0.0))
+        paid = MiningPool(PoolConfig("paid", fee=0.10))
+        r_free = free.credit_mining_day("W", day, 1e6)
+        r_paid = paid.credit_mining_day("W", day, 1e6)
+        assert r_paid == pytest.approx(r_free * 0.9, rel=1e-6)
+
+    def test_negative_hashrate_rejected(self, pool):
+        with pytest.raises(PoolError):
+            pool.credit_mining_day("W", D(2018, 6, 1), -1.0)
+
+    def test_payout_threshold(self, pool):
+        day = D(2018, 6, 1)
+        # tiny hashrate: balance stays below the threshold, no payment
+        pool.credit_mining_day("W1", day, 1.0)
+        stats = pool.api_wallet_stats("W1")
+        assert stats.num_payments == 0
+        assert stats.balance > 0
+
+    def test_payments_accumulate(self, pool):
+        total = 0.0
+        for i in range(30):
+            total += pool.credit_mining_day(
+                "W1", D(2018, 6, 1) + datetime.timedelta(days=i), 2e6)
+        stats = pool.api_wallet_stats("W1")
+        assert stats.total_paid + stats.balance == pytest.approx(total)
+        assert stats.num_payments > 0
+
+    def test_last_share_tracked(self, pool):
+        pool.credit_mining_day("W1", D(2018, 6, 3), 1e6)
+        assert pool.api_wallet_stats("W1").last_share == D(2018, 6, 3)
+
+    def test_hashrate_history_exposed(self, pool):
+        pool.credit_mining_day("W1", D(2018, 6, 1), 1e6)
+        stats = pool.api_wallet_stats("W1")
+        assert stats.hashrate_history == [(D(2018, 6, 1), 1e6)]
+
+
+class TestTransparency:
+    def _mined_pool(self, transparency, **kwargs):
+        pool = MiningPool(PoolConfig("p", transparency=transparency,
+                                     payout_threshold=0.1, **kwargs))
+        for i in range(60):
+            pool.credit_mining_day(
+                "W", D(2018, 6, 1) + datetime.timedelta(days=i), 2e6)
+        return pool
+
+    def test_full_history(self):
+        pool = self._mined_pool(Transparency.FULL_HISTORY)
+        stats = pool.api_wallet_stats("W")
+        assert stats.payments is not None
+        assert len(stats.payments) == stats.num_payments
+
+    def test_recent_window(self):
+        pool = self._mined_pool(Transparency.RECENT_WINDOW,
+                                recent_window_days=10)
+        stats = pool.api_wallet_stats("W", query_date=D(2018, 7, 30))
+        assert stats.payments is not None
+        assert all(D(2018, 7, 20) <= d for d, _ in stats.payments)
+        assert stats.total_paid > sum(a for _, a in stats.payments)
+
+    def test_totals_only(self):
+        pool = self._mined_pool(Transparency.TOTALS_ONLY)
+        stats = pool.api_wallet_stats("W")
+        assert stats.payments is None
+        assert stats.total_paid > 0
+
+    def test_opaque_raises(self):
+        pool = MiningPool(PoolConfig("minergate-like",
+                                     transparency=Transparency.OPAQUE))
+        with pytest.raises(PoolError):
+            pool.api_wallet_stats("W")
+
+    def test_unknown_wallet_none(self, pool):
+        assert pool.api_wallet_stats("NEVER-SEEN") is None
+
+
+class TestBanning:
+    def _botnet_pool(self, cooperative=True, threshold=100):
+        pool = MiningPool(PoolConfig(
+            "p", ban_policy=BanPolicy(cooperative=cooperative,
+                                      min_connections_to_ban=threshold)))
+        pool.credit_mining_day("W", D(2018, 6, 1), 1e6, src_ips=150)
+        return pool
+
+    def test_cooperative_ban_on_report(self):
+        pool = self._botnet_pool()
+        assert pool.report_wallet("W", D(2018, 9, 27))
+        assert pool.is_banned("W")
+
+    def test_banned_wallet_earns_nothing(self):
+        pool = self._botnet_pool()
+        pool.report_wallet("W", D(2018, 9, 27))
+        assert pool.credit_mining_day("W", D(2018, 10, 1), 1e6) == 0.0
+
+    def test_noncooperative_ignores_report(self):
+        pool = self._botnet_pool(cooperative=False)
+        assert not pool.report_wallet("W", D(2018, 9, 27))
+        assert not pool.is_banned("W")
+
+    def test_few_connections_not_banned(self):
+        """Pools err on the safe side: small miners are spared (§VI)."""
+        pool = MiningPool(PoolConfig("p"))
+        pool.credit_mining_day("W", D(2018, 6, 1), 1e4, src_ips=5)
+        assert not pool.report_wallet("W", D(2018, 9, 27))
+
+    def test_proxy_hides_botnet(self):
+        """A proxy reduces visible IPs below the ban threshold."""
+        pool = MiningPool(PoolConfig("p"))
+        pool.credit_mining_day("W", D(2018, 6, 1), 1e6, src_ips=1)
+        assert not pool.report_wallet("W", D(2018, 9, 27))
+
+    def test_proactive_ban(self):
+        pool = MiningPool(PoolConfig(
+            "p", ban_policy=BanPolicy(proactive=True,
+                                      min_connections_to_ban=50)))
+        pool.credit_mining_day("W", D(2018, 6, 1), 1e6, src_ips=100)
+        assert pool.is_banned("W")
+
+    def test_report_unknown_wallet(self):
+        pool = MiningPool(PoolConfig("p"))
+        assert not pool.report_wallet("GHOST", D(2018, 9, 27))
+
+    def test_banned_login_rejected_on_wire(self):
+        pool = self._botnet_pool()
+        pool.report_wallet("W", D(2018, 9, 27))
+        assert pool.on_login("W", "xmrig", "1.2.3.4") is not None
+
+
+class TestDirectory:
+    def test_known_pools_present(self):
+        directory = default_directory()
+        for name in ["crypto-pool", "dwarfpool", "minexmr", "minergate",
+                     "nanopool", "supportxmr"]:
+            assert name in directory
+
+    def test_domain_resolution(self):
+        directory = default_directory()
+        assert directory.pool_for_domain("dwarfpool.com").config.name == \
+            "dwarfpool"
+        assert directory.pool_for_domain("xmr-eu.dwarfpool.com")\
+            .config.name == "dwarfpool"
+        assert directory.pool_for_domain("unknown.example") is None
+
+    def test_subdomain_of_registered(self):
+        directory = default_directory()
+        assert directory.pool_for_domain("deep.sub.minexmr.com")\
+            .config.name == "minexmr"
+
+    def test_minexmr_history_flag(self):
+        directory = default_directory()
+        assert directory.get("minexmr").config.exposes_hashrate_history
+
+    def test_minergate_opaque(self):
+        directory = default_directory()
+        assert directory.get("minergate").config.transparency is \
+            Transparency.OPAQUE
+
+    def test_transparent_pools_excludes_opaque(self):
+        directory = default_directory()
+        names = {p.config.name for p in directory.transparent_pools()}
+        assert "minergate" not in names
+        assert "minexmr" in names
+
+    def test_duplicate_registration_rejected(self):
+        directory = default_directory()
+        with pytest.raises(ValueError):
+            directory.register(MiningPool(PoolConfig("minexmr")))
+
+    def test_isolation_between_instances(self):
+        d1 = default_directory()
+        d2 = default_directory()
+        d1.get("minexmr").credit_mining_day("W", D(2018, 6, 1), 1e6)
+        assert d2.get("minexmr").api_wallet_stats("W") is None
+
+    def test_btc_pools_carry_coin(self):
+        directory = default_directory()
+        assert directory.get("50btc").config.coin == "BTC"

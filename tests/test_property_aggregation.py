@@ -1,0 +1,112 @@
+"""Property-based tests on aggregation invariants.
+
+Connected-component clustering must be order-insensitive, idempotent in
+its outputs, and monotone in its feature set: adding grouping features
+can only merge components, never split them.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import CampaignAggregator, GroupingPolicy
+from repro.core.records import MinerRecord
+from repro.osint.feeds import OsintFeeds
+
+# -- strategies -------------------------------------------------------------
+
+_wallets = st.sampled_from([f"W{i}" for i in range(8)])
+_urls = st.sampled_from([f"http://h{i}.ru/a.exe" for i in range(4)])
+
+
+@st.composite
+def miner_records(draw, max_records=12):
+    n = draw(st.integers(min_value=1, max_value=max_records))
+    records = []
+    for i in range(n):
+        record = MinerRecord(sha256=f"s{i:04d}")
+        wallets = draw(st.lists(_wallets, max_size=2, unique=True))
+        record.identifiers = wallets
+        record.identifier_coins = ["XMR"] * len(wallets)
+        if draw(st.booleans()):
+            record.itw_urls = [draw(_urls)]
+        if draw(st.booleans()) and i > 0:
+            record.parents = [f"s{draw(st.integers(0, i - 1)):04d}"]
+        record.type = "Miner" if wallets else "Ancillary"
+        records.append(record)
+    return records
+
+
+def _clusterings(campaigns):
+    """frozenset-of-frozensets view for comparing clusterings."""
+    return frozenset(frozenset(c.sample_hashes) for c in campaigns)
+
+
+def _aggregate(records, policy=None):
+    return CampaignAggregator(OsintFeeds(),
+                              policy or GroupingPolicy.full()
+                              ).aggregate(records)
+
+
+class TestAggregationProperties:
+    @given(miner_records())
+    @settings(max_examples=50, deadline=None)
+    def test_order_insensitive(self, records):
+        forward = _aggregate(records)
+        backward = _aggregate(list(reversed(records)))
+        assert _clusterings(forward) == _clusterings(backward)
+
+    @given(miner_records())
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic(self, records):
+        assert _clusterings(_aggregate(records)) == \
+            _clusterings(_aggregate(records))
+
+    @given(miner_records())
+    @settings(max_examples=50, deadline=None)
+    def test_partition(self, records):
+        """Campaigns partition the kept miner samples: no sample in two
+        campaigns, every miner sample in exactly one."""
+        campaigns = _aggregate(records)
+        seen = []
+        for campaign in campaigns:
+            seen.extend(campaign.sample_hashes)
+        assert len(seen) == len(set(seen))
+        miner_hashes = {r.sha256 for r in records if r.is_miner}
+        covered = set(seen)
+        assert miner_hashes <= covered
+
+    @given(miner_records())
+    @settings(max_examples=50, deadline=None)
+    def test_feature_monotonicity(self, records):
+        """The wallet-only clustering refines the full clustering:
+        every baseline cluster sits inside one full cluster."""
+        full = _aggregate(records)
+        baseline = _aggregate(records, GroupingPolicy.wallet_only())
+        full_of = {}
+        for campaign in full:
+            for sha in campaign.sample_hashes:
+                full_of[sha] = campaign.campaign_id
+        for campaign in baseline:
+            owners = {full_of.get(sha) for sha in campaign.sample_hashes
+                      if sha in full_of}
+            assert len(owners) <= 1
+
+    @given(miner_records())
+    @settings(max_examples=50, deadline=None)
+    def test_wallet_soundness(self, records):
+        """Two records sharing a wallet always land together."""
+        campaigns = _aggregate(records)
+        campaign_of = {}
+        for campaign in campaigns:
+            for sha in campaign.sample_hashes:
+                campaign_of[sha] = campaign.campaign_id
+        by_wallet = {}
+        for record in records:
+            for wallet in record.identifiers:
+                by_wallet.setdefault(wallet, set()).add(record.sha256)
+        for wallet, hashes in by_wallet.items():
+            owners = {campaign_of[sha] for sha in hashes
+                      if sha in campaign_of}
+            assert len(owners) <= 1, wallet

@@ -1,0 +1,123 @@
+"""Property-based tests on pool-accounting invariants."""
+
+import datetime
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pools.pool import MiningPool, PoolConfig, Transparency
+
+D = datetime.date
+_DAY0 = D(2018, 1, 1)
+
+hashrates = st.lists(
+    st.floats(min_value=0.0, max_value=5e7, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=40)
+
+
+class TestConservation:
+    @given(hashrates)
+    @settings(max_examples=40, deadline=None)
+    def test_credits_equal_paid_plus_balance(self, rates):
+        """Every credited atom is either paid out or still in balance."""
+        pool = MiningPool(PoolConfig("p", payout_threshold=0.2))
+        credited = 0.0
+        for i, rate in enumerate(rates):
+            credited += pool.credit_mining_day(
+                "W", _DAY0 + datetime.timedelta(days=i), rate)
+        stats = pool.api_wallet_stats("W")
+        if stats is None:
+            assert credited == 0.0
+        else:
+            assert abs((stats.total_paid + stats.balance) - credited) < 1e-9
+
+    @given(hashrates)
+    @settings(max_examples=40, deadline=None)
+    def test_payment_sum_equals_total_paid(self, rates):
+        pool = MiningPool(PoolConfig("p", payout_threshold=0.2))
+        for i, rate in enumerate(rates):
+            pool.credit_mining_day("W", _DAY0 + datetime.timedelta(days=i),
+                                   rate)
+        stats = pool.api_wallet_stats("W")
+        if stats is not None and stats.payments is not None:
+            assert abs(sum(a for _, a in stats.payments)
+                       - stats.total_paid) < 1e-9
+
+    @given(hashrates)
+    @settings(max_examples=40, deadline=None)
+    def test_balance_below_threshold(self, rates):
+        """After settlement the residual balance is under the payout
+        threshold (unless nothing was ever paid)."""
+        threshold = 0.2
+        pool = MiningPool(PoolConfig("p", payout_threshold=threshold))
+        for i, rate in enumerate(rates):
+            pool.credit_mining_day("W", _DAY0 + datetime.timedelta(days=i),
+                                   rate)
+        stats = pool.api_wallet_stats("W")
+        if stats is not None:
+            assert stats.balance < threshold
+
+    @given(hashrates, st.floats(min_value=0.0, max_value=0.1))
+    @settings(max_examples=30, deadline=None)
+    def test_fee_monotone(self, rates, fee):
+        """A pool with a fee never pays more than a fee-less one."""
+        free = MiningPool(PoolConfig("free", fee=0.0))
+        paid = MiningPool(PoolConfig("paid", fee=fee))
+        total_free = total_paid = 0.0
+        for i, rate in enumerate(rates):
+            day = _DAY0 + datetime.timedelta(days=i)
+            total_free += free.credit_mining_day("W", day, rate)
+            total_paid += paid.credit_mining_day("W", day, rate)
+        assert total_paid <= total_free + 1e-12
+
+    @given(st.integers(min_value=1, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_ban_stops_accrual_permanently(self, n_ips):
+        pool = MiningPool(PoolConfig("p"))
+        pool.credit_mining_day("W", _DAY0, 1e6, src_ips=n_ips)
+        banned = pool.report_wallet("W", _DAY0)
+        expected = n_ips > pool.config.ban_policy.min_connections_to_ban
+        assert banned == expected
+        after = pool.credit_mining_day(
+            "W", _DAY0 + datetime.timedelta(days=1), 1e6)
+        if banned:
+            assert after == 0.0
+        else:
+            assert after > 0.0
+
+    @given(hashrates)
+    @settings(max_examples=25, deadline=None)
+    def test_payments_chronological(self, rates):
+        pool = MiningPool(PoolConfig("p", payout_threshold=0.05))
+        for i, rate in enumerate(rates):
+            pool.credit_mining_day("W", _DAY0 + datetime.timedelta(days=i),
+                                   rate)
+        stats = pool.api_wallet_stats("W")
+        if stats is not None and stats.payments:
+            dates = [d for d, _ in stats.payments]
+            assert dates == sorted(dates)
+
+
+class TestTransparencyInvariants:
+    @given(hashrates)
+    @settings(max_examples=25, deadline=None)
+    def test_recent_window_is_subset_of_full(self, rates):
+        full = MiningPool(PoolConfig(
+            "f", transparency=Transparency.FULL_HISTORY,
+            payout_threshold=0.05))
+        windowed = MiningPool(PoolConfig(
+            "w", transparency=Transparency.RECENT_WINDOW,
+            payout_threshold=0.05, recent_window_days=10))
+        for i, rate in enumerate(rates):
+            day = _DAY0 + datetime.timedelta(days=i)
+            full.credit_mining_day("W", day, rate)
+            windowed.credit_mining_day("W", day, rate)
+        query = _DAY0 + datetime.timedelta(days=len(rates))
+        full_stats = full.api_wallet_stats("W", query)
+        win_stats = windowed.api_wallet_stats("W", query)
+        if full_stats is None:
+            assert win_stats is None
+            return
+        assert set(win_stats.payments) <= set(full_stats.payments)
+        assert win_stats.total_paid == full_stats.total_paid

@@ -1,0 +1,91 @@
+"""Tests for the text-table renderers and validation scoring."""
+
+import pytest
+
+from repro.analysis import (
+    fig1_forum_trends,
+    pairwise_clustering_scores,
+    table4_currencies,
+    table7_pool_popularity,
+    table8_top_campaigns,
+    table11_infrastructure,
+)
+from repro.reporting.render import (
+    format_table,
+    render_fig1,
+    render_table4,
+    render_table7,
+    render_table8,
+    render_table11,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbb"], [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert len(set(len(l) for l in lines[2:])) <= 2
+
+    def test_title(self):
+        text = format_table(["a"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+
+class TestRenderers:
+    def test_fig1(self, small_world):
+        text = render_fig1(fig1_forum_trends(small_world.forum_corpus))
+        assert "Monero" in text and "2018" in text
+
+    def test_table4(self, pipeline_result):
+        text = render_table4(table4_currencies(pipeline_result))
+        assert "XMR" in text and "Email" in text
+
+    def test_table7(self, pipeline_result):
+        text = render_table7(table7_pool_popularity(pipeline_result))
+        assert "crypto-pool" in text
+
+    def test_table8(self, pipeline_result):
+        text = render_table8(table8_top_campaigns(pipeline_result))
+        assert "C#" in text and "top-10 share" in text
+
+    def test_table11(self, pipeline_result):
+        text = render_table11(table11_infrastructure(pipeline_result))
+        assert "cnames" in text and ">=10k" in text
+
+
+class TestClusteringScores:
+    def test_perfect(self):
+        truth = {"a": 1, "b": 1, "c": 2}
+        scores = pairwise_clustering_scores(truth, truth)
+        assert scores.precision == scores.recall == scores.f1 == 1.0
+
+    def test_overmerge_hurts_precision(self):
+        truth = {"a": 1, "b": 1, "c": 2, "d": 2}
+        merged = {"a": 9, "b": 9, "c": 9, "d": 9}
+        scores = pairwise_clustering_scores(truth, merged)
+        assert scores.precision < 1.0
+        assert scores.recall == 1.0
+
+    def test_split_hurts_recall(self):
+        truth = {"a": 1, "b": 1, "c": 1}
+        split = {"a": 1, "b": 1, "c": 2}
+        scores = pairwise_clustering_scores(truth, split)
+        assert scores.recall < 1.0
+        assert scores.precision == 1.0
+
+    def test_disjoint_keys_ignored(self):
+        truth = {"a": 1, "b": 1}
+        predicted = {"a": 1, "b": 1, "zz": 5}
+        scores = pairwise_clustering_scores(truth, predicted)
+        assert scores.n_samples == 2
+        assert scores.f1 == 1.0
+
+    def test_empty(self):
+        scores = pairwise_clustering_scores({}, {})
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0

@@ -1,0 +1,155 @@
+"""Unit tests for the sandbox emulator and evasion modelling."""
+
+import datetime
+
+import pytest
+
+from repro.netsim.dns import DnsZone, Resolver
+from repro.sandbox.behavior import (
+    BehaviorScript,
+    CheckIdle,
+    CheckSandbox,
+    DnsQuery,
+    DropFile,
+    HttpGet,
+    SpawnProcess,
+    Stall,
+    StratumSession,
+)
+from repro.sandbox.emulator import Sandbox, SandboxEnvironment
+
+
+def miner_script(host="pool.minexmr.com", login="WALLET1"):
+    return BehaviorScript([
+        DnsQuery(host),
+        SpawnProcess("xmrig.exe",
+                     f"xmrig.exe -o stratum+tcp://{host}:4444 -u {login}"),
+        StratumSession(host=host, port=4444, login=login),
+    ])
+
+
+class TestExecution:
+    def test_artifacts_collected(self):
+        report = Sandbox().run("s1", miner_script())
+        assert report.processes and "xmrig.exe" in report.processes[0]
+        assert "pool.minexmr.com" in report.dns_queries
+        flows = report.flows.stratum_flows()
+        assert len(flows) == 1
+        assert flows[0].login == "WALLET1"
+        assert report.complete
+
+    def test_drop_file_recorded(self):
+        script = BehaviorScript([DropFile("m.exe", "abc123")])
+        report = Sandbox().run("s1", script)
+        assert report.dropped_files == ["abc123"]
+
+    def test_http_recorded(self):
+        script = BehaviorScript([HttpGet("http://github.com/x/m.exe")])
+        report = Sandbox().run("s1", script)
+        assert report.http_urls == ["http://github.com/x/m.exe"]
+
+    def test_ip_endpoint_no_dns(self):
+        script = BehaviorScript([
+            StratumSession(host="10.1.2.3", port=4444, login="W")])
+        report = Sandbox().run("s1", script)
+        assert report.dns_queries == []
+        assert report.flows.stratum_flows()[0].dst_ip == "10.1.2.3"
+
+    def test_dns_resolution_with_resolver(self):
+        zone = DnsZone()
+        zone.add_a("pool.minexmr.com", "10.5.5.5")
+        sandbox = Sandbox(Resolver(zone), SandboxEnvironment(
+            analysis_date=datetime.date(2018, 6, 1)))
+        report = sandbox.run("s1", miner_script())
+        assert report.flows.stratum_flows()[0].dst_ip == "10.5.5.5"
+
+    def test_unresolved_host_sentinel(self):
+        zone = DnsZone()
+        sandbox = Sandbox(Resolver(zone), SandboxEnvironment(
+            analysis_date=datetime.date(2018, 6, 1)))
+        report = sandbox.run("s1", miner_script(host="ghost.example"))
+        assert report.flows.stratum_flows()[0].dst_ip == "0.0.0.0"
+
+    def test_unknown_action_raises(self):
+        class Weird:
+            duration_s = 0.0
+        with pytest.raises(TypeError):
+            Sandbox().run("s1", BehaviorScript([Weird()]))
+
+
+class TestEvasion:
+    def test_stalling_outlasts_timeout(self):
+        """Execution-stalling hides the payload from the sandbox."""
+        script = BehaviorScript([
+            Stall(seconds=600),
+            StratumSession(host="p.x", port=4444, login="W"),
+        ])
+        report = Sandbox(environment=SandboxEnvironment(timeout_s=300)).run(
+            "s1", script)
+        assert report.timed_out
+        assert not report.flows.stratum_flows()
+        assert not report.complete
+
+    def test_stalling_within_budget_observed(self):
+        script = BehaviorScript([
+            Stall(seconds=100),
+            StratumSession(host="p.x", port=4444, login="W"),
+        ])
+        report = Sandbox(environment=SandboxEnvironment(timeout_s=300)).run(
+            "s1", script)
+        assert report.flows.stratum_flows()
+
+    def test_idle_check_passes_in_sandbox(self):
+        """Idle mining evades users, not sandboxes (§I)."""
+        script = BehaviorScript([
+            CheckIdle(),
+            StratumSession(host="p.x", port=4444, login="W"),
+        ])
+        report = Sandbox().run("s1", script)
+        assert report.flows.stratum_flows()
+
+    def test_sandbox_detection_deterministic(self):
+        script = BehaviorScript([
+            CheckSandbox(detectability=0.5),
+            StratumSession(host="p.x", port=4444, login="W"),
+        ])
+        r1 = Sandbox().run("same-sample", script)
+        r2 = Sandbox().run("same-sample", script)
+        assert r1.aborted_by_evasion == r2.aborted_by_evasion
+
+    def test_certain_detection_aborts(self):
+        script = BehaviorScript([
+            CheckSandbox(detectability=1.0),
+            StratumSession(host="p.x", port=4444, login="W"),
+        ])
+        report = Sandbox().run("s1", script)
+        assert report.aborted_by_evasion
+        assert not report.flows.stratum_flows()
+
+    def test_hardened_environment_defeats_detection(self):
+        """Bare-metal analysis (the paper's [7]) sees everything."""
+        script = BehaviorScript([
+            CheckSandbox(detectability=1.0),
+            StratumSession(host="p.x", port=4444, login="W"),
+        ])
+        env = SandboxEnvironment(hardened=True)
+        report = Sandbox(environment=env).run("s1", script)
+        assert not report.aborted_by_evasion
+        assert report.flows.stratum_flows()
+
+    def test_non_sandbox_environment_not_detected(self):
+        script = BehaviorScript([CheckSandbox(detectability=1.0)])
+        env = SandboxEnvironment(is_sandbox=False)
+        report = Sandbox(environment=env).run("s1", script)
+        assert not report.aborted_by_evasion
+
+
+class TestBehaviorScript:
+    def test_append_chains(self):
+        script = BehaviorScript().append(CheckIdle()).append(
+            DnsQuery("x.y"))
+        assert len(script) == 2
+
+    def test_stratum_sessions_filter(self):
+        script = miner_script()
+        assert len(script.stratum_sessions()) == 1

@@ -1,0 +1,269 @@
+"""Unit and integration tests for the Stratum protocol substrate."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.stratum.channel import Channel, make_channel_pair
+from repro.stratum.client import StratumClient
+from repro.stratum.framing import LineFramer, encode_frame
+from repro.stratum.messages import (
+    JobNotification,
+    KeepAlive,
+    LoginRequest,
+    LoginResult,
+    StratumError,
+    SubmitRequest,
+    SubmitResult,
+    parse_message,
+)
+from repro.stratum.proxy import MiningProxy
+from repro.stratum.server import ShareSink, StratumServerSession
+
+
+class RecordingSink(ShareSink):
+    def __init__(self, banned=()):
+        self.logins = []
+        self.shares = []
+        self.banned = set(banned)
+
+    def on_login(self, login, agent, src_ip):
+        self.logins.append((login, agent, src_ip))
+        return "Banned" if login in self.banned else None
+
+    def on_share(self, login, valid, src_ip, difficulty=1):
+        self.shares.append((login, valid, src_ip))
+
+
+def connected_pair(login="W1", algo="cn/0", server_algo="cn/0",
+                   sink=None, src_ip="10.9.9.9"):
+    client_end, server_end = make_channel_pair()
+    sink = sink if sink is not None else RecordingSink()
+    server = StratumServerSession(server_end, sink,
+                                  current_algo=server_algo, src_ip=src_ip)
+    client = StratumClient(client_end, login, supported_algo=algo)
+    return client, server, sink
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        framer = LineFramer()
+        frames = framer.feed(encode_frame({"id": 1, "method": "login"}))
+        assert frames == [{"id": 1, "method": "login"}]
+
+    def test_partial_chunks(self):
+        framer = LineFramer()
+        wire = encode_frame({"a": 1}) + encode_frame({"b": 2})
+        assert framer.feed(wire[:5]) == []
+        frames = framer.feed(wire[5:])
+        assert frames == [{"a": 1}, {"b": 2}]
+
+    def test_pending_bytes(self):
+        framer = LineFramer()
+        framer.feed(b'{"incomplete"')
+        assert framer.pending_bytes > 0
+
+    def test_blank_lines_skipped(self):
+        framer = LineFramer()
+        assert framer.feed(b"\n\n" + encode_frame({"x": 1})) == [{"x": 1}]
+
+    def test_malformed_json_raises(self):
+        framer = LineFramer()
+        with pytest.raises(ProtocolError):
+            framer.feed(b"not json at all\n")
+
+    def test_oversized_frame_raises(self):
+        framer = LineFramer()
+        with pytest.raises(ProtocolError):
+            framer.feed(b"x" * (17 * 1024))
+
+
+class TestMessages:
+    def test_login_roundtrip(self):
+        request = LoginRequest(1, "WALLET", "pass", "xmrig/2.8")
+        parsed = parse_message(request.to_wire())
+        assert parsed == request
+
+    def test_submit_roundtrip(self):
+        request = SubmitRequest(2, "sess1", "job1", "0000002a", "ff" * 32)
+        parsed = parse_message(request.to_wire())
+        assert parsed == request
+
+    def test_keepalive(self):
+        parsed = parse_message(KeepAlive(3).to_wire())
+        assert isinstance(parsed, KeepAlive)
+
+    def test_login_result(self):
+        job = JobNotification("job1", "blob", "ffffffff", "cn/1", 7)
+        wire = LoginResult(1, "sess9", job).to_wire()
+        parsed = parse_message(wire)
+        assert isinstance(parsed, LoginResult)
+        assert parsed.job.algo == "cn/1"
+
+    def test_job_notification(self):
+        job = JobNotification("job2", "blob", "ffffffff", "cn/0")
+        parsed = parse_message(job.to_wire())
+        assert isinstance(parsed, JobNotification)
+
+    def test_error_response(self):
+        wire = StratumError(4, -32000, "Banned").to_wire()
+        parsed = parse_message(wire)
+        assert isinstance(parsed, StratumError)
+        assert parsed.message == "Banned"
+
+    def test_submit_missing_fields_raises(self):
+        with pytest.raises(ProtocolError):
+            parse_message({"id": 1, "method": "submit",
+                           "params": {"id": "s"}})
+
+    def test_login_missing_login_raises(self):
+        with pytest.raises(ProtocolError):
+            parse_message({"id": 1, "method": "login", "params": {}})
+
+    def test_unknown_frame_raises(self):
+        with pytest.raises(ProtocolError):
+            parse_message({"method": "mystery"})
+
+    def test_wire_is_single_line_json(self):
+        wire = encode_frame(LoginRequest(1, "W").to_wire())
+        assert wire.endswith(b"\n")
+        assert b"\n" not in wire[:-1]
+        json.loads(wire)
+
+
+class TestChannel:
+    def test_send_receive(self):
+        a, b = make_channel_pair()
+        a.send(b"hello")
+        assert b.receive() == b"hello"
+        assert b.receive() is None
+
+    def test_bidirectional(self):
+        a, b = make_channel_pair()
+        a.send(b"ping")
+        b.send(b"pong")
+        assert b.receive() == b"ping"
+        assert a.receive() == b"pong"
+
+    def test_closed_send_raises(self):
+        a, b = make_channel_pair()
+        a.close()
+        with pytest.raises(ConnectionError):
+            a.send(b"x")
+
+    def test_peer_closed_send_raises(self):
+        a, b = make_channel_pair()
+        b.close()
+        with pytest.raises(ConnectionResetError):
+            a.send(b"x")
+
+    def test_unconnected_send_raises(self):
+        with pytest.raises(ConnectionError):
+            Channel().send(b"x")
+
+    def test_byte_counters(self):
+        a, b = make_channel_pair()
+        a.send(b"12345")
+        b.receive()
+        assert a.bytes_sent == 5
+        assert b.bytes_received == 5
+
+
+class TestClientServer:
+    def test_login_flow(self):
+        client, server, sink = connected_pair()
+        assert client.connect()
+        assert client.session_id is not None
+        assert client.current_job is not None
+        assert sink.logins == [("W1", "xmrig/2.8.1", "10.9.9.9")]
+
+    def test_banned_login_rejected(self):
+        sink = RecordingSink(banned={"BAD"})
+        client, server, _ = connected_pair(login="BAD", sink=sink)
+        assert not client.connect()
+        assert client.last_error is not None
+
+    def test_share_accounting(self):
+        client, server, sink = connected_pair()
+        client.connect()
+        accepted = client.mine(10)
+        assert accepted == 10
+        assert server.valid_shares == 10
+        assert all(valid for _, valid, _ in sink.shares)
+
+    def test_submit_before_login_raises(self):
+        client, _, _ = connected_pair()
+        with pytest.raises(ProtocolError):
+            client.submit_share(1)
+
+    def test_algorithm_mismatch_rejected(self):
+        """An outdated miner's shares are invalid after a fork (§VI)."""
+        client, server, _ = connected_pair(algo="cn/0", server_algo="cn/1")
+        client.connect()
+        assert client.mine(5) == 0
+        assert server.invalid_shares == 5
+
+    def test_fork_mid_session(self):
+        client, server, _ = connected_pair()
+        client.connect()
+        assert client.mine(3) == 3
+        server.set_algo("cn/1")  # the fork: pushes a new job
+        assert client.mine(3) == 0  # client still hashes cn/0
+
+    def test_updated_client_survives_fork(self):
+        client, server, _ = connected_pair()
+        client.connect()
+        server.set_algo("cn/1")
+        client.poll()  # pick up the pushed post-fork job
+        client.supported_algo = "cn/1"  # operator pushed an update
+        assert client.mine(3) == 3
+
+    def test_stale_job_share_rejected(self):
+        """A share computed against the pre-fork job must be rejected."""
+        client, server, _ = connected_pair()
+        client.connect()
+        server.set_algo("cn/1")
+        client.supported_algo = "cn/1"
+        # no poll: the first submit references the stale job id
+        assert not client.submit_share(0)
+
+
+class TestProxy:
+    def _build_proxy(self, n_bots=4, shares_each=5):
+        up_client_end, up_server_end = make_channel_pair()
+        pool_sink = RecordingSink()
+        pool_session = StratumServerSession(
+            up_server_end, pool_sink, current_algo="cn/0",
+            src_ip="77.7.7.7")
+        upstream = StratumClient(up_client_end, "OPERATOR",
+                                 supported_algo="cn/0")
+        proxy = MiningProxy(upstream, "77.7.7.7")
+        assert proxy.connect_upstream()
+        for i in range(n_bots):
+            bot_channel = proxy.accept_bot(f"10.0.0.{i}")
+            bot = StratumClient(bot_channel, f"bot{i}",
+                                supported_algo="cn/0")
+            assert bot.connect()
+            bot.mine(shares_each)
+        return proxy, pool_sink, pool_session
+
+    def test_pool_sees_single_ip(self):
+        proxy, pool_sink, _ = self._build_proxy()
+        assert {ip for _, _, ip in pool_sink.shares} == {"77.7.7.7"}
+
+    def test_pool_sees_operator_wallet_only(self):
+        proxy, pool_sink, _ = self._build_proxy()
+        assert {login for login, _, _ in pool_sink.shares} == {"OPERATOR"}
+
+    def test_all_shares_forwarded(self):
+        proxy, pool_sink, _ = self._build_proxy(n_bots=3, shares_each=4)
+        assert proxy.forwarded_shares == 12
+        assert len(pool_sink.shares) == 12
+
+    def test_stats(self):
+        proxy, _, _ = self._build_proxy(n_bots=3, shares_each=2)
+        stats = proxy.stats()
+        assert stats["bots"] == 3
+        assert stats["distinct_ips"] == 3
+        assert stats["downstream_shares"] == 6

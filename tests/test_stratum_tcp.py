@@ -1,0 +1,127 @@
+"""Integration tests: Stratum over real TCP sockets (asyncio)."""
+
+import asyncio
+
+import pytest
+
+from repro.pools.pool import BanPolicy, MiningPool, PoolConfig
+from repro.stratum.server import ShareSink
+from repro.stratum.tcp import StratumTcpClient, StratumTcpServer
+
+
+class RecordingSink(ShareSink):
+    def __init__(self, banned=()):
+        self.logins = []
+        self.shares = []
+        self.banned = set(banned)
+
+    def on_login(self, login, agent, src_ip):
+        self.logins.append((login, agent, src_ip))
+        return "Banned" if login in self.banned else None
+
+    def on_share(self, login, valid, src_ip, difficulty=1):
+        self.shares.append((login, valid, src_ip))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_server(sink, body, algo="cn/0"):
+    server = StratumTcpServer(sink, current_algo=algo)
+    await server.start()
+    try:
+        return await body(server)
+    finally:
+        await server.stop()
+
+
+class TestTcpStratum:
+    def test_login_over_socket(self):
+        sink = RecordingSink()
+
+        async def body(server):
+            client = StratumTcpClient("127.0.0.1", server.port, "WALLET")
+            ok = await client.connect()
+            await client.close()
+            return ok
+
+        assert run(_with_server(sink, body))
+        assert sink.logins[0][0] == "WALLET"
+        assert sink.logins[0][2] == "127.0.0.1"
+
+    def test_mining_accounting(self):
+        sink = RecordingSink()
+
+        async def body(server):
+            client = StratumTcpClient("127.0.0.1", server.port, "WALLET")
+            await client.connect()
+            accepted = await client.mine(8)
+            await client.close()
+            return accepted
+
+        assert run(_with_server(sink, body)) == 8
+        assert len(sink.shares) == 8
+        assert all(valid for _, valid, _ in sink.shares)
+
+    def test_banned_login_rejected(self):
+        sink = RecordingSink(banned={"EVIL"})
+
+        async def body(server):
+            client = StratumTcpClient("127.0.0.1", server.port, "EVIL")
+            ok = await client.connect()
+            await client.close()
+            return ok, client.last_error
+
+        ok, error = run(_with_server(sink, body))
+        assert not ok
+        assert error is not None and "Banned" in error.message
+
+    def test_algo_mismatch_rejected(self):
+        sink = RecordingSink()
+
+        async def body(server):
+            client = StratumTcpClient("127.0.0.1", server.port, "W",
+                                      supported_algo="cn/0")
+            await client.connect()
+            accepted = await client.mine(4)
+            await client.close()
+            return accepted
+
+        accepted = run(_with_server(sink, body, algo="cn/1"))
+        assert accepted == 0
+        assert all(not valid for _, valid, _ in sink.shares)
+
+    def test_multiple_concurrent_clients(self):
+        sink = RecordingSink()
+
+        async def body(server):
+            async def one(i):
+                client = StratumTcpClient("127.0.0.1", server.port,
+                                          f"W{i}")
+                await client.connect()
+                accepted = await client.mine(3)
+                await client.close()
+                return accepted
+
+            results = await asyncio.gather(*(one(i) for i in range(5)))
+            return results
+
+        results = run(_with_server(sink, body))
+        assert results == [3] * 5
+        assert {login for login, _, _ in sink.logins} == \
+            {f"W{i}" for i in range(5)}
+
+    def test_pool_simulator_as_sink(self):
+        """The full pool simulator terminates real TCP miners."""
+        pool = MiningPool(PoolConfig(
+            "tcp-pool", ban_policy=BanPolicy(min_connections_to_ban=2)))
+
+        async def body(server):
+            client = StratumTcpClient("127.0.0.1", server.port, "WALLET")
+            await client.connect()
+            await client.mine(5)
+            await client.close()
+
+        run(_with_server(pool, body))
+        assert pool.distinct_connections("WALLET") == 1

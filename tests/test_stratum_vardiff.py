@@ -1,0 +1,106 @@
+"""Tests for variable share difficulty (vardiff)."""
+
+import pytest
+
+from repro.pools.pool import MiningPool, PoolConfig
+from repro.stratum.channel import make_channel_pair
+from repro.stratum.client import StratumClient
+from repro.stratum.messages import JobNotification
+from repro.stratum.server import ShareSink, StratumServerSession
+
+
+class DifficultySink(ShareSink):
+    def __init__(self):
+        self.shares = []
+
+    def on_share(self, login, valid, src_ip, difficulty=1):
+        self.shares.append((login, valid, difficulty))
+
+
+def session_pair(difficulty=1, vardiff=False):
+    client_end, server_end = make_channel_pair()
+    sink = DifficultySink()
+    server = StratumServerSession(server_end, sink,
+                                  difficulty=difficulty, vardiff=vardiff)
+    client = StratumClient(client_end, "W")
+    return client, server, sink
+
+
+class TestTargetEncoding:
+    def test_difficulty_roundtrip(self):
+        for difficulty in (1, 2, 16, 1000, 50000):
+            target = JobNotification.target_for_difficulty(difficulty)
+            job = JobNotification("j", "b", target, "cn/0")
+            # floor division loses at most a rounding step
+            assert job.difficulty == pytest.approx(difficulty, rel=0.01)
+
+    def test_unit_target(self):
+        job = JobNotification("j", "b", "ffffffff", "cn/0")
+        assert job.difficulty == 1
+
+    def test_malformed_target_degrades_to_one(self):
+        job = JobNotification("j", "b", "zzzz", "cn/0")
+        assert job.difficulty == 1
+
+    def test_zero_target_guard(self):
+        job = JobNotification("j", "b", "00000000", "cn/0")
+        assert job.difficulty == 1
+
+
+class TestStaticDifficulty:
+    def test_job_carries_configured_difficulty(self):
+        client, server, _ = session_pair(difficulty=5000)
+        client.connect()
+        assert client.current_job.difficulty == pytest.approx(5000,
+                                                              rel=0.01)
+
+    def test_sink_receives_share_difficulty(self):
+        client, server, sink = session_pair(difficulty=100)
+        client.connect()
+        client.mine(3)
+        assert len(sink.shares) == 3
+        for _, valid, difficulty in sink.shares:
+            assert valid
+            assert difficulty == pytest.approx(100, rel=0.01)
+
+    def test_retarget_pushes_job(self):
+        client, server, _ = session_pair(difficulty=10)
+        client.connect()
+        server.set_difficulty(40)
+        client.poll()
+        assert client.current_job.difficulty == pytest.approx(40,
+                                                              rel=0.03)
+
+
+class TestVardiff:
+    def test_difficulty_doubles_after_window(self):
+        client, server, sink = session_pair(difficulty=1, vardiff=True)
+        client.connect()
+        window = StratumServerSession.VARDIFF_WINDOW
+        # first window mines at difficulty 1 and triggers a retarget
+        client.mine(window)
+        client.poll()
+        assert server.difficulty == 2
+        assert client.current_job.difficulty == 2
+
+    def test_work_accounting_fair_under_vardiff(self):
+        """Total proven work == sum of per-share difficulties, so a
+        retargeted miner is not short-changed."""
+        pool = MiningPool(PoolConfig("p"))
+        client_end, server_end = make_channel_pair()
+        server = StratumServerSession(server_end, pool, vardiff=True,
+                                      src_ip="10.0.0.1")
+        client = StratumClient(client_end, "W")
+        client.connect()
+        window = StratumServerSession.VARDIFF_WINDOW
+        client.mine(window)      # difficulty 1 each
+        client.poll()            # pick up the retargeted job
+        client.mine(4)           # difficulty 2 each
+        stats = pool.api_wallet_stats("W")
+        assert stats.hashes == pytest.approx(window * 1 + 4 * 2)
+
+    def test_vardiff_off_by_default(self):
+        client, server, _ = session_pair(difficulty=1)
+        client.connect()
+        client.mine(StratumServerSession.VARDIFF_WINDOW + 5)
+        assert server.difficulty == 1

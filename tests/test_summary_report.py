@@ -1,0 +1,43 @@
+"""Tests for the full measurement report."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.reporting.summary_report import render_measurement_report
+
+
+@pytest.fixture(scope="module")
+def report(small_world, pipeline_result):
+    return render_measurement_report(small_world, pipeline_result)
+
+
+class TestMeasurementReport:
+    def test_all_sections_present(self, report):
+        for heading in ("## Dataset (Table III)",
+                        "## Underground forums (Fig. 1)",
+                        "## Currencies (Table IV)",
+                        "## Mining pools (Table VII)",
+                        "## Top campaigns (Table VIII)",
+                        "## Infrastructure by profit band (Table XI)",
+                        "## Headline (§IV-D)",
+                        "## Aggregation quality vs ground truth"):
+            assert heading in report, heading
+
+    def test_case_studies_embedded(self, report):
+        assert "# Freebuf" in report
+        assert "# USA-138" in report
+
+    def test_headline_numbers_present(self, report):
+        assert "share of circulating supply" in report
+        assert "pairwise precision" in report
+
+    def test_dieoff_line(self, report):
+        assert "PoW-fork die-off" in report
+
+    def test_cli_fullreport(self, tmp_path):
+        out = tmp_path / "report.md"
+        code = cli_main(["fullreport", "--scale", "0.002", "--seed", "5",
+                         "--output", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert "## Dataset (Table III)" in text

@@ -1,0 +1,136 @@
+"""Unit tests for the wallet-address substrate."""
+
+import pytest
+
+from repro.common.rng import DeterministicRNG
+from repro.wallets.addresses import COINS, WalletFactory, is_valid_address
+from repro.wallets.base58 import b58decode, b58encode, is_base58
+from repro.wallets.detect import (
+    IdentifierKind,
+    classify_identifier,
+    extract_identifiers,
+)
+
+
+@pytest.fixture
+def factory():
+    return WalletFactory(DeterministicRNG(99))
+
+
+class TestBase58:
+    def test_roundtrip(self):
+        data = b"\x00\x01\xffhello"
+        assert b58decode(b58encode(data)) == data
+
+    def test_leading_zeros(self):
+        data = b"\x00\x00\x01"
+        encoded = b58encode(data)
+        assert encoded.startswith("11")
+        assert b58decode(encoded) == data
+
+    def test_empty(self):
+        assert b58encode(b"") == ""
+        assert b58decode("") == b""
+
+    def test_invalid_character(self):
+        with pytest.raises(ValueError):
+            b58decode("0OIl")
+
+    def test_is_base58(self):
+        assert is_base58("1A2b3C")
+        assert not is_base58("0")
+        assert not is_base58("")
+
+
+class TestGeneration:
+    def test_all_coins_valid(self, factory):
+        for ticker, coin in COINS.items():
+            address = factory.new_address(ticker)
+            assert address.startswith(coin.prefix)
+            assert len(address) == coin.total_length
+            assert is_valid_address(address, coin)
+
+    def test_uniqueness(self, factory):
+        addresses = {factory.new_address("XMR") for _ in range(200)}
+        assert len(addresses) == 200
+
+    def test_checksum_rejects_mutation(self, factory):
+        address = factory.new_address("XMR")
+        mutated = address[:-1] + ("2" if address[-1] != "2" else "3")
+        assert not is_valid_address(mutated)
+
+    def test_truncation_rejected(self, factory):
+        address = factory.new_address("BTC")
+        assert not is_valid_address(address[:-2])
+
+    def test_email_format(self, factory):
+        email = factory.new_email()
+        assert "@" in email and "." in email.split("@")[1]
+
+    def test_username_prefix(self, factory):
+        assert factory.new_username().startswith("worker_")
+
+
+class TestClassification:
+    def test_each_coin_classifies_to_itself(self, factory):
+        for key, coin in COINS.items():
+            address = factory.new_address(key)
+            classified = classify_identifier(address)
+            assert classified.kind is IdentifierKind.WALLET
+            # variants (XMR_SUB) classify to their underlying ticker
+            assert classified.ticker == coin.ticker, (key, address)
+
+    def test_monero_subaddress(self, factory):
+        address = factory.new_address("XMR_SUB")
+        assert address.startswith("8")
+        classified = classify_identifier(address)
+        assert classified.ticker == "XMR"
+
+    def test_email(self, factory):
+        classified = classify_identifier(factory.new_email())
+        assert classified.kind is IdentifierKind.EMAIL
+        assert classified.ticker is None
+
+    def test_username(self, factory):
+        classified = classify_identifier(factory.new_username())
+        assert classified.kind is IdentifierKind.USERNAME
+
+    def test_garbage_is_unknown(self):
+        assert classify_identifier("not-a-wallet").kind is \
+            IdentifierKind.UNKNOWN
+
+    def test_whitespace_stripped(self, factory):
+        address = factory.new_address("XMR")
+        assert classify_identifier(f"  {address} ").value == address
+
+
+class TestExtraction:
+    def test_from_cmdline(self, factory):
+        wallet = factory.new_address("XMR")
+        cmdline = (f"xmrig.exe -o stratum+tcp://pool.minexmr.com:4444 "
+                   f"-u {wallet} -p x")
+        found = extract_identifiers(cmdline)
+        assert [i.value for i in found] == [wallet]
+        assert found[0].ticker == "XMR"
+
+    def test_multiple_identifiers(self, factory):
+        w1 = factory.new_address("XMR")
+        w2 = factory.new_address("BTC")
+        email = factory.new_email()
+        text = f"miners: {w1} {w2} contact {email}"
+        found = extract_identifiers(text)
+        assert {i.value for i in found} == {w1, w2, email}
+
+    def test_deduplication(self, factory):
+        wallet = factory.new_address("XMR")
+        found = extract_identifiers(f"{wallet} {wallet} {wallet}")
+        assert len(found) == 1
+
+    def test_quoted_and_equals_delimiters(self, factory):
+        wallet = factory.new_address("XMR")
+        found = extract_identifiers(f'--user="{wallet}"')
+        assert [i.value for i in found] == [wallet]
+
+    def test_no_false_positives_on_prose(self):
+        text = "The quick brown fox jumps over the lazy dog " * 5
+        assert extract_identifiers(text) == []

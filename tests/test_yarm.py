@@ -1,0 +1,206 @@
+"""Unit tests for the mini-YARA engine."""
+
+import pytest
+
+from repro.common.errors import RuleSyntaxError
+from repro.yarm.builtin import builtin_miner_rules
+from repro.yarm.engine import compile_rules
+
+
+def compile_one(body: str):
+    return compile_rules(body)
+
+
+class TestCompilation:
+    def test_basic_rule(self):
+        rules = compile_one('''
+        rule Simple {
+            strings:
+                $a = "hello"
+            condition:
+                $a
+        }
+        ''')
+        assert rules.names() == ["Simple"]
+
+    def test_tags_and_meta(self):
+        rules = compile_one('''
+        rule Tagged : miner network {
+            meta:
+                author = "repro"
+            strings:
+                $a = "x1x2x3"
+            condition:
+                any of them
+        }
+        ''')
+        rule = rules.rules[0]
+        assert rule.tags == ["miner", "network"]
+        assert rule.meta["author"] == "repro"
+
+    def test_multiple_rules(self):
+        rules = compile_one('''
+        rule A { strings:
+                $a = "aaaa"
+            condition:
+                $a
+        }
+        rule B { strings:
+                $b = "bbbb"
+            condition:
+                $b
+        }
+        ''')
+        assert rules.names() == ["A", "B"]
+
+    def test_no_rules_raises(self):
+        with pytest.raises(RuleSyntaxError):
+            compile_rules("this is not a rule")
+
+    def test_missing_condition_raises(self):
+        with pytest.raises(RuleSyntaxError):
+            compile_one('''
+            rule Bad {
+                strings:
+                    $a = "x"
+            }
+            ''')
+
+    def test_bad_hex_raises(self):
+        with pytest.raises(RuleSyntaxError):
+            compile_one('''
+            rule Bad {
+                strings:
+                    $a = { GG HH }
+                condition:
+                    $a
+            }
+            ''')
+
+
+class TestMatching:
+    def test_text_string(self):
+        rules = compile_one('''
+        rule T { strings:
+                $a = "stratum+tcp://"
+            condition:
+                $a
+        }
+        ''')
+        assert rules.scan(b"connect stratum+tcp://pool:3333")
+        assert not rules.scan(b"nothing here")
+
+    def test_nocase(self):
+        rules = compile_one('''
+        rule T { strings:
+                $a = "MinerGate" nocase
+            condition:
+                $a
+        }
+        ''')
+        assert rules.scan(b"minergate.com")
+
+    def test_regex_string(self):
+        rules = compile_one(r'''
+        rule T { strings:
+                $a = /4[0-9A-Za-z]{10}/
+            condition:
+                $a
+        }
+        ''')
+        assert rules.scan(b"wallet 4AbCdEfGhIj999")
+        assert not rules.scan(b"wallet short")
+
+    def test_hex_string(self):
+        rules = compile_one('''
+        rule T { strings:
+                $a = { DE AD BE EF }
+            condition:
+                $a
+        }
+        ''')
+        assert rules.scan(b"xx\xde\xad\xbe\xefyy")
+
+    def test_fired_identifiers_reported(self):
+        rules = compile_one('''
+        rule T { strings:
+                $a = "one111"
+                $b = "two222"
+            condition:
+                any of them
+        }
+        ''')
+        match = rules.scan(b"has one111 only")[0]
+        assert match.fired == ["a"]
+
+
+class TestConditions:
+    def _scan(self, condition: str, data: bytes):
+        rules = compile_one(f'''
+        rule T {{ strings:
+                $a = "alpha1"
+                $b = "bravo2"
+                $c = "charlie3"
+            condition:
+                {condition}
+        }}
+        ''')
+        return bool(rules.scan(data))
+
+    def test_and(self):
+        assert self._scan("$a and $b", b"alpha1 bravo2")
+        assert not self._scan("$a and $b", b"alpha1 only")
+
+    def test_or(self):
+        assert self._scan("$a or $b", b"bravo2 only")
+
+    def test_not(self):
+        assert self._scan("$a and not $b", b"alpha1 here")
+        assert not self._scan("$a and not $b", b"alpha1 bravo2")
+
+    def test_parentheses(self):
+        assert self._scan("($a or $b) and $c", b"bravo2 charlie3")
+        assert not self._scan("($a or $b) and $c", b"bravo2 only")
+
+    def test_any_of_them(self):
+        assert self._scan("any of them", b"charlie3")
+        assert not self._scan("any of them", b"nothing")
+
+    def test_all_of_them(self):
+        assert self._scan("all of them", b"alpha1 bravo2 charlie3")
+        assert not self._scan("all of them", b"alpha1 bravo2")
+
+    def test_n_of_them(self):
+        assert self._scan("2 of them", b"alpha1 charlie3")
+        assert not self._scan("2 of them", b"alpha1")
+
+    def test_unknown_identifier_raises(self):
+        rules = compile_one('''
+        rule T { strings:
+                $a = "alpha1"
+            condition:
+                $z
+        }
+        ''')
+        with pytest.raises(RuleSyntaxError):
+            rules.scan(b"data")
+
+
+class TestBuiltinRules:
+    def test_compiles(self):
+        rules = builtin_miner_rules()
+        assert len(rules) >= 4
+
+    def test_detects_stratum(self):
+        rules = builtin_miner_rules()
+        hits = {m.rule for m in rules.scan(b"stratum+tcp://x:3333")}
+        assert "StratumProtocol" in hits
+
+    def test_detects_pool_domain(self):
+        rules = builtin_miner_rules()
+        hits = {m.rule for m in rules.scan(b"resolve DWARFPOOL.COM now")}
+        assert "KnownPoolDomains" in hits
+
+    def test_clean_data_no_match(self):
+        rules = builtin_miner_rules()
+        assert rules.scan(b"completely benign content") == []
