@@ -1,0 +1,70 @@
+"""Worker-count scaling of the extraction stages, plus cache hit rates.
+
+Times the full pipeline at 1 / 2 / 4 extraction workers against the
+same world and reports the relative throughput and the hit rates of the
+content-keyed memos.  On single-core runners the pooled configurations
+mostly measure pool overhead; the cache counters are the
+machine-independent part of the output.
+"""
+
+import time
+
+from repro.core.pipeline import MeasurementPipeline
+from repro.perf.cache import cache_stats, clear_caches
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _timed_run(world, workers):
+    clear_caches()
+    start = time.perf_counter()
+    result = MeasurementPipeline(world, workers=workers).run()
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def bench_parallel_scaling(benchmark, tiny_world):
+    timings = {}
+    reference = None
+    for workers in WORKER_COUNTS:
+        result, elapsed = _timed_run(tiny_world, workers)
+        timings[workers] = elapsed
+        if reference is None:
+            reference = result
+        else:
+            # scaling must never change the measurement
+            assert result.stats == reference.stats
+            assert len(result.campaigns) == len(reference.campaigns)
+
+    # the benchmark fixture wants one timed callable; re-time the widest
+    # configuration so the run shows up in the comparison table.
+    benchmark.pedantic(
+        lambda: _timed_run(tiny_world, WORKER_COUNTS[-1]),
+        rounds=1, iterations=1)
+
+    print()
+    base = timings[WORKER_COUNTS[0]]
+    for workers in WORKER_COUNTS:
+        print(f"workers={workers}: {timings[workers]:6.3f} s "
+              f"(x{base / timings[workers]:.2f} vs serial)")
+    for name, stats in cache_stats().items():
+        print(f"cache {name}: {stats['hits']} hits / "
+              f"{stats['misses']} misses "
+              f"(hit rate {stats['hit_rate'] * 100:.1f}%)")
+
+
+def bench_cache_effectiveness(benchmark, tiny_world):
+    """Second run against a warm memo: repeat work should be hits."""
+    clear_caches()
+    MeasurementPipeline(tiny_world).run()  # populate
+
+    result = benchmark.pedantic(
+        lambda: MeasurementPipeline(tiny_world).run(),
+        rounds=1, iterations=1)
+    assert result.stats.miners > 0
+
+    print()
+    for name, stats in cache_stats().items():
+        print(f"cache {name}: {stats['hits']} hits / "
+              f"{stats['misses']} misses "
+              f"(hit rate {stats['hit_rate'] * 100:.1f}%)")

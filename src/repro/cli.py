@@ -35,10 +35,21 @@ from repro.reporting.render import (
 )
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def _build_world_and_result(args):
     world = generate_world(ScenarioConfig(seed=args.seed,
                                           scale=args.scale))
-    result = MeasurementPipeline(world).run()
+    pipeline = MeasurementPipeline(world,
+                                   workers=getattr(args, "workers", 1))
+    result = pipeline.run()
+    if getattr(args, "profile", False):
+        print(pipeline.profiler.render_table(), file=sys.stderr)
     return world, result
 
 
@@ -179,6 +190,10 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name)
         p.add_argument("--scale", type=float, default=0.01)
         p.add_argument("--seed", type=int, default=2019)
+        p.add_argument("--workers", type=_positive_int, default=1,
+                       help="extraction worker processes (1 = serial)")
+        p.add_argument("--profile", action="store_true",
+                       help="print per-stage pipeline timings to stderr")
         p.set_defaults(func=func)
         if name == "measure":
             p.add_argument("--export", type=str, default=None,

@@ -1,0 +1,21 @@
+"""Small network-string helpers shared across pipeline stages."""
+
+
+def is_ipv4_literal(host: str) -> bool:
+    """Whether ``host`` is a well-formed dotted-quad IPv4 literal.
+
+    Strict: exactly four dot-separated decimal octets in [0, 255].
+    Malformed strings like ``"..."``, ``"1.2.3"`` or ``"1.2.3.999"``
+    (which a bare digits-and-dots scan would accept) are rejected.
+    """
+    if not host:
+        return False
+    parts = host.split(".")
+    if len(parts) != 4:
+        return False
+    for part in parts:
+        if not part.isdigit() or len(part) > 3:
+            return False
+        if int(part) > 255:
+            return False
+    return True

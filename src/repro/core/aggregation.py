@@ -18,6 +18,7 @@ from urllib.parse import urlparse
 
 import networkx as nx
 
+from repro.common.net import is_ipv4_literal
 from repro.common.simtime import Date
 from repro.core.records import MinerRecord
 from repro.osint.feeds import OsintFeeds
@@ -191,8 +192,7 @@ class CampaignAggregator:
         parsed = urlparse(url)
         host = parsed.hostname or ""
         self.graph.add_edge(node, ("url", url), feature="hosting")
-        is_ip = host and all(c.isdigit() or c == "." for c in host)
-        if is_ip:
+        if is_ipv4_literal(host):
             self.graph.add_edge(node, ("hostip", host), feature="hosting")
 
     def _operation_for(self, record: MinerRecord) -> Optional[str]:

@@ -13,7 +13,6 @@ from typing import Dict, Iterable, List, Optional, Set
 from repro.core.aggregation import Campaign
 from repro.core.profit import WalletProfile
 from repro.corpus.model import SampleRecord
-from repro.fuzzyhash.ctph import compute
 from repro.intel.vt import VtService
 from repro.osint.feeds import PPI_BOTNETS
 from repro.osint.stock_tools import StockToolCatalog
@@ -104,13 +103,7 @@ class CampaignEnricher:
         campaign.stock_tool_matches = matches
 
     def _catalog_size_range(self):
-        if not hasattr(self, "_size_range"):
-            sizes = [len(b.raw) for b in self._catalog.binaries()]
-            if sizes:
-                self._size_range = (min(sizes) // 2, max(sizes) * 2)
-            else:
-                self._size_range = (0, 0)
-        return self._size_range
+        return self._catalog.size_range()
 
     def _tag_obfuscation(self, campaign: Campaign) -> None:
         packers: Counter = Counter()

@@ -3,12 +3,19 @@
 Orchestrates: sanity checks -> static/dynamic extraction -> the
 illicit-wallet exception sweep -> ancillary recovery -> profit analysis
 -> proxy identification -> campaign aggregation -> enrichment.
+
+Per-sample extraction (stages 1 and 2) is independent until
+aggregation, so it is sharded over a worker pool when ``workers > 1``
+(see :mod:`repro.perf.parallel`); outcomes are merged in sample order,
+which keeps parallel results bit-identical to the serial path.  A
+:class:`~repro.perf.profiler.PipelineProfiler` times every stage.
 """
 
 import datetime
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro.common.net import is_ipv4_literal
 from repro.core.aggregation import (
     Campaign,
     CampaignAggregator,
@@ -22,7 +29,43 @@ from repro.core.records import MinerRecord
 from repro.core.sanity import SanityChecker, SanityVerdict
 from repro.core.static_analysis import StaticAnalyzer
 from repro.corpus.model import SampleRecord, SyntheticWorld
+from repro.perf.cache import CachingResolver
+from repro.perf.parallel import (
+    AnalysisSpec,
+    ParallelExtractionEngine,
+    SampleOutcome,
+)
+from repro.perf.profiler import PipelineProfiler
 from repro.sandbox.emulator import Sandbox, SandboxEnvironment
+
+_DEFAULT_ANALYSIS_DATE = datetime.date(2018, 9, 1)
+
+
+def build_analysis_components(
+        world: SyntheticWorld,
+        spec: AnalysisSpec) -> Tuple[SanityChecker, ExtractionEngine]:
+    """The per-process sanity checker + extraction engine pair.
+
+    Used both by the pipeline itself and by every pool worker, so a
+    worker analyses samples with components identical to the serial
+    path.  DNS resolution goes through a shared LRU memo.
+    """
+    resolver = CachingResolver(world.resolver)
+    sandbox = Sandbox(resolver, SandboxEnvironment(
+        analysis_date=spec.analysis_date))
+    checker = SanityChecker(
+        world.vt, world.osint, world.pool_directory,
+        tool_whitelist=world.stock_catalog.whitelist_hashes(),
+        positives_threshold=spec.positives_threshold,
+    )
+    engine = ExtractionEngine(
+        StaticAnalyzer(),
+        DynamicAnalyzer(sandbox, world.ha if spec.use_ha_reports else None),
+        world.vt, world.pool_directory,
+        resolver, world.passive_dns,
+        analysis_date=spec.analysis_date,
+    )
+    return checker, engine
 
 
 @dataclass
@@ -61,11 +104,19 @@ class MeasurementResult:
         return [r for r in self.records if r.is_miner]
 
     def campaign_for_wallet(self, identifier: str) -> Optional[Campaign]:
-        """The campaign holding ``identifier``, or None."""
-        for campaign in self.campaigns:
-            if identifier in campaign.identifiers:
-                return campaign
-        return None
+        """The campaign holding ``identifier``, or None.
+
+        Backed by a lazily built identifier index; reporting layers
+        call this per wallet, which made the old linear scan O(wallets
+        x campaigns) on large worlds.
+        """
+        if not hasattr(self, "_campaign_by_identifier"):
+            index: Dict[str, Campaign] = {}
+            for campaign in self.campaigns:
+                for held in campaign.identifiers:
+                    index.setdefault(held, campaign)
+            self._campaign_by_identifier = index
+        return self._campaign_by_identifier.get(identifier)
 
     def xmr_campaigns(self) -> List[Campaign]:
         """Campaigns holding at least one Monero identifier."""
@@ -77,127 +128,120 @@ class MeasurementResult:
 
 
 class MeasurementPipeline:
-    """The full measurement methodology against a (synthetic) world."""
+    """The full measurement methodology against a (synthetic) world.
+
+    ``workers`` shards stage-1/stage-2 extraction over a process pool;
+    ``workers=1`` (the default) runs everything in-process.  Both paths
+    produce identical results.  ``profiler`` may be supplied to share
+    one across runs; otherwise each pipeline owns one, exposed as
+    :attr:`profiler`.
+    """
 
     def __init__(self, world: SyntheticWorld,
                  policy: Optional[GroupingPolicy] = None,
                  positives_threshold: int = 10,
-                 analysis_date: datetime.date = datetime.date(2018, 9, 1),
-                 use_ha_reports: bool = True) -> None:
+                 analysis_date: datetime.date = _DEFAULT_ANALYSIS_DATE,
+                 use_ha_reports: bool = True,
+                 workers: int = 1,
+                 chunk_size: Optional[int] = None,
+                 profiler: Optional[PipelineProfiler] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.world = world
+        self.workers = workers
+        self.profiler = profiler or PipelineProfiler()
         self._policy = policy or GroupingPolicy.full()
-        sandbox = Sandbox(world.resolver, SandboxEnvironment(
-            analysis_date=analysis_date))
-        self._checker = SanityChecker(
-            world.vt, world.osint, world.pool_directory,
-            tool_whitelist=world.stock_catalog.whitelist_hashes(),
+        self._chunk_size = chunk_size
+        self._spec = AnalysisSpec(
             positives_threshold=positives_threshold,
-        )
-        self._engine = ExtractionEngine(
-            StaticAnalyzer(),
-            DynamicAnalyzer(sandbox, world.ha if use_ha_reports else None),
-            world.vt, world.pool_directory,
-            world.resolver, world.passive_dns,
             analysis_date=analysis_date,
+            use_ha_reports=use_ha_reports,
         )
+        self._checker, self._engine = build_analysis_components(
+            world, self._spec)
         self._profit = ProfitAnalyzer(world.pool_directory)
 
     # ------------------------------------------------------------------
 
     def run(self) -> MeasurementResult:
         """Execute all pipeline stages; returns the measurement result."""
+        prof = self.profiler
         stats = PipelineStats(collected=len(self.world.samples))
         verdicts: Dict[str, SanityVerdict] = {}
         records: Dict[str, MinerRecord] = {}
         deferred: List[SampleRecord] = []
 
-        # -- stage 1: sanity + extraction for confirmed malware ---------
-        for sample in self.world.samples:
-            if not self._checker.is_executable(sample.raw):
-                verdicts[sample.sha256] = SanityVerdict(
-                    sample.sha256, is_executable=False,
-                    reasons="not an executable")
-                continue
-            stats.executables += 1
-            if not self._checker.is_malware(sample.sha256):
-                deferred.append(sample)
-                continue
-            stats.malware += 1
-            record, report = self._engine.extract_with_report(sample)
-            stats.sandbox_analyses += 1
-            if report is not None and len(report.flows):
-                stats.network_analyses += 1
-            if record.used_static:
-                stats.binary_analyses += 1
-            is_miner = (bool(record.identifiers)
-                        or self._checker.is_miner(sample, report))
-            verdict = SanityVerdict(
-                sample.sha256, is_executable=True, is_malware=True,
-                is_miner=is_miner,
-                whitelisted_tool=False,
-            )
-            verdicts[sample.sha256] = verdict
-            if is_miner:
-                records[sample.sha256] = record
-                self._checker.confirm_wallets(set(record.identifiers))
+        with ParallelExtractionEngine(
+                self.world, self._spec, workers=self.workers,
+                local_components=(self._checker, self._engine),
+                chunk_size=self._chunk_size) as engine:
+            # -- stage 1: sanity + extraction for confirmed malware -----
+            with prof.stage("sanity + extraction",
+                            items=len(self.world.samples)):
+                outcomes = engine.map_stage1(
+                    range(len(self.world.samples)))
+                self._merge_stage1(outcomes, stats, verdicts, records,
+                                   deferred)
 
-        # -- stage 2: illicit-wallet exception sweep ---------------------
-        for sample in deferred:
-            quick = self._engine.extract_static_only(sample)
-            hit = set(quick.identifiers) & \
-                self._checker.confirmed_illicit_wallets
-            if not hit:
-                verdicts[sample.sha256] = SanityVerdict(
-                    sample.sha256, is_executable=True, is_malware=False,
-                    reasons="below AV threshold")
-                continue
-            record, report = self._engine.extract_with_report(sample)
-            stats.sandbox_analyses += 1
-            stats.binary_analyses += 1
-            verdicts[sample.sha256] = SanityVerdict(
-                sample.sha256, is_executable=True, is_malware=True,
-                is_miner=True, used_wallet_exception=True)
-            stats.wallet_exception_hits += 1
-            records[sample.sha256] = record
+            # -- stage 2: illicit-wallet exception sweep -----------------
+            with prof.stage("wallet-exception sweep", items=len(deferred)):
+                sweep = engine.map_stage2(
+                    self._deferred_indices(deferred),
+                    frozenset(self._checker.confirmed_illicit_wallets))
+                self._merge_stage2(sweep, stats, verdicts, records)
 
-        # -- stage 3: ancillary recovery ---------------------------------
-        self._recover_ancillaries(records, verdicts, stats)
+            # -- stage 3: ancillary recovery -----------------------------
+            with prof.stage("ancillary recovery"):
+                self._recover_ancillaries(records, verdicts, stats)
 
-        kept = list(records.values())
-        for record in kept:
-            if record.is_miner:
-                stats.miners += 1
-            else:
-                stats.ancillaries += 1
-            sample = self.world.sample_by_hash(record.sha256)
-            if sample is not None:
-                # feeds overlap (Appendix C): a sample counts toward
-                # every feed that carries it, so per-source totals can
-                # exceed the dataset size, exactly like Table III.
-                for feed in sample.sources:
-                    stats.by_source[feed] = stats.by_source.get(feed, 0) + 1
+            kept = list(records.values())
+
+            # -- warm the CTPH memo for enrichment (pooled runs) ---------
+            if self.workers > 1:
+                with prof.stage("fuzzy-hash precompute"):
+                    warmed = self._warm_fuzzy_hashes(engine, kept)
+                    prof.count("ctph_precomputed", warmed)
+
+        with prof.stage("funnel accounting", items=len(kept)):
+            for record in kept:
+                if record.is_miner:
+                    stats.miners += 1
+                else:
+                    stats.ancillaries += 1
+                sample = self.world.sample_by_hash(record.sha256)
+                if sample is not None:
+                    # feeds overlap (Appendix C): a sample counts toward
+                    # every feed that carries it, so per-source totals can
+                    # exceed the dataset size, exactly like Table III.
+                    for feed in sample.sources:
+                        stats.by_source[feed] = \
+                            stats.by_source.get(feed, 0) + 1
 
         # -- stage 4: profit analysis ------------------------------------
         identifiers = {
             identifier for record in kept
             for identifier in record.identifiers
         }
-        profiles = self._profit.profile_many(sorted(identifiers))
+        with prof.stage("profit analysis", items=len(identifiers)):
+            profiles = self._profit.profile_many(sorted(identifiers))
 
         # -- stage 5: proxy identification --------------------------------
-        proxy_ips = self._find_proxies(kept, profiles)
+        with prof.stage("proxy identification"):
+            proxy_ips = self._find_proxies(kept, profiles)
 
         # -- stage 6: aggregation ------------------------------------------
-        aggregator = CampaignAggregator(self.world.osint, self._policy,
-                                        proxy_ips=proxy_ips)
-        campaigns = aggregator.aggregate(kept)
+        with prof.stage("aggregation", items=len(kept)):
+            aggregator = CampaignAggregator(
+                self.world.osint, self._policy, proxy_ips=proxy_ips)
+            campaigns = aggregator.aggregate(kept)
 
         # -- stage 7: enrichment --------------------------------------------
-        enricher = CampaignEnricher(
-            self.world.vt, self.world.stock_catalog,
-            self.world.sample_by_hash,
-        )
-        enricher.enrich_all(campaigns, profiles)
+        with prof.stage("enrichment", items=len(campaigns)):
+            enricher = CampaignEnricher(
+                self.world.vt, self.world.stock_catalog,
+                self.world.sample_by_hash,
+            )
+            enricher.enrich_all(campaigns, profiles)
 
         return MeasurementResult(
             records=kept,
@@ -209,6 +253,80 @@ class MeasurementPipeline:
         )
 
     # ------------------------------------------------------------------
+    # stage merges (order-preserving: identical to the serial loops)
+    # ------------------------------------------------------------------
+
+    def _deferred_indices(self, deferred: List[SampleRecord]) -> List[int]:
+        index_of = {id(s): i for i, s in enumerate(self.world.samples)}
+        return [index_of[id(s)] for s in deferred]
+
+    def _merge_stage1(self, outcomes: List[SampleOutcome],
+                      stats: PipelineStats,
+                      verdicts: Dict[str, SanityVerdict],
+                      records: Dict[str, MinerRecord],
+                      deferred: List[SampleRecord]) -> None:
+        for outcome in outcomes:
+            if outcome.kind == "nonexec":
+                verdicts[outcome.sha256] = outcome.verdict
+                continue
+            stats.executables += 1
+            if outcome.kind == "deferred":
+                deferred.append(self.world.samples[outcome.index])
+                continue
+            stats.malware += 1
+            stats.sandbox_analyses += 1
+            if outcome.has_network:
+                stats.network_analyses += 1
+            if outcome.used_static:
+                stats.binary_analyses += 1
+            verdicts[outcome.sha256] = outcome.verdict
+            if outcome.kind == "miner":
+                records[outcome.sha256] = outcome.record
+                self._checker.confirm_wallets(
+                    set(outcome.record.identifiers))
+
+    def _merge_stage2(self, outcomes: List[SampleOutcome],
+                      stats: PipelineStats,
+                      verdicts: Dict[str, SanityVerdict],
+                      records: Dict[str, MinerRecord]) -> None:
+        for outcome in outcomes:
+            verdicts[outcome.sha256] = outcome.verdict
+            if outcome.kind != "exception":
+                continue
+            stats.sandbox_analyses += 1
+            stats.binary_analyses += 1
+            stats.wallet_exception_hits += 1
+            records[outcome.sha256] = outcome.record
+
+    # ------------------------------------------------------------------
+
+    def _warm_fuzzy_hashes(self, engine: ParallelExtractionEngine,
+                           kept: List[MinerRecord]) -> int:
+        """Fan the enrichment CTPH workload out over the pool.
+
+        Stock-tool attribution hashes the whole catalog plus every
+        fuzzy-match candidate; precomputing those digests in the worker
+        pool turns the serial enrichment stage into cache hits.
+        """
+        catalog = self.world.stock_catalog
+        size_lo, size_hi = catalog.size_range()
+        candidates: Set[str] = set()
+        for record in kept:
+            candidates.add(record.sha256)
+            candidates.update(record.dropped)
+            candidates.update(record.parents)
+        sample_hashes = []
+        for sha in sorted(candidates):
+            if catalog.by_hash(sha) is not None:
+                continue
+            sample = self.world.sample_by_hash(sha)
+            if sample is None or not size_lo <= len(sample.raw) <= size_hi:
+                continue
+            sample_hashes.append(sha)
+        return engine.warm_fuzzy_hashes(
+            sample_hashes, range(len(catalog.binaries())))
+
+    # ------------------------------------------------------------------
 
     def _recover_ancillaries(self, records: Dict[str, MinerRecord],
                              verdicts: Dict[str, SanityVerdict],
@@ -218,18 +336,23 @@ class MeasurementPipeline:
         A malware executable that failed the is-miner check still enters
         the dataset as an *ancillary* when it is a parent of an accepted
         sample, or an accepted sample dropped it.
+
+        Dropper chains can be several hops long (dropper -> loader ->
+        miner), so recovery iterates to a fixpoint — but frontier-based:
+        each wave only expands the records added by the previous wave
+        instead of rescanning every accepted record (the old fixpoint
+        was O(n^2) in the number of records).
         """
-        # Dropper chains can be several hops long (dropper -> loader ->
-        # miner), so recovery iterates to a fixpoint.
-        while True:
+        frontier = list(records)
+        while frontier:
             linked: Set[str] = set()
-            for record in records.values():
+            for sha in frontier:
+                record = records[sha]
                 linked.update(record.parents)
                 linked.update(record.dropped)
-            # children of accepted samples, via VT parent metadata
-            for sha in list(records):
+                # children of accepted samples, via VT parent metadata
                 linked.update(self.world.vt.children_of(sha))
-            added = False
+            frontier = []
             for sha in sorted(linked):
                 if sha in records:
                     continue
@@ -240,7 +363,7 @@ class MeasurementPipeline:
                     continue
                 if not self._checker.is_malware(sample.sha256):
                     continue
-                record, report = self._engine.extract_with_report(sample)
+                record, _report = self._engine.extract_with_report(sample)
                 stats.sandbox_analyses += 1
                 record.type = "Miner" if record.identifiers else "Ancillary"
                 records[sha] = record
@@ -248,9 +371,8 @@ class MeasurementPipeline:
                     sha, is_executable=True, is_malware=True,
                     is_miner=bool(record.identifiers),
                     reasons=None if record.identifiers else "ancillary")
-                added = True
-            if not added:
-                break
+                frontier.append(sha)
+                self.profiler.count("ancillaries_recovered")
 
     def _find_proxies(self, records: List[MinerRecord],
                       profiles: Dict[str, WalletProfile]) -> Set[str]:
@@ -262,9 +384,7 @@ class MeasurementPipeline:
                 continue
             if record.dst_ip in ("0.0.0.0", "127.0.0.1"):
                 continue  # unresolved-host sentinel, not a real endpoint
-            host_is_ip = all(c.isdigit() or c == "."
-                             for c in record.dst_ip)
-            if not host_is_ip:
+            if not is_ipv4_literal(record.dst_ip):
                 continue
             for identifier in record.identifiers:
                 profile = profiles.get(identifier)

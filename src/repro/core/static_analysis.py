@@ -9,8 +9,9 @@ import re
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.binfmt.entropy import OBFUSCATION_THRESHOLD, shannon_entropy
+from repro.binfmt.entropy import OBFUSCATION_THRESHOLD
 from repro.binfmt.format import parse_binary
+from repro.perf.cache import cached_entropy
 from repro.binfmt.packers import identify_packer, unpack
 from repro.binfmt.strings import extract_strings
 from repro.common.errors import BinaryFormatError
@@ -51,7 +52,7 @@ class StaticAnalyzer:
     def analyze(self, raw: bytes) -> StaticFindings:
         """Inspect one binary: unpack, strings, config, entropy."""
         findings = StaticFindings()
-        findings.entropy = shannon_entropy(raw)
+        findings.entropy = cached_entropy(raw)
         packer = identify_packer(raw)
         scannable = raw
         if packer is not None:

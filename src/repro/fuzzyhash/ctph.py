@@ -14,12 +14,20 @@ Algorithm (following Kornblum 2006, the paper's citation [36]):
 """
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
+
+try:  # vectorised rolling-hash path; the pure-Python loop is the fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
 
 _B64 = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
 _SPAMSUM_LENGTH = 64
 _MIN_BLOCKSIZE = 3
 _WINDOW = 7
+
+#: below this size the numpy setup cost exceeds the per-byte win.
+_VECTOR_MIN_BYTES = 64
 
 
 class _RollingHash:
@@ -82,6 +90,72 @@ def _piecewise_signature(data: bytes, blocksize: int) -> str:
     return "".join(out)
 
 
+def _rolling_totals(data: bytes):
+    """The rolling-hash value at every byte position, vectorised.
+
+    All three components of the spamsum rolling hash are functions of
+    only the last 7 bytes (h3's older contributions shift past the
+    32-bit mask), so each is a sliding-window reduction: one numpy pass
+    replaces the per-byte Python loop.  Returns None when numpy is
+    unavailable or the input is too small to amortise array setup.
+    """
+    if _np is None or len(data) < _VECTOR_MIN_BYTES:
+        return None
+    arr = _np.frombuffer(bytes(data), dtype=_np.uint8)
+    n = arr.shape[0]
+    padded = _np.zeros(n + _WINDOW - 1, dtype=_np.uint64)
+    padded[_WINDOW - 1:] = arr
+    h1 = _np.zeros(n, dtype=_np.uint64)
+    h2 = _np.zeros(n, dtype=_np.uint64)
+    h3 = _np.zeros(n, dtype=_np.uint64)
+    for lag in range(_WINDOW):
+        window = padded[_WINDOW - 1 - lag:_WINDOW - 1 - lag + n]
+        h1 += window
+        h2 += _np.uint64(_WINDOW - lag) * window
+        h3 ^= window << _np.uint64(5 * lag)
+    return h1 + h2 + (h3 & _np.uint64(0xFFFFFFFF))
+
+
+def _fnv_span(data: bytes, start: int, end: int) -> int:
+    """FNV-1a over ``data[start:end]`` (the per-block piece hash)."""
+    piece = _FNV_INIT
+    for byte in memoryview(data)[start:end]:
+        piece = ((piece ^ byte) * 0x01000193) & 0xFFFFFFFF
+    return piece
+
+
+def _boundaries(totals, blocksize: int):
+    """Indices where the rolling hash triggers a block boundary."""
+    return _np.nonzero(totals % _np.uint64(blocksize)
+                       == _np.uint64(blocksize - 1))[0]
+
+
+def _signature_from_totals(data: bytes, totals, blocksize: int) -> str:
+    """Same output as :func:`_piecewise_signature`, boundary positions
+    taken from the precomputed rolling-hash array."""
+    out: List[str] = []
+    prev = 0
+    for idx in _boundaries(totals, blocksize).tolist():
+        out.append(_B64[_fnv_span(data, prev, idx + 1) % 64])
+        prev = idx + 1
+    tail_piece = _fnv_span(data, prev, len(data))
+    if tail_piece != _FNV_INIT or not out:
+        out.append(_B64[tail_piece % 64])
+    return "".join(out)
+
+
+def _signature_length(data: bytes, totals, blocksize: int) -> int:
+    """len() of the signature at ``blocksize`` without hashing every
+    block — only the tail piece needs an FNV pass, which lets the
+    block-size search below discard candidate sizes almost for free."""
+    positions = _boundaries(totals, blocksize)
+    count = int(positions.shape[0])
+    prev = int(positions[-1]) + 1 if count else 0
+    if count == 0 or _fnv_span(data, prev, len(data)) != _FNV_INIT:
+        count += 1
+    return count
+
+
 @dataclass(frozen=True)
 class FuzzyHash:
     """A CTPH value: ``blocksize:sig:double_sig``."""
@@ -108,10 +182,33 @@ def compute(data: bytes) -> FuzzyHash:
     signature length ~= len/blocksize), then adjusted at most a couple
     of steps — the ssdeep trick that avoids a full doubling search and
     keeps hashing at ~2 passes over the input.
+
+    When numpy is available the rolling hash is evaluated once as a
+    vectorised sliding-window pass; the block-size search then probes
+    candidate sizes via boundary *counts* (near-free) and only the two
+    final signatures pay a per-block FNV pass.  Output is bit-identical
+    to the pure-Python loop.
     """
+    totals = _rolling_totals(data)
     blocksize = _MIN_BLOCKSIZE
     while blocksize * _SPAMSUM_LENGTH < len(data):
         blocksize *= 2
+    if totals is not None:
+        # Adjust on signature *lengths* only, then hash the winner.
+        while _signature_length(data, totals, blocksize) > _SPAMSUM_LENGTH:
+            blocksize *= 2
+        while (blocksize > _MIN_BLOCKSIZE
+               and _signature_length(data, totals, blocksize)
+               < _SPAMSUM_LENGTH // 4):
+            if _signature_length(data, totals,
+                                 blocksize // 2) > _SPAMSUM_LENGTH:
+                break
+            blocksize //= 2
+        signature = _signature_from_totals(data, totals, blocksize)
+        double_signature = _signature_from_totals(
+            data, totals, blocksize * 2)[:_SPAMSUM_LENGTH]
+        return FuzzyHash(blocksize, signature[:_SPAMSUM_LENGTH],
+                         double_signature)
     signature = _piecewise_signature(data, blocksize)
     # Adjust: too long -> grow; degenerately short -> shrink (bounded).
     while len(signature) > _SPAMSUM_LENGTH:

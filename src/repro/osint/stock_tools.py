@@ -22,7 +22,8 @@ from repro.binfmt.codegen import pseudo_code
 from repro.binfmt.format import ExecutableKind, build_binary
 from repro.common.rng import DeterministicRNG
 from repro.common.simtime import Date
-from repro.fuzzyhash.ctph import FuzzyHash, compute
+from repro.fuzzyhash.ctph import FuzzyHash
+from repro.perf.cache import cached_ctph
 from repro.wallets.addresses import WalletFactory
 
 
@@ -75,7 +76,9 @@ class ToolBinary:
     @property
     def fuzzy(self) -> FuzzyHash:
         if self._fuzzy is None:
-            self._fuzzy = compute(self.raw)
+            # content-memoised: warmed by the pipeline's parallel
+            # precompute stage and shared across catalog rebuilds.
+            self._fuzzy = cached_ctph(self.raw)
         return self._fuzzy
 
 
@@ -196,6 +199,19 @@ class StockToolCatalog:
         """The build with this SHA-256, or None."""
         return self._by_hash.get(sha256)
 
+    def size_range(self) -> Tuple[int, int]:
+        """Byte-size envelope ``(min // 2, max * 2)`` of catalog builds.
+
+        Fuzzy attribution only pays off for binaries in the size
+        neighbourhood of real tool builds; CTPH cannot score inputs
+        whose block sizes are more than one octave apart anyway.
+        """
+        if not hasattr(self, "_size_range"):
+            sizes = [len(b.raw) for b in self._binaries]
+            self._size_range = ((min(sizes) // 2, max(sizes) * 2)
+                                if sizes else (0, 0))
+        return self._size_range
+
     def latest_version(self, framework: str,
                        as_of: Optional[Date] = None) -> Optional[ToolBinary]:
         """Newest build of ``framework`` released on or before ``as_of``."""
@@ -257,7 +273,7 @@ class StockToolCatalog:
         exact = self._by_hash.get(sha)
         if exact is not None:
             return exact, 0.0
-        candidate = compute(data)
+        candidate = cached_ctph(data)
         index = self._fuzzy_index()
         probes = [
             (candidate.blocksize, candidate.signature),

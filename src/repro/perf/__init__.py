@@ -1,0 +1,41 @@
+"""Performance subsystem: caching, profiling and parallel extraction.
+
+- :mod:`repro.perf.cache` — bounded LRU memos with hit/miss counters
+  for CTPH digests, entropy, DNS resolution and pool lookups.
+- :mod:`repro.perf.profiler` — per-stage wall-time timers and the
+  ``--profile`` stage-breakdown table.
+- :mod:`repro.perf.parallel` — the chunked worker-pool extraction
+  engine (imported lazily: it pulls in the core pipeline components).
+"""
+
+from repro.perf.cache import (
+    CachingResolver,
+    LruCache,
+    cache_stats,
+    cached_ctph,
+    cached_entropy,
+    clear_caches,
+)
+from repro.perf.profiler import PipelineProfiler, StageTiming
+
+__all__ = [
+    "CachingResolver",
+    "LruCache",
+    "cache_stats",
+    "cached_ctph",
+    "cached_entropy",
+    "clear_caches",
+    "PipelineProfiler",
+    "StageTiming",
+    "AnalysisSpec",
+    "ParallelExtractionEngine",
+    "SampleOutcome",
+]
+
+
+def __getattr__(name):
+    if name in ("AnalysisSpec", "ParallelExtractionEngine",
+                "SampleOutcome"):
+        from repro.perf import parallel
+        return getattr(parallel, name)
+    raise AttributeError(f"module 'repro.perf' has no attribute {name!r}")

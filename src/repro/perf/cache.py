@@ -1,0 +1,162 @@
+"""Substrate caches: LRU memos with hit/miss counters.
+
+The pipeline's hot paths recompute pure functions of immutable inputs —
+CTPH digests and entropy of raw binaries, DNS/CNAME resolutions, and
+pool-directory suffix walks.  This module provides one bounded LRU
+implementation plus process-wide memo instances for the content-keyed
+substrates, so repeated work (ablation reruns, serial-vs-parallel
+comparisons, bench iterations, the stock-tool catalog index) is never
+redone.  Every cache exposes hit/miss counters; ``cache_stats()``
+aggregates them for the profiler and the scaling bench.
+"""
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.binfmt.entropy import shannon_entropy
+from repro.fuzzyhash.ctph import FuzzyHash, compute
+
+_K = object  # documentation alias: keys must be hashable
+
+
+class LruCache:
+    """A bounded LRU memo with hit/miss accounting.
+
+    Keys must be hashable; values are whatever the compute callable
+    returns.  Thread-safe: worker threads and the profiler may read
+    counters while the pipeline populates entries.
+    """
+
+    def __init__(self, name: str, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key) -> Optional[object]:
+        """The cached value, or None (which is never cached itself)."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return None
+
+    def put(self, key, value) -> None:
+        """Insert ``key`` -> ``value``, evicting the oldest entry."""
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def get_or_compute(self, key, fn: Callable[[], object]):
+        """Memoised call: return cached value or compute-and-store."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+        value = fn()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Counters snapshot: hits, misses, size and hit rate."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+# --------------------------------------------------------------------------
+# Process-wide content-keyed memos
+# --------------------------------------------------------------------------
+
+#: CTPH digests keyed by binary content (bytes hash their content once
+#: and cache it, so repeat lookups are cheap).
+CTPH_CACHE = LruCache("ctph", maxsize=8192)
+
+#: Shannon entropy keyed by binary content.
+ENTROPY_CACHE = LruCache("entropy", maxsize=8192)
+
+
+def cached_ctph(data: bytes) -> FuzzyHash:
+    """CTPH of ``data``, memoised by content."""
+    key = bytes(data)
+    return CTPH_CACHE.get_or_compute(key, lambda: compute(key))
+
+
+def warm_ctph(data: bytes, value: FuzzyHash) -> None:
+    """Pre-seed the CTPH memo (used by the parallel precompute stage)."""
+    CTPH_CACHE.put(bytes(data), value)
+
+
+def cached_entropy(data: bytes) -> float:
+    """Shannon entropy of ``data``, memoised by content."""
+    key = bytes(data)
+    return ENTROPY_CACHE.get_or_compute(key, lambda: shannon_entropy(key))
+
+
+def cache_stats() -> Dict[str, Dict[str, float]]:
+    """Counters for every process-wide cache, by cache name."""
+    return {cache.name: cache.stats()
+            for cache in (CTPH_CACHE, ENTROPY_CACHE)}
+
+
+def clear_caches() -> None:
+    """Reset the process-wide memos (tests and benches isolate runs)."""
+    CTPH_CACHE.clear()
+    ENTROPY_CACHE.clear()
+
+
+# --------------------------------------------------------------------------
+# Resolver memo
+# --------------------------------------------------------------------------
+
+
+class CachingResolver:
+    """LRU-memoised facade over :class:`repro.netsim.dns.Resolver`.
+
+    Resolution is a pure function of (name, date) for a fixed zone, and
+    the pipeline resolves the same pool/alias domains for thousands of
+    samples, so a small memo removes almost all repeat walks.
+    """
+
+    def __init__(self, resolver, maxsize: int = 4096) -> None:
+        self._resolver = resolver
+        self.cache = LruCache("dns_resolve", maxsize=maxsize)
+
+    def resolve(self, name: str, when):
+        """Memoised ``Resolver.resolve`` (keyed by lowercase name + date)."""
+        key = (name.lower(), when)
+        return self.cache.get_or_compute(
+            key, lambda: self._resolver.resolve(name, when))
+
+    def cname_targets(self, name: str, when) -> List[str]:
+        """Delegate CNAME-chain lookups to the wrapped resolver."""
+        return self._resolver.cname_targets(name, when)

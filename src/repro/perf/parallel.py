@@ -1,0 +1,282 @@
+"""Parallel batched extraction across a worker pool.
+
+Per-sample sanity + extraction is embarrassingly parallel — each
+sample's static/dynamic analysis is independent until aggregation — so
+``ParallelExtractionEngine`` shards the pipeline's stage-1/stage-2 work
+into chunks over a ``ProcessPoolExecutor``.  Every worker rebuilds the
+analysis components once from the (fork-inherited) world; results come
+back as picklable :class:`SampleOutcome` values and are merged by the
+caller **in submission order**, so a parallel run is bit-identical to
+the serial one.
+
+``workers=1`` is a deterministic in-process fallback: the same chunk
+functions run synchronously against the caller's own components, with
+no pool, no pickling and no extra processes.
+"""
+
+import math
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.records import MinerRecord
+from repro.core.sanity import SanityVerdict
+from repro.corpus.model import SampleRecord, SyntheticWorld
+from repro.fuzzyhash.ctph import FuzzyHash, compute
+from repro.perf.cache import cached_ctph, warm_ctph
+
+#: chunks are capped so stragglers cannot serialise the pool, and kept
+#: large enough that task pickling does not dominate.
+_MAX_CHUNK = 64
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """Everything a worker needs to rebuild the analysis components."""
+
+    positives_threshold: int
+    analysis_date: object
+    use_ha_reports: bool
+
+
+@dataclass
+class SampleOutcome:
+    """Result of one sample's stage-1 or stage-2 analysis.
+
+    ``kind`` is one of ``nonexec`` / ``deferred`` / ``rejected`` /
+    ``miner`` (stage 1) or ``clean`` / ``exception`` (stage 2).  Only
+    the fields the merge step needs travel back over the pickle queue.
+    """
+
+    index: int
+    sha256: str
+    kind: str
+    verdict: Optional[SanityVerdict] = None
+    record: Optional[MinerRecord] = None
+    has_network: bool = False
+    used_static: bool = False
+
+
+# --------------------------------------------------------------------------
+# Per-sample analysis (shared by the serial and pooled paths)
+# --------------------------------------------------------------------------
+
+
+def stage1_analyze(sample: SampleRecord, index: int, checker,
+                   engine) -> SampleOutcome:
+    """Sanity checks + extraction for one sample (pipeline stage 1)."""
+    if not checker.is_executable(sample.raw):
+        return SampleOutcome(index, sample.sha256, "nonexec",
+                             verdict=SanityVerdict(
+                                 sample.sha256, is_executable=False,
+                                 reasons="not an executable"))
+    if not checker.is_malware(sample.sha256):
+        return SampleOutcome(index, sample.sha256, "deferred")
+    record, report = engine.extract_with_report(sample)
+    has_network = report is not None and len(report.flows) > 0
+    is_miner = (bool(record.identifiers)
+                or checker.is_miner(sample, report))
+    verdict = SanityVerdict(
+        sample.sha256, is_executable=True, is_malware=True,
+        is_miner=is_miner, whitelisted_tool=False)
+    return SampleOutcome(
+        index, sample.sha256, "miner" if is_miner else "rejected",
+        verdict=verdict, record=record if is_miner else None,
+        has_network=has_network, used_static=record.used_static)
+
+
+def stage2_sweep(sample: SampleRecord, index: int,
+                 confirmed: FrozenSet[str], engine) -> SampleOutcome:
+    """Illicit-wallet exception sweep for one deferred sample."""
+    quick = engine.extract_static_only(sample)
+    if not set(quick.identifiers) & confirmed:
+        return SampleOutcome(index, sample.sha256, "clean",
+                             verdict=SanityVerdict(
+                                 sample.sha256, is_executable=True,
+                                 is_malware=False,
+                                 reasons="below AV threshold"))
+    record, _report = engine.extract_with_report(sample)
+    verdict = SanityVerdict(
+        sample.sha256, is_executable=True, is_malware=True,
+        is_miner=True, used_wallet_exception=True)
+    return SampleOutcome(index, sample.sha256, "exception",
+                         verdict=verdict, record=record)
+
+
+# --------------------------------------------------------------------------
+# Worker-process plumbing
+# --------------------------------------------------------------------------
+
+#: (world, checker, engine) of this worker process; set by the
+#: initializer, rebuilt once per process rather than once per task.
+_WORKER_STATE: Optional[tuple] = None
+
+
+def _init_worker(world: SyntheticWorld, spec: AnalysisSpec) -> None:
+    global _WORKER_STATE
+    from repro.core.pipeline import build_analysis_components
+    checker, engine = build_analysis_components(world, spec)
+    _WORKER_STATE = (world, checker, engine)
+
+
+def _stage1_chunk(indices: Sequence[int]) -> List[SampleOutcome]:
+    world, checker, engine = _WORKER_STATE
+    return [stage1_analyze(world.samples[i], i, checker, engine)
+            for i in indices]
+
+
+def _stage2_chunk(indices: Sequence[int],
+                  confirmed: FrozenSet[str]) -> List[SampleOutcome]:
+    world, _checker, engine = _WORKER_STATE
+    return [stage2_sweep(world.samples[i], i, confirmed, engine)
+            for i in indices]
+
+
+def _ctph_chunk(sample_hashes: Sequence[str],
+                catalog_indices: Sequence[int]) -> List[FuzzyHash]:
+    """CTPH digests for samples (by hash) then catalog builds (by index)."""
+    world = _WORKER_STATE[0]
+    out: List[FuzzyHash] = []
+    for sha in sample_hashes:
+        out.append(compute(world.sample_by_hash(sha).raw))
+    binaries = world.stock_catalog.binaries()
+    for i in catalog_indices:
+        out.append(compute(binaries[i].raw))
+    return out
+
+
+# --------------------------------------------------------------------------
+# The engine
+# --------------------------------------------------------------------------
+
+
+class ParallelExtractionEngine:
+    """Chunked fan-out of per-sample extraction over a process pool.
+
+    Use as a context manager around the pipeline stages; the pool is
+    created lazily on first map call and torn down on exit.  With
+    ``workers=1`` nothing is forked and the maps run in-process against
+    ``local_components`` — the deterministic fallback.
+    """
+
+    def __init__(self, world: SyntheticWorld, spec: AnalysisSpec,
+                 workers: int = 1,
+                 local_components: Optional[tuple] = None,
+                 chunk_size: Optional[int] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._world = world
+        self._spec = spec
+        self.workers = workers
+        self._local = local_components
+        self._chunk_size = chunk_size
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "ParallelExtractionEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Tear down the worker pool (no-op for the in-process path)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context,
+                initializer=_init_worker, initargs=(self._world, self._spec))
+        return self._executor
+
+    def _components(self) -> tuple:
+        if self._local is None:
+            from repro.core.pipeline import build_analysis_components
+            self._local = build_analysis_components(self._world, self._spec)
+        return self._local
+
+    def _chunks(self, items: Sequence) -> List[Sequence]:
+        size = self._chunk_size or max(
+            1, min(_MAX_CHUNK, math.ceil(len(items) / (self.workers * 4))))
+        return [items[i:i + size] for i in range(0, len(items), size)]
+
+    def _map_chunks(self, fn, chunks: List[Sequence], *extra) -> list:
+        """Submit all chunks, then flatten results in submission order."""
+        futures = [self._pool().submit(fn, chunk, *extra)
+                   for chunk in chunks]
+        out: list = []
+        for future in futures:
+            out.extend(future.result())
+        return out
+
+    # -- maps --------------------------------------------------------------
+
+    def map_stage1(self, indices: Sequence[int]) -> List[SampleOutcome]:
+        """Stage-1 sanity + extraction for samples at ``indices``."""
+        indices = list(indices)
+        if self.workers == 1:
+            _world = self._world
+            checker, engine = self._components()
+            return [stage1_analyze(_world.samples[i], i, checker, engine)
+                    for i in indices]
+        return self._map_chunks(_stage1_chunk, self._chunks(indices))
+
+    def map_stage2(self, indices: Sequence[int],
+                   confirmed: FrozenSet[str]) -> List[SampleOutcome]:
+        """Wallet-exception sweep for deferred samples at ``indices``."""
+        indices = list(indices)
+        confirmed = frozenset(confirmed)
+        if self.workers == 1:
+            _world = self._world
+            _checker, engine = self._components()
+            return [stage2_sweep(_world.samples[i], i, confirmed, engine)
+                    for i in indices]
+        return self._map_chunks(_stage2_chunk, self._chunks(indices),
+                                confirmed)
+
+    def warm_fuzzy_hashes(self, sample_hashes: Sequence[str],
+                          catalog_indices: Sequence[int]) -> int:
+        """Precompute CTPH digests in the pool and seed the memo.
+
+        Enrichment's stock-tool attribution then hits the content cache
+        instead of hashing the catalog and every candidate serially.
+        Returns the number of digests computed.
+        """
+        sample_hashes = list(sample_hashes)
+        catalog_indices = list(catalog_indices)
+        binaries = self._world.stock_catalog.binaries()
+        payload: List[Tuple[str, bytes]] = (
+            [("s", sha) for sha in sample_hashes]
+            + [("c", i) for i in catalog_indices])
+        if not payload:
+            return 0
+        if self.workers == 1:
+            for kind, key in payload:
+                raw = (self._world.sample_by_hash(key).raw if kind == "s"
+                       else binaries[key].raw)
+                cached_ctph(raw)
+            return len(payload)
+        chunks = self._chunks(payload)
+        futures = []
+        for chunk in chunks:
+            shas = [key for kind, key in chunk if kind == "s"]
+            cat = [key for kind, key in chunk if kind == "c"]
+            futures.append(self._pool().submit(_ctph_chunk, shas, cat))
+        for chunk, future in zip(chunks, futures):
+            shas = [key for kind, key in chunk if kind == "s"]
+            cat = [key for kind, key in chunk if kind == "c"]
+            digests = future.result()
+            raws = ([self._world.sample_by_hash(sha).raw for sha in shas]
+                    + [binaries[i].raw for i in cat])
+            for raw, digest in zip(raws, digests):
+                warm_ctph(raw, digest)
+        return len(payload)

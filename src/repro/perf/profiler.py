@@ -1,0 +1,94 @@
+"""Per-stage pipeline profiling.
+
+``PipelineProfiler`` collects wall-time per named stage plus arbitrary
+item counters, and renders an aligned stage-breakdown table (the
+``--profile`` CLI flag).  Timers nest: entering a stage while another is
+open simply records both independently, so callers never need to worry
+about re-entrancy.
+"""
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class StageTiming:
+    """Accumulated timing for one named stage."""
+
+    name: str
+    wall_s: float = 0.0
+    calls: int = 0
+    items: int = 0
+
+    @property
+    def items_per_s(self) -> float:
+        return self.items / self.wall_s if self.wall_s > 0 else 0.0
+
+
+@dataclass
+class PipelineProfiler:
+    """Wall-time per stage + free-form counters for one pipeline run."""
+
+    stages: Dict[str, StageTiming] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: insertion order of first appearance, so the table reads like the
+    #: pipeline executes.
+    _order: List[str] = field(default_factory=list)
+
+    @contextmanager
+    def stage(self, name: str, items: int = 0):
+        """Time one stage execution; ``items`` feeds the rate column."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(name, time.perf_counter() - start, items=items)
+
+    def record(self, name: str, wall_s: float, items: int = 0) -> None:
+        """Add one timed execution of ``name``."""
+        timing = self.stages.get(name)
+        if timing is None:
+            timing = StageTiming(name)
+            self.stages[name] = timing
+            self._order.append(name)
+        timing.wall_s += wall_s
+        timing.calls += 1
+        timing.items += items
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a free-form counter (per-sample events, cache sizes...)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(t.wall_s for t in self.stages.values())
+
+    # ------------------------------------------------------------------
+
+    def render_table(self) -> str:
+        """The stage breakdown as an aligned text table."""
+        total = self.total_wall_s
+        header = (f"{'stage':<32} {'wall s':>9} {'%':>6} "
+                  f"{'items':>8} {'items/s':>10}")
+        lines = [header, "-" * len(header)]
+        for name in self._order:
+            timing = self.stages[name]
+            share = 100.0 * timing.wall_s / total if total else 0.0
+            rate = (f"{timing.items_per_s:,.0f}" if timing.items else "-")
+            items = f"{timing.items}" if timing.items else "-"
+            lines.append(f"{timing.name:<32} {timing.wall_s:>9.3f} "
+                         f"{share:>5.1f}% {items:>8} {rate:>10}")
+        lines.append("-" * len(header))
+        lines.append(f"{'total':<32} {total:>9.3f}")
+        if self.counters:
+            lines.append("")
+            width = max(len(k) for k in self.counters)
+            for key in sorted(self.counters):
+                lines.append(f"{key:<{width}}  {self.counters[key]}")
+        return "\n".join(lines)
+
+    def summary(self) -> Dict[str, float]:
+        """Stage name -> wall seconds (for programmatic assertions)."""
+        return {name: self.stages[name].wall_s for name in self._order}

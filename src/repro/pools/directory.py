@@ -9,6 +9,7 @@ ban behaviour follow what the paper reports per pool.
 
 from typing import Dict, Iterable, List, Optional
 
+from repro.perf.cache import LruCache
 from repro.pools.pool import BanPolicy, MiningPool, PoolConfig, Transparency
 
 #: Configurations for the pools named in the paper, ranked roughly by the
@@ -85,6 +86,9 @@ class PoolDirectory:
     def __init__(self, configs: Optional[Iterable[PoolConfig]] = None) -> None:
         self._pools: Dict[str, MiningPool] = {}
         self._by_domain: Dict[str, str] = {}
+        #: memo of suffix-walk results; every pipeline stage resolves the
+        #: same contacted domains over and over.  Invalidated on register.
+        self._domain_cache = LruCache("pool_domain", maxsize=4096)
         for config in (configs if configs is not None else KNOWN_POOLS):
             self.register(MiningPool(config))
 
@@ -96,6 +100,7 @@ class PoolDirectory:
         self._pools[name] = pool
         for domain in pool.config.domains:
             self._by_domain[domain.lower()] = name
+        self._domain_cache.clear()
 
     def get(self, name: str) -> MiningPool:
         """The pool named ``name`` (KeyError when unknown)."""
@@ -120,6 +125,10 @@ class PoolDirectory:
         (POOL vs URLPOOL in Table I).
         """
         domain = domain.lower()
+        return self._domain_cache.get_or_compute(
+            domain, lambda: self._pool_for_domain_uncached(domain))
+
+    def _pool_for_domain_uncached(self, domain: str) -> Optional[MiningPool]:
         if domain in self._by_domain:
             return self._pools[self._by_domain[domain]]
         parts = domain.split(".")

@@ -77,6 +77,17 @@ rule IdleMiningEvasion : miner evasion {
 '''
 
 
+_COMPILED: RuleSet = None
+
+
 def builtin_miner_rules() -> RuleSet:
-    """Compile and return the built-in miner rule set."""
-    return compile_rules(_MINER_RULES_SOURCE)
+    """The built-in miner rule set, compiled once per process.
+
+    Rule evaluation is stateless, so every SanityChecker (including one
+    per worker process in parallel runs) shares the same compiled set
+    instead of re-parsing the source.
+    """
+    global _COMPILED
+    if _COMPILED is None:
+        _COMPILED = compile_rules(_MINER_RULES_SOURCE)
+    return _COMPILED

@@ -1,0 +1,78 @@
+"""Serial vs parallel pipeline equivalence.
+
+The contract of the parallel execution layer: a pooled run must be
+bit-identical to the serial one — same records in the same order, same
+verdicts, same funnel stats, same campaign partition.  Anything less
+would make worker count a hidden measurement parameter.
+"""
+
+import pytest
+
+from repro.core.pipeline import MeasurementPipeline
+from repro.corpus.generator import generate_world
+from repro.corpus.model import ScenarioConfig
+from repro.perf.cache import clear_caches
+
+
+@pytest.fixture(scope="module")
+def eq_world():
+    return generate_world(ScenarioConfig(seed=77, scale=0.004,
+                                         include_junk=False))
+
+
+@pytest.fixture(scope="module")
+def serial_result(eq_world):
+    clear_caches()
+    return MeasurementPipeline(eq_world).run()
+
+
+@pytest.fixture(scope="module")
+def parallel_result(eq_world):
+    clear_caches()
+    return MeasurementPipeline(eq_world, workers=4).run()
+
+
+def test_records_identical(serial_result, parallel_result):
+    assert [r.sha256 for r in serial_result.records] == \
+        [r.sha256 for r in parallel_result.records]
+    for a, b in zip(serial_result.records, parallel_result.records):
+        assert a == b
+
+
+def test_verdicts_identical(serial_result, parallel_result):
+    assert set(serial_result.verdicts) == set(parallel_result.verdicts)
+    for sha, verdict in serial_result.verdicts.items():
+        assert verdict == parallel_result.verdicts[sha], sha
+
+
+def test_stats_identical(serial_result, parallel_result):
+    assert serial_result.stats == parallel_result.stats
+
+
+def test_campaign_partition_identical(serial_result, parallel_result):
+    def partition(result):
+        return sorted(
+            tuple(sorted(c.identifiers)) for c in result.campaigns)
+
+    assert partition(serial_result) == partition(parallel_result)
+
+
+def test_profiles_and_proxies_identical(serial_result, parallel_result):
+    assert set(serial_result.profiles) == set(parallel_result.profiles)
+    assert serial_result.proxy_ips == parallel_result.proxy_ips
+
+
+def test_workers_validated(eq_world):
+    with pytest.raises(ValueError):
+        MeasurementPipeline(eq_world, workers=0)
+
+
+def test_chunking_does_not_change_results(eq_world):
+    clear_caches()
+    small_chunks = MeasurementPipeline(eq_world, workers=2,
+                                       chunk_size=3).run()
+    clear_caches()
+    serial = MeasurementPipeline(eq_world).run()
+    assert [r.sha256 for r in small_chunks.records] == \
+        [r.sha256 for r in serial.records]
+    assert small_chunks.stats == serial.stats
