@@ -1,0 +1,74 @@
+"""Streaming-ingestion throughput vs the batch pipeline.
+
+Times a full feed replay (daily and monthly windows) against one batch
+pipeline run on the same world, reports samples/s and the checkpoint
+overhead split (journal vs snapshot cadence), and asserts the streamed
+measurement equals the batch one — the benchmark doubles as an
+end-to-end equivalence smoke at bench scale.
+"""
+
+import time
+
+from repro.core.pipeline import MeasurementPipeline
+from repro.ingest import IngestionService
+from repro.ingest.service import diff_measurements
+
+BATCH_DAYS = (30, 7)
+
+
+def _timed_ingest(world, tmp_path, batch_days, snapshot_every):
+    start = time.perf_counter()
+    service = IngestionService(
+        world, tmp_path / f"ck-{batch_days}-{snapshot_every}",
+        batch_days=batch_days, snapshot_every=snapshot_every,
+        fsync=False)
+    ingest = service.run()
+    return ingest, time.perf_counter() - start
+
+
+def bench_ingest_throughput(benchmark, tiny_world, tmp_path):
+    batch_start = time.perf_counter()
+    expected = MeasurementPipeline(tiny_world).run()
+    batch_elapsed = time.perf_counter() - batch_start
+
+    timings = {}
+    for batch_days in BATCH_DAYS:
+        ingest, elapsed = _timed_ingest(tiny_world, tmp_path,
+                                        batch_days, snapshot_every=8)
+        assert diff_measurements(expected, ingest.result) == []
+        timings[batch_days] = (ingest, elapsed)
+
+    benchmark.pedantic(
+        lambda: _timed_ingest(tiny_world, tmp_path / "timed",
+                              BATCH_DAYS[0], snapshot_every=8),
+        rounds=1, iterations=1)
+
+    print()
+    samples = len(tiny_world.samples)
+    print(f"batch pipeline: {batch_elapsed:6.3f} s "
+          f"({samples / batch_elapsed:7.0f} samples/s)")
+    for batch_days, (ingest, elapsed) in timings.items():
+        print(f"ingest batch_days={batch_days:3d}: {elapsed:6.3f} s "
+              f"({samples / elapsed:7.0f} samples/s, "
+              f"{len(ingest.batches)} batches, "
+              f"x{elapsed / batch_elapsed:.2f} vs batch)")
+
+
+def bench_snapshot_cadence(benchmark, tiny_world, tmp_path):
+    """Checkpoint overhead as the snapshot interval tightens."""
+    timings = {}
+    for snapshot_every in (1, 8, 64):
+        _, elapsed = _timed_ingest(tiny_world, tmp_path, 30,
+                                   snapshot_every)
+        timings[snapshot_every] = elapsed
+
+    benchmark.pedantic(
+        lambda: _timed_ingest(tiny_world, tmp_path / "timed-cadence",
+                              30, snapshot_every=8),
+        rounds=1, iterations=1)
+
+    print()
+    base = timings[64]
+    for snapshot_every, elapsed in sorted(timings.items()):
+        print(f"snapshot_every={snapshot_every:3d}: {elapsed:6.3f} s "
+              f"(x{elapsed / base:.2f} vs sparse)")

@@ -6,10 +6,15 @@ Subcommands::
     python -m repro.cli exhibits  --scale 0.01 --seed 2019
     python -m repro.cli casestudy --name Freebuf
     python -m repro.cli defense   --scale 0.01
+    python -m repro.cli ingest    --checkpoint DIR --batch-days 7 [--resume]
+    python -m repro.cli status    --checkpoint DIR
 
 ``measure`` runs the full pipeline and prints the funnel; ``exhibits``
 renders the main paper tables; ``casestudy`` deep-dives one of the §V
-campaigns; ``defense`` evaluates the §VI countermeasures.
+campaigns; ``defense`` evaluates the §VI countermeasures; ``ingest``
+replays the corpus as dated feed batches with durable checkpoints
+(interrupt it freely, re-run with ``--resume``); ``status`` inspects a
+checkpoint directory without touching the corpus.
 """
 
 import argparse
@@ -42,9 +47,23 @@ def _positive_int(text: str) -> int:
     return value
 
 
+#: memoised worlds by (seed, scale) — corpus generation dominates CLI
+#: start-up, and commands like ``ingest --verify`` need the same world
+#: twice (once streamed, once batch-measured).
+_WORLD_CACHE = {}
+
+
+def _get_world(seed: int, scale: float):
+    """Build (or reuse) the synthetic world for one (seed, scale)."""
+    key = (seed, scale)
+    if key not in _WORLD_CACHE:
+        _WORLD_CACHE[key] = generate_world(
+            ScenarioConfig(seed=seed, scale=scale))
+    return _WORLD_CACHE[key]
+
+
 def _build_world_and_result(args):
-    world = generate_world(ScenarioConfig(seed=args.seed,
-                                          scale=args.scale))
+    world = _get_world(args.seed, args.scale)
     pipeline = MeasurementPipeline(world,
                                    workers=getattr(args, "workers", 1))
     result = pipeline.run()
@@ -174,6 +193,61 @@ def cmd_fullreport(args) -> int:
     return 0
 
 
+def cmd_ingest(args) -> int:
+    """Stream the corpus through the checkpointed ingestion service."""
+    from repro.ingest import IngestionService
+    from repro.ingest.service import diff_measurements
+    from repro.reporting.ingest_report import (
+        render_batch_metrics,
+        render_ingest_summary,
+    )
+    world = _get_world(args.seed, args.scale)
+    service = IngestionService(
+        world, args.checkpoint, batch_days=args.batch_days,
+        workers=args.workers, resume=args.resume,
+        snapshot_every=args.snapshot_every)
+    try:
+        ingest = service.run()
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(render_batch_metrics(ingest.batches))
+    print()
+    print(render_ingest_summary(ingest))
+    if args.profile:
+        print(service.profiler.render_table(), file=sys.stderr)
+    if args.verify:
+        pipeline = MeasurementPipeline(world, workers=args.workers)
+        diffs = diff_measurements(pipeline.run(), ingest.result)
+        if diffs:
+            print("verify: MISMATCH against the batch pipeline:",
+                  file=sys.stderr)
+            for diff in diffs:
+                print(f"  - {diff}", file=sys.stderr)
+            return 1
+        print("verify: incremental result equals the batch pipeline")
+    return 0
+
+
+def cmd_status(args) -> int:
+    """Inspect a checkpoint directory without touching the corpus."""
+    from pathlib import Path
+
+    from repro.ingest import CheckpointStore
+    from repro.reporting.ingest_report import render_checkpoint_status
+    if not Path(args.checkpoint).is_dir():
+        print(f"no checkpoint directory at {args.checkpoint}",
+              file=sys.stderr)
+        return 1
+    store = CheckpointStore(args.checkpoint, fsync=False)
+    if not store.exists():
+        print(f"no checkpoint state under {args.checkpoint}",
+              file=sys.stderr)
+        return 1
+    print(render_checkpoint_status(store.load()))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -186,7 +260,8 @@ def build_parser() -> argparse.ArgumentParser:
                        ("casestudy", cmd_casestudy),
                        ("defense", cmd_defense),
                        ("report", cmd_report),
-                       ("fullreport", cmd_fullreport)]:
+                       ("fullreport", cmd_fullreport),
+                       ("ingest", cmd_ingest)]:
         p = sub.add_parser(name)
         p.add_argument("--scale", type=float, default=0.01)
         p.add_argument("--seed", type=int, default=2019)
@@ -205,6 +280,23 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--output", type=str, default=None)
         if name == "fullreport":
             p.add_argument("--output", type=str, default=None)
+        if name == "ingest":
+            p.add_argument("--checkpoint", type=str, required=True,
+                           help="durable checkpoint directory")
+            p.add_argument("--batch-days", type=_positive_int, default=1,
+                           help="simulated days per feed batch")
+            p.add_argument("--resume", action="store_true",
+                           help="continue from the checkpoint's cursor")
+            p.add_argument("--snapshot-every", type=_positive_int,
+                           default=8,
+                           help="compact the journal every N batches")
+            p.add_argument("--verify", action="store_true",
+                           help="also run the batch pipeline and assert "
+                                "the results are identical")
+    status = sub.add_parser("status")
+    status.add_argument("--checkpoint", type=str, required=True,
+                        help="checkpoint directory to inspect")
+    status.set_defaults(func=cmd_status)
     return parser
 
 

@@ -32,6 +32,10 @@ PUBLIC_REPO_DOMAINS = frozenset({
 })
 
 
+#: a typed node of the grouping graph: ("sample", sha256), ("id", W)...
+Node = Tuple[str, str]
+
+
 def _registrable(host: str) -> str:
     parts = host.lower().split(".")
     return ".".join(parts[-2:]) if len(parts) >= 2 else host.lower()
@@ -118,8 +122,131 @@ class Campaign:
                 and self.last_share >= datetime.date(2019, 4, 1))
 
 
+def operation_for(record: MinerRecord,
+                  osint: OsintFeeds) -> Optional[str]:
+    """Known-operation attribution: IoC hash, wallet, or C&C domain."""
+    operation = osint.operation_for_sample(record.sha256)
+    if operation is not None:
+        return operation.name
+    for identifier in record.identifiers:
+        operation = osint.operation_for_wallet(identifier)
+        if operation is not None:
+            return operation.name
+    for domain in record.dns_rr:
+        operation = osint.operation_for_domain(domain)
+        if operation is not None:
+            return operation.name
+    return None
+
+
+def record_attachments(record: MinerRecord, policy: GroupingPolicy,
+                       osint: OsintFeeds,
+                       proxy_ips: Set[str]) -> List[Tuple[Node, str]]:
+    """The grouping edges one record contributes, as (node, feature).
+
+    This is the single source of truth for §III-E's six features —
+    shared by the batch :class:`CampaignAggregator` (networkx graph) and
+    the streaming :class:`repro.ingest.aggregator.IncrementalAggregator`
+    (union-find), so both build the exact same graph.
+
+    The hosting rule is applied exactly as the paper states it: link on
+    the exact URL (parameters included), or on the hosting *IP* when the
+    URL addresses a bare IP rather than a (possibly shared) domain.
+    """
+    out: List[Tuple[Node, str]] = []
+    if policy.same_identifier:
+        for identifier in record.identifiers:
+            if (policy.exclude_donation_wallets
+                    and osint.is_donation_wallet(identifier)):
+                continue
+            out.append((("id", identifier), "same_identifier"))
+    if policy.ancestors:
+        for parent in record.parents:
+            out.append((("sample", parent), "ancestor"))
+        for child in record.dropped:
+            out.append((("sample", child), "ancestor"))
+    if policy.hosting:
+        for url in record.itw_urls:
+            out.append((("url", url), "hosting"))
+            host = urlparse(url).hostname or ""
+            if is_ipv4_literal(host):
+                out.append((("hostip", host), "hosting"))
+    if policy.known_operations:
+        operation = operation_for(record, osint)
+        if operation is not None:
+            out.append((("op", operation), "known_operation"))
+    if policy.cname_aliases:
+        for alias in record.cname_aliases:
+            out.append((("cname", alias), "cname"))
+    if policy.proxies and record.dst_ip in proxy_ips:
+        out.append((("proxy", record.dst_ip), "proxy"))
+    return out
+
+
+def build_campaign(component: Iterable[Node],
+                   by_hash: Dict[str, MinerRecord]) -> Optional[Campaign]:
+    """Materialise one connected component into a :class:`Campaign`.
+
+    Returns None for infrastructure-only fragments (no miner sample).
+    All member lists come out sorted, so two aggregators producing the
+    same components produce *equal* campaigns regardless of the order
+    nodes entered their graphs.
+    """
+    samples = sorted(sha for kind, sha in component if kind == "sample")
+    miner_records = [
+        by_hash[sha] for sha in samples
+        if sha in by_hash and by_hash[sha].is_miner
+    ]
+    if not miner_records:
+        return None  # infrastructure-only fragments are not campaigns
+    campaign = Campaign(campaign_id=0)
+    campaign.sample_hashes = samples
+    campaign.records = [by_hash[sha] for sha in samples if sha in by_hash]
+    for kind, value in component:
+        if kind == "id":
+            campaign.identifiers.append(value)
+        elif kind == "cname":
+            campaign.cname_aliases.append(value)
+        elif kind == "proxy":
+            campaign.proxies.append(value)
+        elif kind == "url":
+            campaign.hosting_urls.append(value)
+        elif kind == "hostip":
+            campaign.hosting_ips.append(value)
+        elif kind == "op":
+            campaign.operations.append(value)
+    campaign.identifiers.sort()
+    campaign.cname_aliases.sort()
+    campaign.proxies.sort()
+    campaign.hosting_urls.sort()
+    campaign.hosting_ips.sort()
+    campaign.operations.sort()
+    for record in campaign.records:
+        for identifier, coin in zip(record.identifiers,
+                                    record.identifier_coins):
+            campaign.identifier_coins.setdefault(identifier, coin)
+    return campaign
+
+
+def finalize_campaigns(campaigns: List[Campaign]) -> List[Campaign]:
+    """Canonical campaign ordering and numbering: biggest first, ties
+    broken by the (sorted) sample-hash list, so the output is a pure
+    function of the graph — independent of component discovery order."""
+    campaigns.sort(key=lambda c: (-c.num_samples, c.sample_hashes))
+    for index, campaign in enumerate(campaigns, start=1):
+        campaign.campaign_id = index
+    return campaigns
+
+
 class CampaignAggregator:
-    """Builds the grouping graph and cuts it into campaigns."""
+    """Builds the grouping graph and cuts it into campaigns.
+
+    One-shot: :meth:`aggregate` consumes the instance.  A second call
+    raises instead of silently merging both record sets into one graph
+    (the historical footgun).  Streams of records are the job of
+    :class:`repro.ingest.aggregator.IncrementalAggregator`, which shares
+    the edge rules via :func:`record_attachments`.
+    """
 
     def __init__(self, osint: OsintFeeds,
                  policy: Optional[GroupingPolicy] = None,
@@ -130,11 +257,25 @@ class CampaignAggregator:
         #: pool while the sample mined against this non-pool address).
         self._proxy_ips = proxy_ips or set()
         self.graph = nx.Graph()
+        self._aggregated = False
 
     # ------------------------------------------------------------------
 
     def aggregate(self, records: Iterable[MinerRecord]) -> List[Campaign]:
-        """Build the grouping graph over ``records`` and cut campaigns."""
+        """Build the grouping graph over ``records`` and cut campaigns.
+
+        May be called once per aggregator; the grouping graph stays
+        readable on :attr:`graph` afterwards, but a repeat call raises
+        :class:`RuntimeError` — it would union the new record set with
+        the previous one and hand back merged campaigns.
+        """
+        if self._aggregated:
+            raise RuntimeError(
+                "aggregate() already ran on this CampaignAggregator; "
+                "build a new instance per record set (the grouping "
+                "graph would otherwise merge both sets), or use "
+                "repro.ingest.IncrementalAggregator for streams")
+        self._aggregated = True
         records = list(records)
         for record in records:
             self._add_record(record)
@@ -142,115 +283,20 @@ class CampaignAggregator:
 
     # ------------------------------------------------------------------
 
-    def _sample_node(self, sha256: str) -> Tuple[str, str]:
-        return ("sample", sha256)
-
     def _add_record(self, record: MinerRecord) -> None:
-        policy = self._policy
-        node = self._sample_node(record.sha256)
+        node: Node = ("sample", record.sha256)
         self.graph.add_node(node, record=record)
-
-        if policy.same_identifier:
-            for identifier in record.identifiers:
-                if (policy.exclude_donation_wallets
-                        and self._osint.is_donation_wallet(identifier)):
-                    continue
-                self.graph.add_edge(node, ("id", identifier),
-                                    feature="same_identifier")
-
-        if policy.ancestors:
-            for parent in record.parents:
-                self.graph.add_edge(node, self._sample_node(parent),
-                                    feature="ancestor")
-            for child in record.dropped:
-                self.graph.add_edge(node, self._sample_node(child),
-                                    feature="ancestor")
-
-        if policy.hosting:
-            for url in record.itw_urls:
-                self._add_hosting_edge(node, url)
-
-        if policy.known_operations:
-            operation = self._operation_for(record)
-            if operation is not None:
-                self.graph.add_edge(node, ("op", operation),
-                                    feature="known_operation")
-
-        if policy.cname_aliases:
-            for alias in record.cname_aliases:
-                self.graph.add_edge(node, ("cname", alias),
-                                    feature="cname")
-
-        if policy.proxies and record.dst_ip in self._proxy_ips:
-            self.graph.add_edge(node, ("proxy", record.dst_ip),
-                                feature="proxy")
-
-    def _add_hosting_edge(self, node, url: str) -> None:
-        """Hosting rule, exactly as §III-E states it: link on the exact
-        URL (parameters included), or on the hosting *IP* when the URL
-        addresses a bare IP rather than a (possibly shared) domain."""
-        parsed = urlparse(url)
-        host = parsed.hostname or ""
-        self.graph.add_edge(node, ("url", url), feature="hosting")
-        if is_ipv4_literal(host):
-            self.graph.add_edge(node, ("hostip", host), feature="hosting")
-
-    def _operation_for(self, record: MinerRecord) -> Optional[str]:
-        operation = self._osint.operation_for_sample(record.sha256)
-        if operation is not None:
-            return operation.name
-        for identifier in record.identifiers:
-            operation = self._osint.operation_for_wallet(identifier)
-            if operation is not None:
-                return operation.name
-        for domain in record.dns_rr:
-            operation = self._osint.operation_for_domain(domain)
-            if operation is not None:
-                return operation.name
-        return None
+        for other, feature in record_attachments(
+                record, self._policy, self._osint, self._proxy_ips):
+            self.graph.add_edge(node, other, feature=feature)
 
     # ------------------------------------------------------------------
 
     def _components(self, records: List[MinerRecord]) -> List[Campaign]:
         by_hash = {r.sha256: r for r in records}
         campaigns: List[Campaign] = []
-        counter = 0
         for component in nx.connected_components(self.graph):
-            samples = sorted(
-                sha for kind, sha in component if kind == "sample"
-            )
-            miner_records = [
-                by_hash[sha] for sha in samples if sha in by_hash
-                and by_hash[sha].is_miner
-            ]
-            if not miner_records:
-                continue  # infrastructure-only fragments are not campaigns
-            counter += 1
-            campaign = Campaign(campaign_id=counter)
-            campaign.sample_hashes = samples
-            campaign.records = [by_hash[sha] for sha in samples
-                                if sha in by_hash]
-            for kind, value in component:
-                if kind == "id":
-                    campaign.identifiers.append(value)
-                elif kind == "cname":
-                    campaign.cname_aliases.append(value)
-                elif kind == "proxy":
-                    campaign.proxies.append(value)
-                elif kind == "url":
-                    campaign.hosting_urls.append(value)
-                elif kind == "hostip":
-                    campaign.hosting_ips.append(value)
-                elif kind == "op":
-                    campaign.operations.append(value)
-            campaign.identifiers.sort()
-            for record in campaign.records:
-                for identifier, coin in zip(record.identifiers,
-                                            record.identifier_coins):
-                    campaign.identifier_coins.setdefault(identifier, coin)
-            campaigns.append(campaign)
-        # stable ordering: biggest first, then id
-        campaigns.sort(key=lambda c: (-c.num_samples, c.campaign_id))
-        for index, campaign in enumerate(campaigns, start=1):
-            campaign.campaign_id = index
-        return campaigns
+            campaign = build_campaign(component, by_hash)
+            if campaign is not None:
+                campaigns.append(campaign)
+        return finalize_campaigns(campaigns)

@@ -68,6 +68,51 @@ def build_analysis_components(
     return checker, engine
 
 
+def linked_hashes(record: MinerRecord, vt) -> Set[str]:
+    """Dropper-chain neighbours of one record (§III-E ancestry links):
+    its parents, the binaries it dropped, and VT parent-metadata
+    children of the sample itself."""
+    linked: Set[str] = set(record.parents)
+    linked.update(record.dropped)
+    linked.update(vt.children_of(record.sha256))
+    return linked
+
+
+def analyze_linked_sample(
+        sample: SampleRecord,
+        engine: ExtractionEngine) -> Tuple[MinerRecord, SanityVerdict]:
+    """Admit one dropper-linked executable into the dataset (§III-E).
+
+    The caller has already established executability, malware status and
+    the link to an accepted record; this runs the extraction and types
+    the record Miner/Ancillary.  Shared by the batch pipeline's
+    ancillary recovery and the streaming ingestion service.
+    """
+    record, _report = engine.extract_with_report(sample)
+    record.type = "Miner" if record.identifiers else "Ancillary"
+    verdict = SanityVerdict(
+        sample.sha256, is_executable=True, is_malware=True,
+        is_miner=bool(record.identifiers),
+        reasons=None if record.identifiers else "ancillary")
+    return record, verdict
+
+
+def proxy_candidate_ip(record: MinerRecord) -> Optional[str]:
+    """The non-pool IPv4 endpoint a record mined against, if any.
+
+    First half of the proxy rule (§III-C); the second half — one of the
+    record's wallets shows activity at a known transparent pool — needs
+    profit profiles and is applied by the caller.
+    """
+    if record.dst_ip is None or record.pool is not None:
+        return None
+    if record.dst_ip in ("0.0.0.0", "127.0.0.1"):
+        return None  # unresolved-host sentinel, not a real endpoint
+    if not is_ipv4_literal(record.dst_ip):
+        return None
+    return record.dst_ip
+
+
 @dataclass
 class PipelineStats:
     """Bookkeeping for Table III."""
@@ -347,11 +392,7 @@ class MeasurementPipeline:
         while frontier:
             linked: Set[str] = set()
             for sha in frontier:
-                record = records[sha]
-                linked.update(record.parents)
-                linked.update(record.dropped)
-                # children of accepted samples, via VT parent metadata
-                linked.update(self.world.vt.children_of(sha))
+                linked.update(linked_hashes(records[sha], self.world.vt))
             frontier = []
             for sha in sorted(linked):
                 if sha in records:
@@ -363,14 +404,10 @@ class MeasurementPipeline:
                     continue
                 if not self._checker.is_malware(sample.sha256):
                     continue
-                record, _report = self._engine.extract_with_report(sample)
+                record, verdict = analyze_linked_sample(sample, self._engine)
                 stats.sandbox_analyses += 1
-                record.type = "Miner" if record.identifiers else "Ancillary"
                 records[sha] = record
-                verdicts[sha] = SanityVerdict(
-                    sha, is_executable=True, is_malware=True,
-                    is_miner=bool(record.identifiers),
-                    reasons=None if record.identifiers else "ancillary")
+                verdicts[sha] = verdict
                 frontier.append(sha)
                 self.profiler.count("ancillaries_recovered")
 
@@ -380,15 +417,12 @@ class MeasurementPipeline:
         its wallet shows activity at a known (transparent) pool."""
         proxies: Set[str] = set()
         for record in records:
-            if record.dst_ip is None or record.pool is not None:
-                continue
-            if record.dst_ip in ("0.0.0.0", "127.0.0.1"):
-                continue  # unresolved-host sentinel, not a real endpoint
-            if not is_ipv4_literal(record.dst_ip):
+            candidate = proxy_candidate_ip(record)
+            if candidate is None:
                 continue
             for identifier in record.identifiers:
                 profile = profiles.get(identifier)
                 if profile is not None and profile.records:
-                    proxies.add(record.dst_ip)
+                    proxies.add(candidate)
                     break
         return proxies

@@ -1,0 +1,197 @@
+"""Durable checkpoints: append-only journal + compacted snapshots.
+
+Write path (per batch)::
+
+    outcome lines ... -> commit line -> flush -> fsync
+                                     \\-> every N batches: snapshot
+
+The journal (``journal.jsonl``) is the write-ahead source of truth: one
+JSON object per line, either a per-sample ``outcome`` or a per-batch
+``commit`` marker.  A batch is *committed* iff its commit line made it
+to disk; everything after the last commit is an in-flight batch whose
+journaled outcomes are reused on resume (already-analysed hashes are
+not re-analysed) but whose window is reprocessed.
+
+Snapshots (``snapshot.json``) are compactions, written to a temp file,
+fsync'd, then atomically renamed over the previous one; the journal is
+rotated afterwards.  A crash between the two leaves duplicate journal
+entries for batches the snapshot already covers — the loader drops
+entries below the snapshot cursor, so every crash point is safe:
+
+* before the commit line: the batch replays from its journaled outcomes
+* after commit, before snapshot: state rebuilds from snapshot + journal
+* after snapshot, before rotation: stale journal entries are ignored
+"""
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.ingest.codec import FORMAT_VERSION
+
+JOURNAL_NAME = "journal.jsonl"
+SNAPSHOT_NAME = "snapshot.json"
+
+
+@dataclass
+class JournalReplay:
+    """Everything a resume needs, as read back from one checkpoint dir."""
+
+    snapshot: Optional[Dict[str, Any]] = None
+    #: committed batches in commit order: (batch_id, outcome payloads)
+    committed: List[Tuple[int, List[Dict[str, Any]]]] = \
+        field(default_factory=list)
+    #: journaled outcomes of the in-flight (uncommitted) batch, if any
+    partial: Dict[int, List[Dict[str, Any]]] = field(default_factory=dict)
+    #: per-batch metrics in commit order: (batch_id, metrics dict)
+    commits: List[Tuple[int, Dict[str, Any]]] = field(default_factory=list)
+
+    @property
+    def cursor(self) -> int:
+        """Index of the first batch that still needs processing."""
+        start = 0
+        if self.snapshot is not None:
+            start = int(self.snapshot.get("cursor", 0))
+        if self.committed:
+            start = max(start, max(b for b, _ in self.committed) + 1)
+        return start
+
+
+class CheckpointStore:
+    """One ingestion run's durable state under a checkpoint directory.
+
+    ``fsync=False`` trades crash-safety for speed (tests, benchmarks);
+    the write ordering and atomic renames are preserved either way.
+    """
+
+    def __init__(self, directory, fsync: bool = True) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.journal_path = self.directory / JOURNAL_NAME
+        self.snapshot_path = self.directory / SNAPSHOT_NAME
+        self._fsync = fsync
+        self._journal_fh = None
+
+    # -- write path --------------------------------------------------------
+
+    def _journal(self):
+        if self._journal_fh is None:
+            self._journal_fh = open(self.journal_path, "a",
+                                    encoding="utf-8")
+        return self._journal_fh
+
+    def append_outcome(self, batch_id: int,
+                       payload: Dict[str, Any]) -> None:
+        """Journal one per-sample outcome (buffered; synced at commit)."""
+        self._write_line({"type": "outcome", "batch": batch_id,
+                          "data": payload})
+
+    def commit_batch(self, batch_id: int,
+                     metrics: Dict[str, Any]) -> None:
+        """Write the batch's commit marker and force it to disk."""
+        self._write_line({"type": "commit", "batch": batch_id,
+                          "v": FORMAT_VERSION, "metrics": metrics})
+        fh = self._journal()
+        fh.flush()
+        if self._fsync:
+            os.fsync(fh.fileno())
+
+    def _write_line(self, obj: Dict[str, Any]) -> None:
+        self._journal().write(json.dumps(obj, sort_keys=True) + "\n")
+
+    def write_snapshot(self, state: Dict[str, Any]) -> None:
+        """Atomically replace the snapshot, then rotate the journal.
+
+        The snapshot hits disk (tmp file + fsync + rename + directory
+        fsync) *before* the journal is truncated, so no crash point can
+        lose a committed batch.
+        """
+        state = dict(state)
+        state["v"] = FORMAT_VERSION
+        tmp = self.snapshot_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(state, fh, sort_keys=True)
+            fh.flush()
+            if self._fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, self.snapshot_path)
+        self._sync_directory()
+        self._rotate_journal()
+
+    def _rotate_journal(self) -> None:
+        if self._journal_fh is not None:
+            self._journal_fh.close()
+            self._journal_fh = None
+        tmp = self.journal_path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.flush()
+            if self._fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, self.journal_path)
+        self._sync_directory()
+
+    def _sync_directory(self) -> None:
+        if not self._fsync:
+            return
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def close(self) -> None:
+        """Flush and close the journal handle."""
+        if self._journal_fh is not None:
+            self._journal_fh.flush()
+            if self._fsync:
+                os.fsync(self._journal_fh.fileno())
+            self._journal_fh.close()
+            self._journal_fh = None
+
+    # -- read path ---------------------------------------------------------
+
+    def exists(self) -> bool:
+        """Whether this directory holds any checkpoint state."""
+        return self.snapshot_path.exists() or self.journal_path.exists()
+
+    def load(self) -> JournalReplay:
+        """Read back snapshot + journal, dropping stale/torn entries.
+
+        Journal entries for batches the snapshot already covers are
+        skipped (they survive a crash between snapshot and rotation);
+        a torn final line — the classic power-cut artefact — ends the
+        replay cleanly at the last intact record.
+        """
+        replay = JournalReplay()
+        if self.snapshot_path.exists():
+            with open(self.snapshot_path, encoding="utf-8") as fh:
+                replay.snapshot = json.load(fh)
+            version = replay.snapshot.get("v")
+            if version != FORMAT_VERSION:
+                raise ValueError(
+                    f"snapshot format v{version} != v{FORMAT_VERSION}")
+        floor = (int(replay.snapshot.get("cursor", 0))
+                 if replay.snapshot is not None else 0)
+        pending: Dict[int, List[Dict[str, Any]]] = {}
+        if self.journal_path.exists():
+            with open(self.journal_path, encoding="utf-8") as fh:
+                for line in fh:
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        break  # torn tail after a crash mid-write
+                    batch_id = int(entry.get("batch", -1))
+                    if batch_id < floor:
+                        continue  # compacted into the snapshot already
+                    if entry.get("type") == "outcome":
+                        pending.setdefault(batch_id, []).append(
+                            entry["data"])
+                    elif entry.get("type") == "commit":
+                        replay.committed.append(
+                            (batch_id, pending.pop(batch_id, [])))
+                        replay.commits.append(
+                            (batch_id, entry.get("metrics", {})))
+        replay.partial = pending
+        return replay

@@ -17,3 +17,7 @@ __all__ = [
     "render_table8",
     "render_table11",
 ]
+
+# NOTE: the ingestion renderers live in repro.reporting.ingest_report
+# and are imported directly (not re-exported here) to keep this package
+# import light — they pull in the ingest subsystem.

@@ -1,0 +1,99 @@
+"""Plain-text renderers for streaming-ingestion telemetry.
+
+Three views over one run's durable state: the per-batch metrics table
+(``ingest``'s default output), a run summary with throughput and resume
+provenance, and the checkpoint status report that ``status`` prints
+without rebuilding the world.
+"""
+
+from typing import List
+
+from repro.ingest.checkpoint import JournalReplay
+from repro.ingest.service import BatchMetrics, IngestionResult
+from repro.reporting.render import format_table
+
+
+def render_batch_metrics(batches: List[BatchMetrics]) -> str:
+    """Aligned table of per-batch ingestion metrics."""
+    rows = []
+    for m in batches:
+        window = (f"{m.start.isoformat()}..{m.end.isoformat()}"
+                  if m.start is not None and m.end is not None else "-")
+        rows.append([
+            m.batch_id, window, m.samples, m.analyzed, m.admitted,
+            m.new_miners, m.promotions, m.recovered, m.campaign_merges,
+            m.new_wallets, f"{m.profit_delta_xmr:.1f}",
+            f"{m.wall_s:.3f}",
+        ])
+    return format_table(
+        ["batch", "window", "samples", "analyzed", "admitted", "miners",
+         "promoted", "recovered", "merges", "wallets", "dXMR", "wall_s"],
+        rows, title="Per-batch ingestion metrics")
+
+
+def render_ingest_summary(ingest: IngestionResult) -> str:
+    """Run summary: funnel totals, throughput, resume provenance."""
+    stats = ingest.result.stats
+    analyzed = sum(m.analyzed for m in ingest.batches)
+    wall = sum(m.wall_s for m in ingest.batches)
+    throughput = analyzed / wall if wall > 0 else 0.0
+    total_xmr = sum(c.total_xmr for c in ingest.result.campaigns)
+    lines = [
+        f"batches:     {len(ingest.batches)}/{ingest.total_batches}"
+        + (f" (resumed at batch {ingest.resumed_from})"
+           if ingest.resumed_from else ""),
+        f"collected:   {stats.collected}",
+        f"executables: {stats.executables}",
+        f"malware:     {stats.malware}",
+        f"miners:      {stats.miners}",
+        f"ancillaries: {stats.ancillaries}",
+        f"campaigns:   {len(ingest.result.campaigns)}",
+        f"illicit XMR: {total_xmr:.0f}",
+        f"throughput:  {analyzed} samples in {wall:.2f}s "
+        f"({throughput:.0f}/s)",
+    ]
+    return "\n".join(lines)
+
+
+def render_checkpoint_status(replay: JournalReplay) -> str:
+    """Status report for one checkpoint directory (no world needed)."""
+    lines = []
+    snapshot = replay.snapshot
+    if snapshot is None and not replay.committed and not replay.partial:
+        return "empty checkpoint: no snapshot, no journal entries"
+    if snapshot is not None:
+        finalized = bool(snapshot.get("finalized"))
+        lines.append(
+            f"snapshot:    cursor={snapshot.get('cursor')} "
+            f"seed={snapshot.get('seed')} scale={snapshot.get('scale')} "
+            f"batch_days={snapshot.get('batch_days')}"
+            + (" [finalized]" if finalized else ""))
+        stats = snapshot.get("stats", {})
+        lines.append(
+            f"funnel:      collected={stats.get('collected', 0)} "
+            f"executables={stats.get('executables', 0)} "
+            f"malware={stats.get('malware', 0)} "
+            f"miners={stats.get('miners', 0)} "
+            f"ancillaries={stats.get('ancillaries', 0)}")
+        lines.append(f"records:     {len(snapshot.get('records', []))} "
+                     f"({len(snapshot.get('pending', []))} pending)")
+    else:
+        lines.append("snapshot:    none (journal only)")
+    lines.append(f"journal:     {len(replay.committed)} committed "
+                 f"batch(es) past the snapshot, "
+                 f"{sum(len(v) for v in replay.partial.values())} "
+                 f"in-flight outcome(s)")
+    lines.append(f"next batch:  {replay.cursor}")
+    metrics = [BatchMetrics.from_json(m)
+               for m in (snapshot or {}).get("batches", [])]
+    metrics += [BatchMetrics.from_json(m) for _, m in replay.commits]
+    if metrics:
+        last = metrics[-1]
+        window = (f"{last.start.isoformat()}..{last.end.isoformat()}"
+                  if last.start is not None and last.end is not None
+                  else "-")
+        lines.append(
+            f"last batch:  #{last.batch_id} {window} "
+            f"({last.samples} samples, {last.new_miners} miners, "
+            f"{last.wall_s:.3f}s)")
+    return "\n".join(lines)

@@ -194,3 +194,20 @@ class TestCampaignProperties:
         assert is_public_repo_host("github.com")
         assert is_public_repo_host("s3.amazonaws.com")
         assert not is_public_repo_host("hrtests.ru")
+
+
+class TestOneShotContract:
+    def test_second_aggregate_raises(self):
+        """aggregate() is one-shot: the grouping graph would silently
+        merge both record sets if reuse were allowed."""
+        aggregator = CampaignAggregator(OsintFeeds(),
+                                        GroupingPolicy.full())
+        aggregator.aggregate([miner("s1", wallets=["W1"])])
+        with pytest.raises(RuntimeError, match="already ran"):
+            aggregator.aggregate([miner("s2", wallets=["W2"])])
+
+    def test_fresh_instances_stay_independent(self):
+        first = aggregate([miner("s1", wallets=["W1"])])
+        second = aggregate([miner("s2", wallets=["W2"])])
+        assert [c.sample_hashes for c in first] == [["s1"]]
+        assert [c.sample_hashes for c in second] == [["s2"]]

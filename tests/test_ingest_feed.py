@@ -1,0 +1,67 @@
+"""Unit tests for the feed scheduler's batch plan."""
+
+import pytest
+
+from repro.ingest.feed import FeedScheduler
+
+
+@pytest.fixture(scope="module")
+def plan(small_world):
+    return FeedScheduler(small_world, batch_days=7).batches()
+
+
+class TestFeedScheduler:
+    def test_exact_coverage(self, small_world, plan):
+        """Every sample index appears in exactly one batch."""
+        delivered = [i for batch in plan for i in batch.indices]
+        assert sorted(delivered) == list(range(len(small_world.samples)))
+        assert len(delivered) == len(set(delivered))
+
+    def test_batch_ids_contiguous(self, plan):
+        assert [b.batch_id for b in plan] == list(range(len(plan)))
+
+    def test_windows_ordered_and_sized(self, plan):
+        """Windows advance strictly and span exactly batch_days days."""
+        for batch in plan:
+            assert (batch.end - batch.start).days == 6
+        for earlier, later in zip(plan, plan[1:]):
+            assert earlier.end < later.start
+
+    def test_dated_samples_inside_their_window(self, small_world, plan):
+        for batch in plan:
+            for index in batch.indices:
+                first_seen = small_world.samples[index].first_seen
+                if first_seen is None:
+                    assert batch.batch_id == 0  # pre-polling backlog
+                else:
+                    assert batch.start <= first_seen <= batch.end
+
+    def test_feed_order_within_batch(self, small_world, plan):
+        """Within a window, samples arrive in first-seen order."""
+        for batch in plan:
+            dates = [small_world.samples[i].first_seen
+                     for i in batch.indices
+                     if small_world.samples[i].first_seen is not None]
+            assert dates == sorted(dates)
+
+    def test_deterministic_and_cached(self, small_world):
+        scheduler = FeedScheduler(small_world, batch_days=7)
+        assert scheduler.batches() is scheduler.batches()
+        again = FeedScheduler(small_world, batch_days=7).batches()
+        assert scheduler.batches() == again
+
+    def test_huge_window_is_one_batch(self, small_world):
+        scheduler = FeedScheduler(small_world, batch_days=10**6)
+        assert scheduler.num_batches == 1
+        assert scheduler.batches()[0].num_samples == \
+            len(small_world.samples)
+
+    def test_coarser_windows_mean_fewer_batches(self, small_world):
+        daily = FeedScheduler(small_world, batch_days=1).num_batches
+        monthly = FeedScheduler(small_world, batch_days=30).num_batches
+        assert monthly <= daily
+        assert monthly >= 1
+
+    def test_rejects_bad_window(self, small_world):
+        with pytest.raises(ValueError):
+            FeedScheduler(small_world, batch_days=0)
