@@ -62,6 +62,14 @@ def _get_world(seed: int, scale: float):
     return _WORLD_CACHE[key]
 
 
+def _print_runtime_stats() -> None:
+    """Cache + scan-kernel counters, appended to --profile output."""
+    from repro.perf.cache import render_cache_table
+    from repro.perf.scan import render_scan_stats
+    print(render_cache_table(), file=sys.stderr)
+    print(render_scan_stats(), file=sys.stderr)
+
+
 def _build_world_and_result(args):
     world = _get_world(args.seed, args.scale)
     pipeline = MeasurementPipeline(world,
@@ -69,6 +77,7 @@ def _build_world_and_result(args):
     result = pipeline.run()
     if getattr(args, "profile", False):
         print(pipeline.profiler.render_table(), file=sys.stderr)
+        _print_runtime_stats()
     return world, result
 
 
@@ -216,6 +225,7 @@ def cmd_ingest(args) -> int:
     print(render_ingest_summary(ingest))
     if args.profile:
         print(service.profiler.render_table(), file=sys.stderr)
+        _print_runtime_stats()
     if args.verify:
         pipeline = MeasurementPipeline(world, workers=args.workers)
         diffs = diff_measurements(pipeline.run(), ingest.result)

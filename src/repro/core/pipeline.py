@@ -36,6 +36,7 @@ from repro.perf.parallel import (
     SampleOutcome,
 )
 from repro.perf.profiler import PipelineProfiler
+from repro.perf.scan import profiled_scan
 from repro.sandbox.emulator import Sandbox, SandboxEnvironment
 
 _DEFAULT_ANALYSIS_DATE = datetime.date(2018, 9, 1)
@@ -210,6 +211,10 @@ class MeasurementPipeline:
 
     def run(self) -> MeasurementResult:
         """Execute all pipeline stages; returns the measurement result."""
+        with profiled_scan(self.profiler):
+            return self._run_stages()
+
+    def _run_stages(self) -> MeasurementResult:
         prof = self.profiler
         stats = PipelineStats(collected=len(self.world.samples))
         verdicts: Dict[str, SanityVerdict] = {}

@@ -12,11 +12,11 @@ from dataclasses import dataclass
 from typing import Optional, Set
 
 from repro.binfmt.format import ExecutableKind, magic_kind
-from repro.binfmt.packers import identify_packer, unpack
-from repro.common.errors import BinaryFormatError
 from repro.corpus.model import SampleRecord
 from repro.intel.vt import VtService
 from repro.osint.feeds import OsintFeeds
+from repro.perf.cache import cached_unpack
+from repro.perf.scan import scan_context
 from repro.pools.directory import PoolDirectory
 from repro.sandbox.emulator import SandboxReport
 from repro.yarm.builtin import builtin_miner_rules
@@ -87,20 +87,18 @@ class SanityChecker:
         return False
 
     def _scannable_bytes(self, raw: bytes) -> bytes:
-        """Unpack known packers before rule scanning when possible."""
-        if identify_packer(raw) is not None:
-            try:
-                return unpack(raw)
-            except BinaryFormatError:
-                return raw
-        return raw
+        """Unpack known packers before rule scanning when possible.
+
+        Backed by the content-keyed unpack memo, so static analysis of
+        the same sample reuses this result instead of unpacking again.
+        """
+        return cached_unpack(raw)[0]
 
     def is_miner(self, sample: SampleRecord,
                  sandbox_report: Optional[SandboxReport] = None) -> bool:
         """Miner check: YARA, Stratum flows, pool DNS, labels, OSINT."""
-        # (a) YARA rules over (unpacked) bytes
-        data = self._scannable_bytes(sample.raw)
-        if self._rules.scan(data):
+        # (a) YARA rules over the shared (unpacked) scan context
+        if self._rules.scan(scan_context(sample.raw)):
             return True
         # (b) dynamic IoCs: Stratum flows or known-pool DNS resolutions
         if sandbox_report is not None:

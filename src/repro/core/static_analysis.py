@@ -12,8 +12,8 @@ from typing import List, Optional, Tuple
 from repro.binfmt.entropy import OBFUSCATION_THRESHOLD
 from repro.binfmt.format import parse_binary
 from repro.perf.cache import cached_entropy
-from repro.binfmt.packers import identify_packer, unpack
-from repro.binfmt.strings import extract_strings
+from repro.perf.scan import ScanContext, scan_context
+from repro.binfmt.packers import identify_packer
 from repro.common.errors import BinaryFormatError
 from repro.wallets.detect import (
     ClassifiedIdentifier,
@@ -50,39 +50,46 @@ class StaticAnalyzer:
     """Stateless binary inspector."""
 
     def analyze(self, raw: bytes) -> StaticFindings:
-        """Inspect one binary: unpack, strings, config, entropy."""
+        """Inspect one binary: unpack, strings, config, entropy.
+
+        Unpacking and string extraction go through the shared
+        :func:`repro.perf.scan.scan_context` memo, so the sanity
+        checker's rule scan over the same sample reuses this work.
+        """
         findings = StaticFindings()
         findings.entropy = cached_entropy(raw)
         packer = identify_packer(raw)
-        scannable = raw
+        ctx = scan_context(raw)
         if packer is not None:
-            findings.packer = packer.name if not packer.is_compression_only \
-                else packer.name
-            if packer.unpackable:
-                try:
-                    scannable = unpack(raw)
-                    findings.unpacked = True
-                except BinaryFormatError:
-                    pass
+            # compression-only families (plain archives) render with a
+            # suffix so Table X keeps them apart from obfuscators
+            # (SIV-E: compression is not considered obfuscation).
+            findings.packer = (f"{packer.name} (archive)"
+                               if packer.is_compression_only
+                               else packer.name)
+            findings.unpacked = ctx.unpacked
         else:
             # no known packer: entropy is the only obfuscation signal
             findings.obfuscated = findings.entropy > OBFUSCATION_THRESHOLD
         if packer is not None and not packer.is_compression_only:
             findings.obfuscated = True
-        self._scan_content(scannable, findings)
+        self._scan_content(ctx, findings)
         return findings
 
-    def _scan_content(self, data: bytes, findings: StaticFindings) -> None:
-        findings.strings = extract_strings(data)
-        blob = "\n".join(findings.strings)
+    def _scan_content(self, ctx: ScanContext,
+                      findings: StaticFindings) -> None:
+        findings.strings = list(ctx.strings)  # findings own their copy
+        blob = ctx.text
         findings.identifiers = extract_identifiers(blob)
-        for match in _STRATUM_URL_RE.finditer(blob):
-            entry = (match.group("host").lower(), int(match.group("port")))
-            if entry not in findings.stratum_urls:
-                findings.stratum_urls.append(entry)
+        if "stratum+" in blob:
+            for match in _STRATUM_URL_RE.finditer(blob):
+                entry = (match.group("host").lower(),
+                         int(match.group("port")))
+                if entry not in findings.stratum_urls:
+                    findings.stratum_urls.append(entry)
         # structured miner config, if the binary carries one
         try:
-            parsed = parse_binary(data)
+            parsed = parse_binary(ctx.data)
         except BinaryFormatError:
             return
         config = parsed.config

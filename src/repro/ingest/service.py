@@ -237,6 +237,11 @@ class IngestionService:
 
     def run(self) -> IngestionResult:
         """Process every (remaining) batch, finalize, and report."""
+        from repro.perf.scan import profiled_scan
+        with profiled_scan(self.profiler):
+            return self._run_batches()
+
+    def _run_batches(self) -> IngestionResult:
         batches = self.scheduler.batches()
         resumed_from = 0
         if self.store.exists():

@@ -1,7 +1,11 @@
-"""Performance subsystem: caching, profiling and parallel extraction.
+"""Performance subsystem: caching, profiling, scanning and parallelism.
 
 - :mod:`repro.perf.cache` — bounded LRU memos with hit/miss counters
-  for CTPH digests, entropy, DNS resolution and pool lookups.
+  for CTPH digests, entropy, unpack results, DNS resolution and pool
+  lookups.
+- :mod:`repro.perf.scan` — the compile-once multi-pattern scan kernel
+  (Aho-Corasick literal matching, fused regex alternations, shared
+  per-sample scan contexts).
 - :mod:`repro.perf.profiler` — per-stage wall-time timers and the
   ``--profile`` stage-breakdown table.
 - :mod:`repro.perf.parallel` — the chunked worker-pool extraction
@@ -14,7 +18,9 @@ from repro.perf.cache import (
     cache_stats,
     cached_ctph,
     cached_entropy,
+    cached_unpack,
     clear_caches,
+    render_cache_table,
 )
 from repro.perf.profiler import PipelineProfiler, StageTiming
 
@@ -24,18 +30,35 @@ __all__ = [
     "cache_stats",
     "cached_ctph",
     "cached_entropy",
+    "cached_unpack",
     "clear_caches",
+    "render_cache_table",
     "PipelineProfiler",
     "StageTiming",
     "AnalysisSpec",
     "ParallelExtractionEngine",
     "SampleOutcome",
+    "AhoCorasick",
+    "ScanContext",
+    "ScanKernel",
+    "prewarm_scan_kernel",
+    "scan_context",
+    "scan_stats",
+    "reset_scan_stats",
+    "render_scan_stats",
 ]
+
+_PARALLEL = ("AnalysisSpec", "ParallelExtractionEngine", "SampleOutcome")
+_SCAN = ("AhoCorasick", "ScanContext", "ScanKernel", "prewarm_scan_kernel",
+         "scan_context", "scan_stats", "reset_scan_stats",
+         "render_scan_stats")
 
 
 def __getattr__(name):
-    if name in ("AnalysisSpec", "ParallelExtractionEngine",
-                "SampleOutcome"):
+    if name in _PARALLEL:
         from repro.perf import parallel
         return getattr(parallel, name)
+    if name in _SCAN:
+        from repro.perf import scan
+        return getattr(scan, name)
     raise AttributeError(f"module 'repro.perf' has no attribute {name!r}")

@@ -15,6 +15,8 @@ from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.binfmt.entropy import shannon_entropy
+from repro.binfmt.packers import identify_packer, unpack
+from repro.common.errors import BinaryFormatError
 from repro.fuzzyhash.ctph import FuzzyHash, compute
 
 _K = object  # documentation alias: keys must be hashable
@@ -104,6 +106,26 @@ CTPH_CACHE = LruCache("ctph", maxsize=8192)
 #: Shannon entropy keyed by binary content.
 ENTROPY_CACHE = LruCache("entropy", maxsize=8192)
 
+#: ``(scannable_bytes, unpacked)`` keyed by raw binary content, so the
+#: sanity checker and the static analyzer share one ``unpack()`` walk
+#: per sample instead of each reversing the same packer independently.
+UNPACK_CACHE = LruCache("unpack", maxsize=4096)
+
+#: Caches registered by other perf modules (the scan-context memo in
+#: :mod:`repro.perf.scan`) so ``cache_stats`` / ``clear_caches`` cover
+#: them without import cycles.
+_EXTRA_CACHES: List[LruCache] = []
+
+
+def register_cache(cache: LruCache) -> LruCache:
+    """Include ``cache`` in process-wide stats/clearing; returns it."""
+    _EXTRA_CACHES.append(cache)
+    return cache
+
+
+def _all_caches() -> List[LruCache]:
+    return [CTPH_CACHE, ENTROPY_CACHE, UNPACK_CACHE, *_EXTRA_CACHES]
+
 
 def cached_ctph(data: bytes) -> FuzzyHash:
     """CTPH of ``data``, memoised by content."""
@@ -122,16 +144,49 @@ def cached_entropy(data: bytes) -> float:
     return ENTROPY_CACHE.get_or_compute(key, lambda: shannon_entropy(key))
 
 
+def cached_unpack(raw: bytes) -> Tuple[bytes, bool]:
+    """``(scannable_bytes, unpacked)`` for ``raw``, memoised by content.
+
+    Mirrors what sanity's ``_scannable_bytes`` and the static analyzer
+    each did separately: reverse a fingerprinted packer when possible,
+    fall back to the raw bytes for crypters / corrupt payloads.  The
+    flag is True only when a packer was actually reversed.
+    """
+    key = bytes(raw)
+
+    def compute_unpack() -> Tuple[bytes, bool]:
+        if identify_packer(key) is None:
+            return (key, False)
+        try:
+            return (unpack(key), True)
+        except BinaryFormatError:
+            return (key, False)
+
+    return UNPACK_CACHE.get_or_compute(key, compute_unpack)
+
+
 def cache_stats() -> Dict[str, Dict[str, float]]:
     """Counters for every process-wide cache, by cache name."""
-    return {cache.name: cache.stats()
-            for cache in (CTPH_CACHE, ENTROPY_CACHE)}
+    return {cache.name: cache.stats() for cache in _all_caches()}
 
 
 def clear_caches() -> None:
     """Reset the process-wide memos (tests and benches isolate runs)."""
-    CTPH_CACHE.clear()
-    ENTROPY_CACHE.clear()
+    for cache in _all_caches():
+        cache.clear()
+
+
+def render_cache_table() -> str:
+    """The cache hit/miss counters as an aligned text table."""
+    header = (f"{'cache':<16} {'hits':>10} {'misses':>10} "
+              f"{'size':>8} {'hit rate':>9}")
+    lines = [header, "-" * len(header)]
+    for cache in _all_caches():
+        stats = cache.stats()
+        lines.append(
+            f"{cache.name:<16} {stats['hits']:>10} {stats['misses']:>10} "
+            f"{stats['size']:>8} {stats['hit_rate']:>9.1%}")
+    return "\n".join(lines)
 
 
 # --------------------------------------------------------------------------

@@ -189,6 +189,10 @@ class ParallelExtractionEngine:
 
     def _pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
+            # compile the scan kernel before forking so every worker
+            # inherits the automata instead of rebuilding them.
+            from repro.perf.scan import prewarm_scan_kernel
+            prewarm_scan_kernel()
             try:
                 context = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX platforms

@@ -55,6 +55,20 @@ _COIN_RES: List[Tuple[str, re.Pattern]] = [
     (ticker, _coin_regex(COINS[ticker])) for ticker in _COIN_ORDER
 ]
 
+#: All thirteen per-coin regexes fused into one named-group
+#: alternation.  ``fullmatch`` tries branches in ``_COIN_ORDER``, so
+#: ``lastgroup`` names the same registry key the sequential loop would
+#: have stopped at; coin prefixes start with pairwise-distinct
+#: characters, so at most one branch can ever match a given string and
+#: a failed checksum cannot be rescued by a later branch.
+_COMBINED_COIN_RE = re.compile("|".join(
+    f"(?P<{key}>{_coin_regex(COINS[key]).pattern})" for key in _COIN_ORDER
+))
+
+#: First characters a wallet candidate can start with (one per coin).
+_WALLET_LEAD_CHARS = frozenset(
+    COINS[key].prefix[0] for key in _COIN_ORDER)
+
 
 def classify_identifier(value: str) -> ClassifiedIdentifier:
     """Classify a mining identifier string.
@@ -64,9 +78,28 @@ def classify_identifier(value: str) -> ClassifiedIdentifier:
     finally to the 'unknown' bucket (Table IV's 2,195 unknowns).
     """
     stripped = value.strip()
+    if stripped and stripped[0] in _WALLET_LEAD_CHARS:
+        match = _COMBINED_COIN_RE.fullmatch(stripped)
+        if match is not None:
+            key = match.lastgroup
+            if is_valid_address(stripped, COINS[key]):
+                # registry key and ticker differ for variants
+                # (XMR_SUB -> XMR)
+                return ClassifiedIdentifier(
+                    stripped, IdentifierKind.WALLET, COINS[key].ticker)
+    if "@" in stripped and _EMAIL_RE.fullmatch(stripped):
+        return ClassifiedIdentifier(stripped, IdentifierKind.EMAIL)
+    if stripped.startswith("worker_"):
+        return ClassifiedIdentifier(stripped, IdentifierKind.USERNAME)
+    return ClassifiedIdentifier(stripped, IdentifierKind.UNKNOWN)
+
+
+def classify_identifier_legacy(value: str) -> ClassifiedIdentifier:
+    """Sequential per-coin reference classifier (equivalence oracle)."""
+    stripped = value.strip()
     for key, pattern in _COIN_RES:
-        if pattern.fullmatch(stripped) and is_valid_address(stripped, COINS[key]):
-            # registry key and ticker differ for variants (XMR_SUB -> XMR)
+        if pattern.fullmatch(stripped) and is_valid_address(stripped,
+                                                            COINS[key]):
             return ClassifiedIdentifier(stripped, IdentifierKind.WALLET,
                                         COINS[key].ticker)
     if _EMAIL_RE.fullmatch(stripped):
@@ -79,6 +112,10 @@ def classify_identifier(value: str) -> ClassifiedIdentifier:
 #: Characters that can delimit an identifier inside a command line.
 _TOKEN_SPLIT_RE = re.compile(r"[\s\"'=,;|<>()]+")
 
+#: Maximal delimiter-free runs long enough to be identifiers — the
+#: same tokens ``_TOKEN_SPLIT_RE.split`` yields, minus the short ones.
+_CANDIDATE_RUN_RE = re.compile(r"[^\s\"'=,;|<>()]{6,}")
+
 
 def extract_identifiers(text: str) -> List[ClassifiedIdentifier]:
     """Scan free text for wallet/e-mail identifiers.
@@ -88,14 +125,41 @@ def extract_identifiers(text: str) -> List[ClassifiedIdentifier]:
     almost everything is an unknown token; unknown identifiers only enter
     the dataset via explicit Stratum ``login`` fields (see
     :mod:`repro.core.dynamic_analysis`).
+
+    Only tokens that can possibly classify as wallet or e-mail reach
+    the classifier: a wallet token must start with a coin-prefix lead
+    character and an e-mail must contain ``@``, so everything else is
+    dropped by two O(1) checks per token.
     """
+    seen = set()
+    found: List[ClassifiedIdentifier] = []
+    lead_chars = _WALLET_LEAD_CHARS
+    find = text.find
+    for match in _CANDIDATE_RUN_RE.finditer(text):
+        start = match.start()
+        # gate on the span before materialising the token string
+        if (text[start] not in lead_chars
+                and find("@", start, match.end()) < 0):
+            continue
+        token = match.group()
+        if token in seen:
+            continue
+        seen.add(token)
+        classified = classify_identifier(token)
+        if classified.kind in (IdentifierKind.WALLET, IdentifierKind.EMAIL):
+            found.append(classified)
+    return found
+
+
+def extract_identifiers_legacy(text: str) -> List[ClassifiedIdentifier]:
+    """Token-split reference extractor (equivalence oracle)."""
     seen = set()
     found: List[ClassifiedIdentifier] = []
     for token in _TOKEN_SPLIT_RE.split(text):
         if len(token) < 6 or token in seen:
             continue
         seen.add(token)
-        classified = classify_identifier(token)
+        classified = classify_identifier_legacy(token)
         if classified.kind in (IdentifierKind.WALLET, IdentifierKind.EMAIL):
             found.append(classified)
     return found

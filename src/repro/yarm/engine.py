@@ -38,11 +38,17 @@ class StringPattern:
     pattern: bytes       # raw needle for text/hex; regex source for regex
     nocase: bool = False
 
-    def matches(self, data: bytes) -> bool:
-        """Whether the pattern occurs anywhere in ``data``."""
+    def matches(self, data: bytes,
+                lowered: Optional[bytes] = None) -> bool:
+        """Whether the pattern occurs anywhere in ``data``.
+
+        ``lowered`` lets callers share one ``data.lower()`` across all
+        nocase patterns of a scan instead of re-folding per pattern.
+        """
         if self.kind == "text":
             if self.nocase:
-                return self.pattern.lower() in data.lower()
+                haystack = data.lower() if lowered is None else lowered
+                return self.pattern.lower() in haystack
             return self.pattern in data
         if self.kind == "hex":
             return self.pattern in data
@@ -217,9 +223,14 @@ class CompiledRule:
     strings: List[StringPattern]
     condition: _Node
 
-    def evaluate(self, data: bytes) -> Optional["Match"]:
+    def evaluate(self, data: bytes,
+                 lowered: Optional[bytes] = None) -> Optional["Match"]:
         """Evaluate the rule on ``data``; a Match or None."""
-        fired = {sp.identifier: sp.matches(data) for sp in self.strings}
+        if lowered is None and any(
+                sp.nocase and sp.kind == "text" for sp in self.strings):
+            lowered = data.lower()
+        fired = {sp.identifier: sp.matches(data, lowered)
+                 for sp in self.strings}
         if self.condition.evaluate(fired):
             return Match(
                 rule=self.name,
@@ -338,19 +349,46 @@ def _compile_rule_body(header: "re.Match", body: str) -> CompiledRule:
 
 
 class RuleSet:
-    """A compiled collection of rules."""
+    """A compiled collection of rules.
+
+    ``scan`` goes through the one-pass multi-pattern kernel
+    (:class:`repro.perf.scan.ScanKernel`), compiled lazily once per
+    rule set; ``scan_legacy`` keeps the original per-pattern evaluator
+    as the reference oracle for the kernel's equivalence tests.
+    """
 
     def __init__(self, rules: List[CompiledRule]) -> None:
         self.rules = rules
+        self._kernel = None
+        self._needs_lower = any(
+            sp.nocase and sp.kind == "text"
+            for rule in rules for sp in rule.strings)
 
     def __len__(self) -> int:
         return len(self.rules)
 
-    def scan(self, data: bytes) -> List[Match]:
-        """Evaluate every rule against ``data``; return the matches."""
+    def kernel(self):
+        """The compiled scan kernel for this rule set (built once)."""
+        if self._kernel is None:
+            from repro.perf.scan import ScanKernel
+            self._kernel = ScanKernel(self)
+        return self._kernel
+
+    def scan(self, data) -> List[Match]:
+        """Evaluate every rule against ``data``; return the matches.
+
+        ``data`` may be raw bytes or a prepared
+        :class:`repro.perf.scan.ScanContext` (which lets callers share
+        derived views across consumers).
+        """
+        return self.kernel().scan(data)
+
+    def scan_legacy(self, data: bytes) -> List[Match]:
+        """Per-pattern reference scan, with one shared lowercase fold."""
+        lowered = data.lower() if self._needs_lower else None
         matches = []
         for rule in self.rules:
-            match = rule.evaluate(data)
+            match = rule.evaluate(data, lowered)
             if match is not None:
                 matches.append(match)
         return matches
