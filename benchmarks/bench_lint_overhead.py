@@ -1,0 +1,79 @@
+"""Reprolint overhead bench: full-repo lint wall time and throughput.
+
+The lint gate runs on every ``pytest`` invocation
+(``tests/test_lint_gate.py``) and in CI's strict job, so its cost has
+to stay negligible next to the suite it guards.  This bench times the
+complete pass — module discovery, parse, the single traversal with all
+six rule families, baseline reconciliation — over the real
+``src/repro`` tree and fails if it exceeds a generous wall-time
+budget.
+
+The engine parses each module once and walks its AST once regardless
+of rule count, so the expected cost is ~parse time for the tree
+(well under a second for the ~125-module repo).  Results are printed
+as JSON.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_lint_overhead.py \
+        [--iterations 3] [--budget-s 5.0]
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.lint import default_source_root, lint_source_tree
+
+
+def _best_of(fn, iterations):
+    best = float("inf")
+    result = None
+    for _ in range(iterations):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=3)
+    parser.add_argument("--budget-s", type=float, default=5.0,
+                        help="fail when a full-repo lint pass takes "
+                             "longer than this")
+    args = parser.parse_args(argv)
+
+    best_s, run = _best_of(lint_source_tree, args.iterations)
+    report = run.report
+    modules = report.modules_scanned
+
+    print(json.dumps({
+        "root": str(default_source_root()),
+        "iterations": args.iterations,
+        "modules": modules,
+        "wall_s": round(best_s, 4),
+        "modules_per_s": round(modules / best_s, 1) if best_s else None,
+        "findings": len(report.findings),
+        "regressions": len(run.regressions),
+        "parse_errors": len(report.parse_errors),
+        "budget_s": args.budget_s,
+        "within_budget": best_s <= args.budget_s,
+    }, indent=2))
+
+    if report.parse_errors:
+        print("FAIL: lint pass hit parse errors", file=sys.stderr)
+        return 1
+    if run.regressions:
+        print("FAIL: unbaselined findings on the tree", file=sys.stderr)
+        return 1
+    if best_s > args.budget_s:
+        print(f"FAIL: lint pass took {best_s:.2f}s, budget "
+              f"{args.budget_s:.2f}s", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,13 +8,16 @@ Subcommands::
     python -m repro.cli defense   --scale 0.01
     python -m repro.cli ingest    --checkpoint DIR --batch-days 7 [--resume]
     python -m repro.cli status    --checkpoint DIR
+    python -m repro.cli lint      [--strict] [--update-baseline]
 
 ``measure`` runs the full pipeline and prints the funnel; ``exhibits``
 renders the main paper tables; ``casestudy`` deep-dives one of the §V
 campaigns; ``defense`` evaluates the §VI countermeasures; ``ingest``
 replays the corpus as dated feed batches with durable checkpoints
 (interrupt it freely, re-run with ``--resume``); ``status`` inspects a
-checkpoint directory without touching the corpus.
+checkpoint directory without touching the corpus; ``lint`` runs the
+reprolint invariant checks (see ``docs/static-analysis.md``) and fails
+on findings the committed baseline does not accept.
 """
 
 import argparse
@@ -239,6 +242,59 @@ def cmd_ingest(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run reprolint over the source tree and gate on the baseline."""
+    import json
+    from pathlib import Path
+
+    from repro.lint import Baseline, lint_source_tree
+    root = Path(args.root) if args.root else None
+    baseline = Path(args.baseline) if args.baseline else None
+    run = lint_source_tree(root=root, baseline_path=baseline)
+    report = run.report
+    if args.update_baseline:
+        target = (baseline if baseline is not None
+                  else run.baseline.path)
+        if target is None:
+            print("no baseline path to update (pass --baseline)",
+                  file=sys.stderr)
+            return 2
+        fresh = Baseline.from_report(report, notes=run.baseline.notes)
+        fresh.write(target)
+        print(f"baseline updated: {target} "
+              f"({len(fresh.entries)} entries)")
+        return 0
+    if args.json:
+        print(json.dumps({
+            "modules": report.modules_scanned,
+            "findings": [f.__dict__ for f in report.findings],
+            "regressions": [f.__dict__ for f in run.regressions],
+            "expired": [{"rule": k[0], "path": k[1],
+                         "granted": granted, "used": used}
+                        for k, granted, used in run.expired],
+            "suppressed": len(report.suppressed),
+        }, indent=2))
+        return 0 if run.ok(strict=args.strict) else 1
+    for error in report.parse_errors:
+        print(f"parse error: {error}", file=sys.stderr)
+    for finding in run.regressions:
+        print(finding.render())
+    baselined = len(report.findings) - len(run.regressions)
+    print(f"reprolint: {report.modules_scanned} modules, "
+          f"{len(report.findings)} findings "
+          f"({len(run.regressions)} new, {baselined} baselined, "
+          f"{len(report.suppressed)} pragma-suppressed)")
+    if run.expired:
+        for (rule, path), granted, used in run.expired:
+            print(f"stale baseline grant: {rule} {path} "
+                  f"(granted {granted}, used {used})",
+                  file=sys.stderr)
+        if args.strict:
+            print("strict mode: prune the stale grants with "
+                  "--update-baseline", file=sys.stderr)
+    return 0 if run.ok(strict=args.strict) else 1
+
+
 def cmd_status(args) -> int:
     """Inspect a checkpoint directory without touching the corpus."""
     from pathlib import Path
@@ -307,6 +363,22 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("--checkpoint", type=str, required=True,
                         help="checkpoint directory to inspect")
     status.set_defaults(func=cmd_status)
+    lint = sub.add_parser(
+        "lint",
+        help="static invariant checks (reprolint) over the source tree")
+    lint.add_argument("--root", type=str, default=None,
+                      help="tree to lint (default: the repro package)")
+    lint.add_argument("--baseline", type=str, default=None,
+                      help="baseline file (default: nearest "
+                           "lint_baseline.toml above the root)")
+    lint.add_argument("--strict", action="store_true",
+                      help="also fail on stale baseline grants")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline to accept the "
+                           "current findings")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report on stdout")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -553,9 +553,13 @@ class IngestionService:
             "batch_days": self.scheduler.batch_days,
             "seed": self.world.config.seed,
             "scale": self.world.config.scale,
-            "records": [encode_record(r) for r in self._records.values()],
-            "verdicts": [encode_verdict(v)
-                         for v in self._verdicts.values()],
+            # sorted by hash so the snapshot is a pure function of the
+            # state, not of arrival order (two runs reaching the same
+            # state write byte-identical snapshots)
+            "records": [encode_record(self._records[sha])
+                        for sha in sorted(self._records)],
+            "verdicts": [encode_verdict(self._verdicts[sha])
+                         for sha in sorted(self._verdicts)],
             "stats": encode_stats(self._stats),
             "confirmed": sorted(self._confirmed),
             "pending": sorted(self._pending.items(),

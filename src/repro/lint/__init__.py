@@ -1,0 +1,92 @@
+"""reprolint — AST/dataflow invariant checking for the pipeline.
+
+The measurement's correctness contracts (enrichment never groups,
+grouping ignores donation wallets, streamed == batch, checkpoints are
+crash-safe, memo keys are complete, failures are loud) are enforced
+mechanically by six rule families over a single compile-once pass of
+the source tree.  See ``docs/static-analysis.md`` for the rule
+catalogue, pragma syntax and the baseline workflow.
+
+High-level entry points:
+
+* :func:`lint_source_tree` — lint a tree and diff against a baseline;
+  what the ``repro lint`` CLI, the pytest gate and the overhead bench
+  all call.
+* :class:`repro.lint.engine.LintEngine` — the underlying engine, for
+  custom rule sets (the fixture tests drive it directly).
+"""
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.lint.baseline import Baseline, find_baseline
+from repro.lint.engine import LintEngine, Rule, lint_tree
+from repro.lint.findings import (
+    Finding,
+    LintReport,
+    RULE_REGISTRY,
+    known_rule,
+)
+import repro.lint.rules  # noqa: F401  (registers every rule ID)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "LintRun",
+    "RULE_REGISTRY",
+    "Rule",
+    "default_source_root",
+    "find_baseline",
+    "known_rule",
+    "lint_source_tree",
+    "lint_tree",
+]
+
+
+def default_source_root() -> Path:
+    """The installed ``repro`` package directory — what HEAD lints."""
+    return Path(__file__).resolve().parent.parent
+
+
+@dataclass
+class LintRun:
+    """One lint-plus-baseline evaluation, ready for gating."""
+
+    report: LintReport
+    baseline: Baseline
+    regressions: List[Finding] = field(default_factory=list)
+    expired: List[Tuple[Tuple[str, str], int, int]] = \
+        field(default_factory=list)
+
+    def ok(self, strict: bool = False) -> bool:
+        """Gate verdict: no regressions (and, in strict, no expiry)."""
+        if self.report.parse_errors or self.regressions:
+            return False
+        if strict and self.expired:
+            return False
+        return True
+
+
+def lint_source_tree(root: Optional[Path] = None,
+                     baseline_path: Optional[Path] = None) -> LintRun:
+    """Lint ``root`` (default: the repro package) against a baseline.
+
+    When ``baseline_path`` is None the nearest ``lint_baseline.toml``
+    above ``root`` is used; no file at all means an empty baseline, so
+    every finding is a regression.
+    """
+    root = Path(root) if root is not None else default_source_root()
+    report = LintEngine().run(root)
+    if baseline_path is None:
+        baseline_path = find_baseline(root)
+    baseline = (Baseline.load(baseline_path)
+                if baseline_path is not None else Baseline())
+    return LintRun(
+        report=report,
+        baseline=baseline,
+        regressions=baseline.regressions(report),
+        expired=baseline.expired(report),
+    )

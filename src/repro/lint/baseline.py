@@ -1,0 +1,133 @@
+"""Baseline files: CI fails on *regressions*, not on history.
+
+A baseline (``lint_baseline.toml``) records the accepted finding count
+per ``(rule, path)``.  Comparing a fresh report against it yields:
+
+* **regressions** — findings beyond the baselined count for their key
+  (new violations; these fail the gate);
+* **expired** — baseline entries the code no longer trips (stale
+  grants; ``--strict`` fails on them so the file shrinks monotonically
+  toward empty).
+
+Counts rather than line numbers keep entries stable across unrelated
+edits; a line-pinned suppression belongs in a
+``# reprolint: disable=`` pragma instead.
+"""
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.findings import Finding, LintReport
+
+BASELINE_NAME = "lint_baseline.toml"
+
+Key = Tuple[str, str]  # (rule_id, relpath)
+
+
+@dataclass
+class Baseline:
+    """Accepted findings: ``(rule, path) -> count`` plus notes."""
+
+    entries: Dict[Key, int] = field(default_factory=dict)
+    notes: Dict[Key, str] = field(default_factory=dict)
+    path: Optional[Path] = None
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        baseline = cls(path=path)
+        if not path.exists():
+            return baseline
+        with open(path, "rb") as fh:
+            data = tomllib.load(fh)
+        for entry in data.get("suppress", []):
+            key = (str(entry["rule"]), str(entry["path"]))
+            baseline.entries[key] = int(entry.get("count", 1))
+            if entry.get("note"):
+                baseline.notes[key] = str(entry["note"])
+        return baseline
+
+    @classmethod
+    def from_report(cls, report: LintReport,
+                    notes: Optional[Dict[Key, str]] = None) -> "Baseline":
+        """The baseline that accepts exactly ``report``'s findings."""
+        baseline = cls()
+        baseline.entries = dict(report.counts())
+        baseline.notes = dict(notes or {})
+        return baseline
+
+    # -- comparison --------------------------------------------------------
+
+    def regressions(self, report: LintReport) -> List[Finding]:
+        """Findings beyond the baselined count, oldest-line first."""
+        budget = dict(self.entries)
+        out: List[Finding] = []
+        for finding in sorted(report.findings, key=Finding.sort_key):
+            key = (finding.rule_id, finding.path)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+            else:
+                out.append(finding)
+        return out
+
+    def expired(self, report: LintReport) -> List[Tuple[Key, int, int]]:
+        """Entries granting more than the code still needs.
+
+        Returns ``(key, granted, used)`` triples — ``used < granted``
+        means the grant should shrink or go away entirely.
+        """
+        counts = report.counts()
+        out = []
+        for key in sorted(self.entries):
+            used = min(counts.get(key, 0), self.entries[key])
+            if used < self.entries[key]:
+                out.append((key, self.entries[key], used))
+        return out
+
+    # -- serialisation -----------------------------------------------------
+
+    def render(self) -> str:
+        """The TOML text for this baseline (stable ordering)."""
+        lines = [
+            "# reprolint baseline — accepted findings by (rule, path).",
+            "# Regenerate with: repro lint --update-baseline",
+            "# The gate fails on findings beyond these counts; --strict",
+            "# also fails on entries the code no longer needs.",
+            "",
+            "version = 1",
+        ]
+        for (rule, path), count in sorted(self.entries.items()):
+            lines += [
+                "",
+                "[[suppress]]",
+                f'rule = "{rule}"',
+                f'path = "{path}"',
+                f"count = {count}",
+            ]
+            note = self.notes.get((rule, path))
+            if note:
+                lines.append(f'note = "{note}"')
+        return "\n".join(lines) + "\n"
+
+    def write(self, path=None) -> Path:
+        """Persist to ``path`` (default: where it was loaded from)."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no baseline path to write to")
+        target.write_text(self.render(), encoding="utf-8")
+        return target
+
+
+def find_baseline(start: Path) -> Optional[Path]:
+    """The nearest ``lint_baseline.toml`` in ``start`` or an ancestor."""
+    start = Path(start).resolve()
+    if start.is_file():
+        start = start.parent
+    for directory in (start, *start.parents):
+        candidate = directory / BASELINE_NAME
+        if candidate.exists():
+            return candidate
+    return None

@@ -1,0 +1,152 @@
+"""The reprolint engine: compile once, traverse once, run every rule.
+
+Each module under the lint root is read and parsed exactly one time;
+the engine then makes a single depth-first pass over the AST while
+maintaining the enclosing-scope stack, offering every node to each
+applicable rule (mirroring the scan kernel's one-pass philosophy: the
+per-module cost is one parse + one walk regardless of how many rule
+families ship).  Rules emit findings through a callback; the engine
+stamps the location/symbol and applies pragma suppression before
+anything reaches the report.
+"""
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.findings import Finding, LintReport, known_rule
+from repro.lint.symbols import (
+    FUNCTION_NODES,
+    ModuleInfo,
+    build_module_info,
+)
+
+#: directories never linted (caches, build trees).
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", "build"})
+
+
+class Emitter:
+    """The finding callback handed to rules for one module."""
+
+    def __init__(self, module: ModuleInfo, report: LintReport) -> None:
+        self._module = module
+        self._report = report
+        self._stack: List[str] = []
+
+    def push(self, name: str) -> None:
+        """Enter a function/class scope named ``name``."""
+        self._stack.append(name)
+
+    def pop(self) -> None:
+        """Leave the innermost scope."""
+        self._stack.pop()
+
+    @property
+    def symbol(self) -> str:
+        return ".".join(self._stack)
+
+    def emit(self, rule_id: str, node: ast.AST, message: str,
+             symbol: Optional[str] = None) -> None:
+        """Record one finding (or its suppression) at ``node``."""
+        if known_rule(rule_id) is None:
+            raise ValueError(f"unregistered rule id {rule_id}")
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        finding = Finding(
+            rule_id=rule_id, path=self._module.relpath, line=line,
+            col=col, message=message,
+            symbol=symbol if symbol is not None else self.symbol)
+        if self._module.pragmas.disabled(line, rule_id):
+            self._report.suppressed.append(finding)
+        else:
+            self._report.findings.append(finding)
+
+
+class Rule:
+    """Base class: override ``applies``/``visit``/``finish``.
+
+    ``visit`` is called once per AST node during the engine's single
+    traversal; ``finish`` once per module afterwards, for rules that
+    need whole-module context (e.g. tracing a submitted callable back
+    through call sites).
+    """
+
+    def applies(self, module: ModuleInfo) -> bool:
+        """Whether this rule runs on ``module`` at all."""
+        return True
+
+    def visit(self, node: ast.AST, module: ModuleInfo,
+              emitter: Emitter) -> None:
+        """Offered every AST node during the single traversal."""
+
+    def finish(self, module: ModuleInfo, emitter: Emitter) -> None:
+        """Called once per module after the traversal completes."""
+
+
+class LintEngine:
+    """Runs a rule set over every Python module under a root."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        if rules is None:
+            from repro.lint.rules import default_rules
+            rules = default_rules()
+        self.rules = list(rules)
+
+    # -- module discovery --------------------------------------------------
+
+    @staticmethod
+    def discover(root: Path) -> List[Path]:
+        """Every lintable ``.py`` file under ``root``, sorted."""
+        root = Path(root)
+        if root.is_file():
+            return [root]
+        return sorted(
+            p for p in root.rglob("*.py")
+            if not _SKIP_DIRS.intersection(p.relative_to(root).parts))
+
+    # -- the pass ----------------------------------------------------------
+
+    def run(self, root: Path,
+            paths: Optional[Iterable[Path]] = None) -> LintReport:
+        """Lint ``paths`` (default: all modules) relative to ``root``."""
+        root = Path(root).resolve()
+        base = root.parent if root.is_file() else root
+        report = LintReport()
+        for path in (paths if paths is not None else self.discover(root)):
+            path = Path(path).resolve()
+            try:
+                module = build_module_info(path, base)
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                report.parse_errors.append(f"{path}: {exc}")
+                continue
+            self._run_module(module, report)
+            report.modules_scanned += 1
+        report.findings.sort(key=Finding.sort_key)
+        return report
+
+    def _run_module(self, module: ModuleInfo,
+                    report: LintReport) -> None:
+        active = [rule for rule in self.rules if rule.applies(module)]
+        if not active:
+            return
+        emitter = Emitter(module, report)
+        self._walk(module.tree, module, emitter, active)
+        for rule in active:
+            rule.finish(module, emitter)
+
+    def _walk(self, node: ast.AST, module: ModuleInfo,
+              emitter: Emitter, rules: List[Rule]) -> None:
+        scoped = isinstance(node, FUNCTION_NODES + (ast.ClassDef,))
+        if scoped:
+            emitter.push(node.name)
+        for rule in rules:
+            rule.visit(node, module, emitter)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, module, emitter, rules)
+        if scoped:
+            emitter.pop()
+
+
+def lint_tree(root, rules: Optional[Sequence[Rule]] = None) -> LintReport:
+    """Convenience one-shot: lint every module under ``root``."""
+    return LintEngine(rules).run(Path(root))

@@ -1,0 +1,66 @@
+"""``# reprolint: disable=RULE`` pragma parsing.
+
+Two forms, both comma-separable and accepting ``all``:
+
+* ``# reprolint: disable=DET001`` — silences matching findings **on
+  that physical line** (put it on the offending statement);
+* ``# reprolint: disable-file=DET001`` — silences matching findings in
+  the whole module (put it anywhere, conventionally near the top).
+
+Pragmas are read with :mod:`tokenize` so strings that merely *contain*
+the pragma text never suppress anything.
+"""
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+)")
+
+
+@dataclass
+class PragmaIndex:
+    """Per-module pragma state: line-scoped and file-scoped disables."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+
+    def disabled(self, line: int, rule_id: str) -> bool:
+        """Whether ``rule_id`` is silenced for a finding on ``line``."""
+        for pool in (self.file_wide, self.by_line.get(line, ())):
+            if "all" in pool or rule_id in pool:
+                return True
+        return False
+
+
+def _parse_rules(text: str) -> FrozenSet[str]:
+    return frozenset(
+        part.strip().lower() if part.strip().lower() == "all"
+        else part.strip().upper()
+        for part in text.split(",") if part.strip())
+
+
+def collect_pragmas(source: str) -> PragmaIndex:
+    """All reprolint pragmas in ``source``, indexed by line."""
+    index = PragmaIndex()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if match is None:
+                continue
+            rules = _parse_rules(match.group("rules"))
+            if match.group("scope") == "disable-file":
+                index.file_wide.update(rules)
+            else:
+                index.by_line.setdefault(
+                    token.start[0], set()).update(rules)
+    except tokenize.TokenError:
+        pass  # a torn module still lints; the parse error is reported
+    return index

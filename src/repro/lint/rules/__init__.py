@@ -1,0 +1,38 @@
+"""The shipped reprolint rule families.
+
+Importing this package registers every rule ID in
+:data:`repro.lint.findings.RULE_REGISTRY`; :func:`default_rules`
+instantiates the full set the CLI and the pytest gate run.
+"""
+
+from typing import List
+
+from repro.lint.engine import Rule
+from repro.lint.rules.cache_keys import CacheKeyRule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.durability import DurabilityRule
+from repro.lint.rules.exception_hygiene import ExceptionHygieneRule
+from repro.lint.rules.parallel_safety import ParallelSafetyRule
+from repro.lint.rules.taint import TaintSeparationRule
+
+__all__ = [
+    "CacheKeyRule",
+    "DeterminismRule",
+    "DurabilityRule",
+    "ExceptionHygieneRule",
+    "ParallelSafetyRule",
+    "TaintSeparationRule",
+    "default_rules",
+]
+
+
+def default_rules() -> List[Rule]:
+    """One instance of every shipped rule family."""
+    return [
+        TaintSeparationRule(),
+        DeterminismRule(),
+        ParallelSafetyRule(),
+        DurabilityRule(),
+        CacheKeyRule(),
+        ExceptionHygieneRule(),
+    ]

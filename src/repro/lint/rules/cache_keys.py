@@ -1,0 +1,89 @@
+"""CKEY — a memo's key must cover everything the computation reads.
+
+The :mod:`repro.perf.cache` memos are content-keyed: a cache entry is
+only sound if the key expression captures *every* input the computed
+value depends on.  A parameter the compute callable reads but the key
+omits means two calls with different behaviour share one cache slot —
+the classic stale-memo bug, invisible until a second configuration
+runs in the same process.
+
+Applicability: any module calling ``<cache>.get_or_compute(key, fn)``.
+For each call site, the rule resolves the parameters of the enclosing
+function that the compute callable's body transitively reads (through
+local single assignments: ``key = bytes(raw)`` makes ``key`` read
+``raw``) and checks each appears — transitively again — in the key
+expression.
+
+* **CKEY001** — a parameter read by the memoised computation is absent
+  from the cache key.
+"""
+
+import ast
+from typing import Optional, Set
+
+from repro.lint.engine import Emitter, Rule
+from repro.lint.findings import register_rule
+from repro.lint.symbols import (
+    FUNCTION_NODES,
+    ModuleInfo,
+    expand_names,
+    local_assignments,
+    name_loads,
+    parameter_names,
+    walk_scope,
+)
+
+CKEY001 = register_rule(
+    "CKEY001", "cache-keys",
+    "memoised computation reads a parameter missing from its cache key")
+
+
+class CacheKeyRule(Rule):
+    """CKEY001 at every ``get_or_compute`` call site."""
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return "get_or_compute" in module.source
+
+    def visit(self, node: ast.AST, module: ModuleInfo,
+              emitter: Emitter) -> None:
+        if not isinstance(node, FUNCTION_NODES):
+            return
+        assigns = local_assignments(node)
+        params = parameter_names(node)
+        if not params:
+            return
+        for sub in walk_scope(node):
+            if isinstance(sub, ast.Call) and \
+                    isinstance(sub.func, ast.Attribute) and \
+                    sub.func.attr == "get_or_compute" and \
+                    len(sub.args) >= 2:
+                self._check_site(sub, node, params, assigns, emitter)
+
+    def _check_site(self, call: ast.Call, func, params: Set[str],
+                    assigns, emitter: Emitter) -> None:
+        key_expr, fn_expr = call.args[0], call.args[1]
+        compute_body = self._compute_body(fn_expr, func)
+        if compute_body is None:
+            return  # opaque callable: nothing to compare against
+        key_reads = expand_names(name_loads(key_expr), assigns) & params
+        compute_reads = expand_names(name_loads(compute_body),
+                                     assigns) & params
+        for missing in sorted(compute_reads - key_reads):
+            emitter.emit(
+                CKEY001.rule_id, call,
+                f"parameter '{missing}' is read by the memoised "
+                "computation but absent from the cache key — entries "
+                "would be reused across different "
+                f"'{missing}' values")
+
+    @staticmethod
+    def _compute_body(fn_expr: ast.expr, func) -> Optional[ast.AST]:
+        """The AST whose reads define the computation, if resolvable."""
+        if isinstance(fn_expr, ast.Lambda):
+            return fn_expr.body
+        if isinstance(fn_expr, ast.Name):
+            for node in walk_scope(func):
+                if isinstance(node, FUNCTION_NODES) and \
+                        node.name == fn_expr.id:
+                    return node
+        return None

@@ -1,0 +1,219 @@
+"""DET — measurement code must be a pure function of (corpus, seed).
+
+The batch/streamed equivalence guarantee (``ingest --verify``, the
+hypothesis equivalence suite) only holds if nothing in the measurement
+path reads wall clocks or ambient entropy, and nothing lets hash-order
+leak into ordered output.  Scope: modules under ``core/``, ``ingest/``
+and ``reporting/`` — simulation time lives in
+:mod:`repro.common.simtime`, seeded randomness in
+:mod:`repro.common.rng`.
+
+* **DET001** — wall-clock / entropy call: ``time.time()``,
+  ``datetime.now()`` / ``utcnow()`` / ``today()``, module-level
+  ``random.*``, ``os.urandom``, ``uuid.uuid4``, ``secrets.*``.
+* **DET002** — iteration over a ``set`` (or ``dict.values()``) whose
+  elements feed an ordered output path (a returned/yielded list) with
+  no ``sorted(...)`` in between.
+"""
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.lint.engine import Emitter, Rule
+from repro.lint.findings import register_rule
+from repro.lint.symbols import (
+    FUNCTION_NODES,
+    ModuleInfo,
+    dotted_name,
+    local_assignments,
+    walk_scope,
+)
+
+DET001 = register_rule(
+    "DET001", "determinism",
+    "wall-clock or ambient-entropy call in measurement code")
+DET002 = register_rule(
+    "DET002", "determinism",
+    "unordered iteration feeds an ordered output path")
+
+#: the directories the determinism contract covers.
+SCOPE_DIRS = frozenset({"core", "ingest", "reporting"})
+
+#: dotted call chains that are banned outright.
+_BANNED_CALLS = {
+    "time.time": "use repro.common.simtime dates instead",
+    "time.time_ns": "use repro.common.simtime dates instead",
+    "os.urandom": "use repro.common.rng.SeededRng",
+    "uuid.uuid4": "use repro.common.rng.SeededRng",
+}
+
+#: unseeded module-level random functions (random.<fn>).
+_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "getrandbits", "triangular",
+})
+
+#: datetime methods that read the wall clock.
+_CLOCK_METHODS = frozenset({"now", "utcnow", "today"})
+
+#: wrapping one of these erases iteration order — the sink is safe.
+_ORDER_ERASERS = frozenset({
+    "sorted", "set", "frozenset", "sum", "min", "max", "any", "all",
+    "len", "dict", "Counter", "collections.Counter",
+})
+
+
+def _is_unordered_iterable(expr: ast.expr,
+                           assigns: Dict[str, List[ast.expr]],
+                           depth: int = 4) -> Optional[str]:
+    """Why ``expr`` iterates in hash/arbitrary order, or None.
+
+    Recognises set displays/comprehensions, ``set()``/``frozenset()``
+    calls, ``.values()`` calls, and local names whose every assignment
+    is one of those (resolved through the function's assignment map).
+    """
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(expr, ast.Call):
+        callee = dotted_name(expr.func)
+        if callee in ("set", "frozenset"):
+            return f"a {callee}()"
+        if isinstance(expr.func, ast.Attribute) and \
+                expr.func.attr == "values":
+            return "dict.values()"
+        if isinstance(expr.func, ast.Attribute) and expr.func.attr in (
+                "intersection", "union", "difference",
+                "symmetric_difference"):
+            return f"a set .{expr.func.attr}()"
+    if isinstance(expr, ast.Name) and depth > 0:
+        sources = assigns.get(expr.id)
+        if sources:
+            reasons = [_is_unordered_iterable(s, assigns, depth - 1)
+                       for s in sources]
+            if reasons and all(reasons):
+                return reasons[0]
+    return None
+
+
+class DeterminismRule(Rule):
+    """DET001 everywhere in scope; DET002 per function."""
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.in_directory(SCOPE_DIRS)
+
+    # -- DET001 ------------------------------------------------------------
+
+    def visit(self, node: ast.AST, module: ModuleInfo,
+              emitter: Emitter) -> None:
+        if isinstance(node, ast.Call):
+            self._check_call(node, module, emitter)
+        elif isinstance(node, FUNCTION_NODES):
+            self._check_ordering(node, emitter)
+
+    def _check_call(self, node: ast.Call, module: ModuleInfo,
+                    emitter: Emitter) -> None:
+        callee = dotted_name(node.func)
+        if callee is None:
+            return
+        hint = _BANNED_CALLS.get(callee)
+        if hint is not None:
+            emitter.emit(DET001.rule_id, node,
+                         f"'{callee}()' is nondeterministic — {hint}")
+            return
+        head, _, tail = callee.rpartition(".")
+        if head == "random" and tail in _RANDOM_FUNCS and \
+                module.origin_of("random") == "random":
+            emitter.emit(
+                DET001.rule_id, node,
+                f"unseeded 'random.{tail}()' — route randomness "
+                "through repro.common.rng.SeededRng")
+            return
+        if head == "secrets" and module.origin_of("secrets") == "secrets":
+            emitter.emit(
+                DET001.rule_id, node,
+                f"'{callee}()' reads ambient entropy — use "
+                "repro.common.rng.SeededRng")
+            return
+        if tail in _CLOCK_METHODS and self._is_datetime_chain(
+                head, module):
+            emitter.emit(
+                DET001.rule_id, node,
+                f"'{callee}()' reads the wall clock — pass explicit "
+                "repro.common.simtime dates instead")
+
+    @staticmethod
+    def _is_datetime_chain(head: str, module: ModuleInfo) -> bool:
+        if not head:
+            return False
+        root = head.split(".")[0]
+        origin = module.origin_of(root)
+        return origin is not None and (
+            origin == "datetime" or origin.startswith("datetime."))
+
+    # -- DET002 ------------------------------------------------------------
+
+    def _check_ordering(self, func: ast.AST, emitter: Emitter) -> None:
+        assigns = local_assignments(func)
+        returned = self._returned_names(func)
+        is_generator = any(
+            isinstance(n, (ast.Yield, ast.YieldFrom))
+            for n in walk_scope(func))
+        for node in walk_scope(func):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                self._check_for(node, assigns, returned, is_generator,
+                                emitter)
+            elif isinstance(node, ast.ListComp):
+                self._check_comprehension(node, func, assigns, emitter)
+
+    def _check_for(self, loop: ast.AST, assigns, returned: Set[str],
+                   is_generator: bool, emitter: Emitter) -> None:
+        reason = _is_unordered_iterable(loop.iter, assigns)
+        if reason is None:
+            return
+        feeds_output = is_generator and any(
+            isinstance(n, (ast.Yield, ast.YieldFrom))
+            for n in ast.walk(loop))
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in ("append", "extend", "insert") and \
+                    isinstance(node.func.value, ast.Name) and \
+                    node.func.value.id in returned:
+                feeds_output = True
+        if feeds_output:
+            emitter.emit(
+                DET002.rule_id, loop,
+                f"iterating {reason} in unordered fashion feeds an "
+                "ordered output — wrap the iterable in sorted(...)")
+
+    def _check_comprehension(self, comp: ast.ListComp, func,
+                             assigns, emitter: Emitter) -> None:
+        reason = _is_unordered_iterable(comp.generators[0].iter, assigns)
+        if reason is None:
+            return
+        if self._wrapped_in_order_eraser(comp, func):
+            return
+        emitter.emit(
+            DET002.rule_id, comp,
+            f"list built from {reason} inherits hash order — wrap the "
+            "iterable in sorted(...) or build an unordered container")
+
+    @staticmethod
+    def _wrapped_in_order_eraser(comp: ast.ListComp, func) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and comp in node.args:
+                callee = dotted_name(node.func)
+                if callee in _ORDER_ERASERS:
+                    return True
+        return False
+
+    @staticmethod
+    def _returned_names(func) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        return names

@@ -1,0 +1,118 @@
+"""DUR — checkpoint writes must follow the crash-safe discipline.
+
+:class:`repro.ingest.checkpoint.CheckpointStore` promises that *every*
+crash point is safe; that only holds if every write under the
+checkpoint directory keeps the write → flush → fsync → atomic-rename
+ordering.  A direct ``open(target, "w")`` tears the previous state the
+moment it truncates; a rename of un-fsync'd bytes can surface an empty
+file after power loss.
+
+Applicability: modules under an ``ingest/`` directory (the durable
+subsystem).  Append-mode opens are exempt from DUR001 — the journal is
+an append-only WAL whose sync point is the commit marker.
+
+* **DUR001** — a truncating (``"w"``/``"wb"``) open, ``write_text`` or
+  ``write_bytes`` in a function with no ``os.replace``/``os.rename``:
+  the write lands on the final path non-atomically.
+* **DUR002** — a function renames a file it wrote without both
+  flushing and fsyncing it first.
+"""
+
+import ast
+from typing import List, Optional
+
+from repro.lint.engine import Emitter, Rule
+from repro.lint.findings import register_rule
+from repro.lint.symbols import (
+    FUNCTION_NODES,
+    ModuleInfo,
+    dotted_name,
+    walk_scope,
+)
+
+DUR001 = register_rule(
+    "DUR001", "durability",
+    "non-atomic write in a durable path")
+DUR002 = register_rule(
+    "DUR002", "durability",
+    "atomic rename of un-fsynced data")
+
+SCOPE_DIRS = frozenset({"ingest"})
+
+_RENAME_CALLS = frozenset({"os.replace", "os.rename"})
+_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+
+def _open_write_mode(call: ast.Call) -> Optional[str]:
+    """The truncating mode of an ``open``/``.open`` call, or None."""
+    callee = dotted_name(call.func)
+    is_method = (isinstance(call.func, ast.Attribute)
+                 and call.func.attr == "open")
+    if callee != "open" and not is_method:
+        return None
+    # builtin open(path, mode) vs Path.open(mode): position differs
+    mode_index = 0 if is_method else 1
+    mode_expr: Optional[ast.expr] = None
+    if len(call.args) > mode_index:
+        mode_expr = call.args[mode_index]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode_expr = keyword.value
+    if isinstance(mode_expr, ast.Constant) and \
+            isinstance(mode_expr.value, str) and "w" in mode_expr.value:
+        return mode_expr.value
+    return None
+
+
+class DurabilityRule(Rule):
+    """DUR001/DUR002, analysed one function at a time."""
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.in_directory(SCOPE_DIRS)
+
+    def visit(self, node: ast.AST, module: ModuleInfo,
+              emitter: Emitter) -> None:
+        if isinstance(node, FUNCTION_NODES):
+            self._check_function(node, emitter)
+
+    def _check_function(self, func, emitter: Emitter) -> None:
+        writes: List[ast.Call] = []
+        renames: List[ast.Call] = []
+        has_flush = has_fsync = False
+        for node in walk_scope(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if _open_write_mode(node) is not None:
+                writes.append(node)
+            elif isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in _WRITE_METHODS:
+                writes.append(node)
+            elif callee in _RENAME_CALLS:
+                renames.append(node)
+            elif isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "flush":
+                has_flush = True
+            elif callee == "os.fsync" or (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "fsync"):
+                has_fsync = True
+        if writes and not renames:
+            for write in writes:
+                emitter.emit(
+                    DUR001.rule_id, write,
+                    "truncating write without an atomic rename — write "
+                    "to a temp file, flush, fsync, then os.replace() "
+                    "(see CheckpointStore.write_snapshot)")
+        if writes and renames and not (has_flush and has_fsync):
+            missing = []
+            if not has_flush:
+                missing.append("flush()")
+            if not has_fsync:
+                missing.append("os.fsync()")
+            for rename in renames:
+                emitter.emit(
+                    DUR002.rule_id, rename,
+                    "rename of data never "
+                    f"{' / '.join(missing)}-ed — a crash can surface "
+                    "an empty or torn file despite the atomic rename")

@@ -1,0 +1,58 @@
+"""EXC — pipeline stages may not swallow failures blindly.
+
+A measurement that silently drops a sample on an unexpected exception
+skews every downstream table without a trace.  Stages must catch the
+*specific* failure they can handle (``BinaryFormatError``, torn-tail
+``JSONDecodeError`` ...) and let everything else propagate.
+
+Applicability: every module under the lint root.
+
+* **EXC001** — a bare ``except:`` clause.
+* **EXC002** — ``except Exception`` / ``BaseException`` whose entire
+  body is ``pass`` (or ``...``): the catch-all that erases failures.
+"""
+
+import ast
+
+from repro.lint.engine import Emitter, Rule
+from repro.lint.findings import register_rule
+from repro.lint.symbols import ModuleInfo
+
+EXC001 = register_rule(
+    "EXC001", "exception-hygiene", "bare except clause")
+EXC002 = register_rule(
+    "EXC002", "exception-hygiene",
+    "catch-all exception handler silently passes")
+
+_CATCH_ALL = frozenset({"Exception", "BaseException"})
+
+
+def _is_noop_body(body) -> bool:
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis)
+        for stmt in body)
+
+
+class ExceptionHygieneRule(Rule):
+    """EXC001/EXC002 on every except handler."""
+
+    def visit(self, node: ast.AST, module: ModuleInfo,
+              emitter: Emitter) -> None:
+        if not isinstance(node, ast.ExceptHandler):
+            return
+        if node.type is None:
+            emitter.emit(
+                EXC001.rule_id, node,
+                "bare 'except:' swallows SystemExit/KeyboardInterrupt "
+                "too — name the exception the stage can actually "
+                "handle")
+            return
+        if isinstance(node.type, ast.Name) and \
+                node.type.id in _CATCH_ALL and _is_noop_body(node.body):
+            emitter.emit(
+                EXC002.rule_id, node,
+                f"'except {node.type.id}: pass' erases failures — "
+                "handle the specific error or let it propagate")

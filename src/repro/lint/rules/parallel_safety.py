@@ -1,0 +1,229 @@
+"""PAR — everything crossing a process-pool boundary must be safe.
+
+``ProcessPoolExecutor`` pickles the submitted callable by qualified
+name and runs it in a forked worker: lambdas and nested closures fail
+(or worse, capture state that silently diverges), and a task that
+mutates module globals mutates the *worker's* copy — the parent never
+sees it, which is exactly the silent-divergence bug class the
+serial-vs-parallel equivalence suite exists to catch.
+
+Applicability: modules importing :mod:`concurrent.futures`.
+
+* **PAR001** — the callable submitted to an executor (or passed as
+  ``initializer=``) is not a module-level function: lambda, nested
+  def, bound method, or unresolvable expression.
+* **PAR002** — a submitted task function declares ``global`` or stores
+  into a module-level name (workers would each mutate their own copy).
+  The pool ``initializer`` is exempt: priming per-process state is its
+  job.
+
+The one-level indirection the real engine uses
+(``self._map_chunks(_stage1_chunk, ...)`` forwarding to
+``pool.submit(fn, ...)``) is traced through the intra-module call
+graph: when the submitted expression is a parameter of the enclosing
+function, every call site's argument at that position is resolved and
+checked instead.
+"""
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.engine import Emitter, Rule
+from repro.lint.findings import register_rule
+from repro.lint.symbols import (
+    FUNCTION_NODES,
+    ModuleInfo,
+    dotted_name,
+    parameter_names,
+    walk_scope,
+)
+
+PAR001 = register_rule(
+    "PAR001", "parallel-safety",
+    "callable crossing the process-pool boundary is not a "
+    "module-level function")
+PAR002 = register_rule(
+    "PAR002", "parallel-safety",
+    "submitted task mutates module globals")
+
+_EXECUTOR_MODULES = frozenset({"concurrent.futures"})
+
+
+class ParallelSafetyRule(Rule):
+    """PAR001/PAR002; whole-module analysis at ``finish``."""
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.imports_any(_EXECUTOR_MODULES)
+
+    def finish(self, module: ModuleInfo, emitter: Emitter) -> None:
+        functions = self._all_functions(module)
+        task_names: Set[str] = set()
+        for func, qualname in functions:
+            for node in walk_scope(func):
+                if isinstance(node, ast.Call):
+                    self._check_call(node, func, qualname, functions,
+                                     module, emitter, task_names)
+        for name in sorted(task_names):
+            task = module.module_functions.get(name)
+            if task is not None:
+                self._check_task_body(task, module, emitter)
+
+    @staticmethod
+    def _all_functions(module: ModuleInfo) -> List[Tuple[ast.AST, str]]:
+        """Every function in the module with its display qualname."""
+        out: List[Tuple[ast.AST, str]] = []
+        for name, func in module.module_functions.items():
+            out.append((func, name))
+        for cls_name, cls in module.module_classes.items():
+            for node in cls.body:
+                if isinstance(node, FUNCTION_NODES):
+                    out.append((node, f"{cls_name}.{node.name}"))
+        return out
+
+    # -- submission sites --------------------------------------------------
+
+    def _check_call(self, call: ast.Call, func, qualname: str,
+                    functions, module: ModuleInfo, emitter: Emitter,
+                    task_names: Set[str]) -> None:
+        if isinstance(call.func, ast.Attribute) and \
+                call.func.attr == "submit" and call.args:
+            self._check_callable(call.args[0], func, qualname,
+                                 functions, module, emitter, task_names)
+        callee = dotted_name(call.func)
+        if callee is not None and \
+                callee.split(".")[-1] == "ProcessPoolExecutor":
+            for keyword in call.keywords:
+                if keyword.arg == "initializer":
+                    # module-level check only; initializers may set
+                    # per-process globals by design.
+                    self._check_callable(keyword.value, func, qualname,
+                                         functions, module, emitter,
+                                         set())
+
+    def _check_callable(self, expr: ast.expr, func, qualname: str,
+                        functions, module: ModuleInfo,
+                        emitter: Emitter,
+                        task_names: Set[str]) -> None:
+        if isinstance(expr, ast.Lambda):
+            emitter.emit(
+                PAR001.rule_id, expr,
+                "lambda submitted to a process pool — workers cannot "
+                "pickle it; hoist it to a module-level function",
+                symbol=qualname)
+            return
+        if isinstance(expr, ast.Name):
+            name = expr.id
+            if name in module.module_functions:
+                task_names.add(name)
+                return
+            if self._is_nested_def(name, func):
+                emitter.emit(
+                    PAR001.rule_id, expr,
+                    f"nested function '{name}' submitted to a process "
+                    "pool — closures do not survive pickling; hoist it "
+                    "to module level", symbol=qualname)
+                return
+            if name in parameter_names(func, skip_self=False):
+                self._trace_parameter(name, func, qualname, functions,
+                                      module, emitter, task_names)
+                return
+        emitter.emit(
+            PAR001.rule_id, expr,
+            "cannot resolve the submitted callable to a module-level "
+            "function — only picklable top-level functions may cross "
+            "the pool boundary", symbol=qualname)
+
+    @staticmethod
+    def _is_nested_def(name: str, func) -> bool:
+        return any(isinstance(n, FUNCTION_NODES) and n.name == name
+                   for n in walk_scope(func))
+
+    # -- one-level indirection via the intra-module call graph -------------
+
+    def _trace_parameter(self, param: str, func, qualname: str,
+                         functions, module: ModuleInfo,
+                         emitter: Emitter,
+                         task_names: Set[str]) -> None:
+        position = self._param_position(param, func)
+        if position is None:
+            return
+        for caller, caller_qualname in functions:
+            if caller is func:
+                continue
+            for node in walk_scope(caller):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not self._calls_function(node, func):
+                    continue
+                if position >= len(node.args):
+                    continue
+                argument = node.args[position]
+                if isinstance(argument, ast.Name) and \
+                        argument.id in module.module_functions:
+                    task_names.add(argument.id)
+                elif isinstance(argument, (ast.Lambda, ast.Name)):
+                    self._check_callable(argument, caller,
+                                         caller_qualname, functions,
+                                         module, emitter, task_names)
+
+    @staticmethod
+    def _param_position(param: str, func) -> Optional[int]:
+        names = [a.arg for a in func.args.posonlyargs + func.args.args]
+        if names and names[0] in ("self", "cls"):
+            names = names[1:]
+        try:
+            return names.index(param)
+        except ValueError:
+            return None
+
+    @staticmethod
+    def _calls_function(call: ast.Call, func) -> bool:
+        if isinstance(call.func, ast.Name):
+            return call.func.id == func.name
+        if isinstance(call.func, ast.Attribute):
+            return call.func.attr == func.name
+        return False
+
+    # -- task-body hygiene -------------------------------------------------
+
+    def _check_task_body(self, task, module: ModuleInfo,
+                         emitter: Emitter) -> None:
+        for node in walk_scope(task):
+            if isinstance(node, ast.Global):
+                emitter.emit(
+                    PAR002.rule_id, node,
+                    f"task '{task.name}' declares "
+                    f"global {', '.join(node.names)} — worker-side "
+                    "global mutation never reaches the parent process",
+                    symbol=task.name)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                for target in ([node.target]
+                               if isinstance(node, ast.AugAssign)
+                               else node.targets):
+                    self._check_store(target, task, module, emitter)
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in ("append", "update", "add",
+                                       "put", "setdefault", "extend"):
+                base = node.func.value
+                if isinstance(base, ast.Name) and \
+                        base.id in module.module_names and \
+                        base.id not in module.module_functions:
+                    emitter.emit(
+                        PAR002.rule_id, node,
+                        f"task '{task.name}' mutates module-level "
+                        f"'{base.id}' via .{node.func.attr}() — "
+                        "worker-side cache/global writes are lost on "
+                        "the parent", symbol=task.name)
+
+    def _check_store(self, target: ast.expr, task, module: ModuleInfo,
+                     emitter: Emitter) -> None:
+        if isinstance(target, ast.Subscript) and \
+                isinstance(target.value, ast.Name) and \
+                target.value.id in module.module_names and \
+                target.value.id not in module.module_functions:
+            emitter.emit(
+                PAR002.rule_id, target,
+                f"task '{task.name}' stores into module-level "
+                f"'{target.value.id}' — worker-side writes never "
+                "reach the parent process", symbol=task.name)

@@ -1,0 +1,18 @@
+"""CKEY positive fixture: a memo key missing an input the compute reads."""
+
+from repro.perf.cache import LruCache
+
+_CACHE = LruCache("fixture", maxsize=16)
+
+
+def cached_render(data, width):
+    key = bytes(data)
+    # 'width' changes the value but is absent from the key:
+    return _CACHE.get_or_compute(key, lambda: data.render(width))  # CKEY001
+
+
+def cached_score(sample, threshold):
+    def compute():
+        return sample.positives >= threshold  # reads threshold
+    # keyed on the sample alone:
+    return _CACHE.get_or_compute(sample.sha256, compute)  # CKEY001

@@ -1,0 +1,15 @@
+"""CKEY negative fixture: complete keys, including derived ones."""
+
+from repro.perf.cache import LruCache
+
+_CACHE = LruCache("fixture-ok", maxsize=16)
+
+
+def cached_render(data, width):
+    key = (bytes(data), width)
+    return _CACHE.get_or_compute(key, lambda: data.render(width))
+
+
+def cached_digest(raw):
+    key = bytes(raw)  # derived key still covers 'raw'
+    return _CACHE.get_or_compute(key, lambda: hash(key))

@@ -1,0 +1,36 @@
+"""DET positive fixture: every banned nondeterminism shape."""
+
+import datetime
+import os
+import random
+import time
+from datetime import datetime as dt
+
+
+def stamp_run():
+    started = time.time()  # DET001 wall clock
+    today = datetime.datetime.now()  # DET001 datetime.now
+    alias = dt.utcnow()  # DET001 aliased utcnow
+    return started, today, alias
+
+
+def pick_sample(candidates):
+    return random.choice(candidates)  # DET001 unseeded random
+
+
+def session_token():
+    return os.urandom(16)  # DET001 ambient entropy
+
+
+def ordered_wallets(records):
+    wallets = set()
+    for record in records:
+        wallets.update(record.identifiers)
+    out = []
+    for wallet in wallets:  # DET002 set iteration feeds output
+        out.append(wallet)
+    return out
+
+
+def ordered_values(profiles):
+    return [p.total for p in profiles.values()]  # DET002 values comp

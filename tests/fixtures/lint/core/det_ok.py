@@ -1,0 +1,36 @@
+"""DET negative fixture: the sanctioned counterparts."""
+
+import datetime
+
+
+_ANALYSIS_DATE = datetime.date(2018, 9, 1)  # fixed date: fine
+
+
+def stamp_run(simtime_date):
+    return simtime_date  # explicit simulated time: fine
+
+
+def pick_sample(rng, candidates):
+    return rng.choice(candidates)  # seeded SeededRng instance: fine
+
+
+def ordered_wallets(records):
+    wallets = set()
+    for record in records:
+        wallets.update(record.identifiers)
+    out = []
+    for wallet in sorted(wallets):  # sorted first: fine
+        out.append(wallet)
+    return out
+
+
+def wallet_index(records):
+    seen = set()
+    for record in records:
+        for wallet in record.identifiers:
+            seen.add(wallet)  # set sink: order-insensitive, fine
+    return sorted(seen)
+
+
+def total_paid(profiles):
+    return sum(p.total for p in profiles.values())  # order-erasing sink

@@ -1,0 +1,16 @@
+"""EXC positive fixture: silent failure swallowing."""
+
+
+def load_report(path):
+    try:
+        return open(path).read()
+    except:  # EXC001 bare except
+        return None
+
+
+def parse_entry(line, decoder):
+    try:
+        return decoder(line)
+    except Exception:  # EXC002 catch-all pass
+        pass
+    return None

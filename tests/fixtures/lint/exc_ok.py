@@ -1,0 +1,17 @@
+"""EXC negative fixture: specific, handled failures."""
+
+import json
+
+
+def parse_entry(line):
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError:
+        return None  # torn tail: the one failure this stage owns
+
+
+def guarded(fn, fallback):
+    try:
+        return fn()
+    except Exception as exc:
+        return fallback(exc)  # catch-all that *handles* is fine

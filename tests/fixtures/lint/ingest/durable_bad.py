@@ -1,0 +1,15 @@
+"""DUR positive fixture: checkpoint writes that tear on a crash."""
+
+import json
+import os
+
+
+def overwrite_snapshot(path, state):
+    with open(path, "w", encoding="utf-8") as fh:  # DUR001 in-place
+        json.dump(state, fh)
+
+
+def rename_without_sync(path, tmp, state):
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(state, fh)
+    os.replace(tmp, path)  # DUR002 renamed bytes never fsynced

@@ -1,0 +1,21 @@
+"""DUR negative fixture: the CheckpointStore write discipline."""
+
+import json
+import os
+
+
+def write_snapshot(path, tmp, state):
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(state, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def append_journal(journal_fh, entry):
+    journal_fh.write(json.dumps(entry) + "\n")  # WAL append: exempt
+
+
+def read_snapshot(path):
+    with open(path, encoding="utf-8") as fh:  # read mode: exempt
+        return json.load(fh)

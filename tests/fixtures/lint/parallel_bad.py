@@ -1,0 +1,36 @@
+"""PAR positive fixture: unpicklable and global-mutating submissions."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS = {}
+_SEEN = []
+
+
+def _tally_chunk(items):
+    for item in items:
+        _RESULTS[item.key] = item.value  # PAR002 module-global store
+        _SEEN.append(item.key)  # PAR002 module-global mutation
+    return len(items)
+
+
+def run_direct(pool, items):
+    return pool.submit(lambda: len(items))  # PAR001 lambda
+
+
+def run_nested(pool, items):
+    def chunk(part):
+        return len(part)
+    return pool.submit(chunk, items)  # PAR001 nested closure
+
+
+def run_tally(items):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return pool.submit(_tally_chunk, items).result()
+
+
+class Engine:
+    def _map(self, fn, chunks):
+        return [self._pool().submit(fn, chunk) for chunk in chunks]
+
+    def run(self, chunks):
+        return self._map(_tally_chunk, chunks)

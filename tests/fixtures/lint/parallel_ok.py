@@ -1,0 +1,31 @@
+"""PAR negative fixture: the sanctioned worker-pool shape."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_WORKER_STATE = None
+
+
+def _init_worker(state):
+    global _WORKER_STATE  # initializers may prime per-process state
+    _WORKER_STATE = state
+
+
+def _sum_chunk(items):
+    state = _WORKER_STATE  # read-only global access is fine
+    out = []
+    for item in items:
+        out.append(item + state.offset)  # local mutation only
+    return out
+
+
+class Engine:
+    def _pool(self):
+        return ProcessPoolExecutor(max_workers=2,
+                                   initializer=_init_worker,
+                                   initargs=(None,))
+
+    def _map(self, fn, chunks):
+        return [self._pool().submit(fn, chunk) for chunk in chunks]
+
+    def run(self, chunks):
+        return self._map(_sum_chunk, chunks)

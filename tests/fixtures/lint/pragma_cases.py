@@ -1,0 +1,25 @@
+"""Pragma fixture: suppressed, file-wide-suppressed, and live findings."""
+
+# reprolint: disable-file=EXC002
+
+
+def suppressed_line(path):
+    try:
+        return open(path).read()
+    except:  # reprolint: disable=EXC001
+        return None
+
+
+def suppressed_by_file(line, decoder):
+    try:
+        return decoder(line)
+    except Exception:  # silenced by the disable-file pragma above
+        pass
+    return None
+
+
+def still_caught(path):
+    try:
+        return open(path).read()
+    except:  # EXC001 — no pragma here, must still fire
+        return None

@@ -1,0 +1,12 @@
+"""TAINT positive fixture: enrichment leaking into edge construction."""
+
+from repro.core.enrichment import CampaignEnricher  # TAINT001
+
+
+def record_attachments(record, policy, osint, proxy_ips):
+    out = [(("id", w), "same_identifier") for w in record.identifiers]
+    for botnet in record.ppi_botnets:  # TAINT002 enrichment attribute
+        out.append((("botnet", botnet), "ppi"))
+    if record.packer:  # TAINT002 packer as a grouping signal
+        out.append((("packer", record.packer), "packer"))  # TAINT002
+    return out

@@ -1,0 +1,13 @@
+"""TAINT negative fixture: a grouping module that stays clean —
+no enrichment imports, edges drawn only from the six paper features."""
+
+
+def record_attachments(record, policy, osint, proxy_ips):
+    out = []
+    for wallet in record.identifiers:
+        if osint.is_donation_wallet(wallet):
+            continue
+        out.append((("id", wallet), "same_identifier"))
+    for parent in record.parents:
+        out.append((("sample", parent), "ancestor"))
+    return out

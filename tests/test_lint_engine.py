@@ -1,0 +1,235 @@
+"""reprolint engine tests: per-rule fixtures, pragmas, baselines.
+
+Each rule family has a positive fixture (every expected rule ID at an
+expected line, located by marker comments so line drift cannot rot the
+assertions) and a negative fixture that must stay silent.  On top:
+pragma suppression, baseline add/expire arithmetic, and the self-check
+that HEAD lints clean.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    LintEngine,
+    RULE_REGISTRY,
+    lint_source_tree,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+
+def lint_fixture(*names):
+    """Findings for the named fixture files (paths kept fixture-relative)."""
+    paths = [FIXTURES / name for name in names]
+    return LintEngine().run(FIXTURES, paths=paths)
+
+
+def marked_lines(name, marker):
+    """1-based lines of ``name`` whose text mentions ``marker``."""
+    text = (FIXTURES / name).read_text().splitlines()
+    return [i for i, line in enumerate(text, start=1)
+            if marker in line and "marked_lines" not in line]
+
+
+def found(report, rule_id):
+    return [(f.path, f.line) for f in report.findings
+            if f.rule_id == rule_id]
+
+
+# -- rule families ----------------------------------------------------------
+
+
+class TestTaintRules:
+    def test_positive(self):
+        report = lint_fixture("taint_bad.py")
+        assert found(report, "TAINT001") == [
+            ("taint_bad.py", line)
+            for line in marked_lines("taint_bad.py", "TAINT001")]
+        flagged = {line for _, line in found(report, "TAINT002")}
+        assert flagged == set(marked_lines("taint_bad.py", "TAINT002"))
+
+    def test_negative(self):
+        assert lint_fixture("taint_ok.py").findings == []
+
+    def test_non_grouping_module_out_of_scope(self, tmp_path):
+        # the same tainted read outside a grouping module is fine
+        module = tmp_path / "enricher.py"
+        module.write_text(
+            "def tag(campaign):\n"
+            "    return campaign.ppi_botnets\n")
+        assert LintEngine().run(tmp_path).findings == []
+
+
+class TestDeterminismRules:
+    def test_positive(self):
+        report = lint_fixture("core/det_bad.py")
+        det1 = {line for _, line in found(report, "DET001")}
+        assert det1 == set(marked_lines("core/det_bad.py", "DET001"))
+        det2 = {line for _, line in found(report, "DET002")}
+        assert det2 == set(marked_lines("core/det_bad.py", "DET002"))
+
+    def test_negative(self):
+        assert lint_fixture("core/det_ok.py").findings == []
+
+    def test_out_of_scope_directory(self, tmp_path):
+        # the determinism contract covers core/ingest/reporting only
+        module = tmp_path / "benchmarks" / "timer.py"
+        module.parent.mkdir()
+        module.write_text("import time\n\n"
+                          "def now():\n    return time.time()\n")
+        assert LintEngine().run(tmp_path).findings == []
+
+
+class TestParallelSafetyRules:
+    def test_positive(self):
+        report = lint_fixture("parallel_bad.py")
+        par1 = {line for _, line in found(report, "PAR001")}
+        assert par1 == set(marked_lines("parallel_bad.py", "PAR001"))
+        par2 = {line for _, line in found(report, "PAR002")}
+        assert par2 == set(marked_lines("parallel_bad.py", "PAR002"))
+
+    def test_indirect_submission_traced(self):
+        # Engine.run -> _map(fn=_tally_chunk) -> pool.submit(fn): the
+        # global-mutating task is caught through the indirection.
+        report = lint_fixture("parallel_bad.py")
+        assert any(f.symbol == "_tally_chunk"
+                   for f in report.findings if f.rule_id == "PAR002")
+
+    def test_negative(self):
+        assert lint_fixture("parallel_ok.py").findings == []
+
+
+class TestDurabilityRules:
+    def test_positive(self):
+        report = lint_fixture("ingest/durable_bad.py")
+        assert {line for _, line in found(report, "DUR001")} == \
+            set(marked_lines("ingest/durable_bad.py", "DUR001"))
+        assert {line for _, line in found(report, "DUR002")} == \
+            set(marked_lines("ingest/durable_bad.py", "DUR002"))
+
+    def test_negative(self):
+        assert lint_fixture("ingest/durable_ok.py").findings == []
+
+    def test_out_of_scope_directory(self, tmp_path):
+        module = tmp_path / "reports" / "writer.py"
+        module.parent.mkdir()
+        module.write_text("def dump(path, text):\n"
+                          "    open(path, 'w').write(text)\n")
+        assert LintEngine().run(tmp_path).findings == []
+
+
+class TestCacheKeyRules:
+    def test_positive(self):
+        report = lint_fixture("cache_bad.py")
+        assert {line for _, line in found(report, "CKEY001")} == \
+            set(marked_lines("cache_bad.py", "CKEY001"))
+
+    def test_negative_including_derived_keys(self):
+        assert lint_fixture("cache_ok.py").findings == []
+
+
+class TestExceptionRules:
+    def test_positive(self):
+        report = lint_fixture("exc_bad.py")
+        assert {line for _, line in found(report, "EXC001")} == \
+            set(marked_lines("exc_bad.py", "EXC001"))
+        assert {line for _, line in found(report, "EXC002")} == \
+            set(marked_lines("exc_bad.py", "EXC002"))
+
+    def test_negative(self):
+        assert lint_fixture("exc_ok.py").findings == []
+
+
+# -- pragmas ----------------------------------------------------------------
+
+
+class TestPragmas:
+    def test_line_and_file_pragmas_suppress(self):
+        report = lint_fixture("pragma_cases.py")
+        suppressed = {(f.rule_id, f.line) for f in report.suppressed}
+        (pragma_line,) = marked_lines("pragma_cases.py",
+                                      "disable=EXC001")
+        assert ("EXC001", pragma_line) in suppressed
+        assert any(rule == "EXC002" for rule, _ in suppressed)
+
+    def test_unpragmad_finding_survives(self):
+        report = lint_fixture("pragma_cases.py")
+        assert found(report, "EXC001") == [
+            ("pragma_cases.py", line)
+            for line in marked_lines("pragma_cases.py",
+                                     "EXC001 — no pragma")]
+
+    def test_pragma_in_string_does_not_suppress(self, tmp_path):
+        module = tmp_path / "strings.py"
+        module.write_text(
+            'NOTE = "# reprolint: disable-file=all"\n\n'
+            "def load(path):\n"
+            "    try:\n"
+            "        return open(path).read()\n"
+            "    except:\n"
+            "        return None\n")
+        report = LintEngine().run(tmp_path)
+        assert [f.rule_id for f in report.findings] == ["EXC001"]
+
+
+# -- baseline ---------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_accepts_exactly_current_findings(self):
+        report = lint_fixture("exc_bad.py")
+        baseline = Baseline.from_report(report)
+        assert baseline.regressions(report) == []
+        assert baseline.expired(report) == []
+
+    def test_new_finding_is_a_regression(self):
+        baseline = Baseline.from_report(lint_fixture("exc_bad.py"))
+        wider = lint_fixture("exc_bad.py", "core/det_bad.py")
+        regressions = baseline.regressions(wider)
+        assert regressions and all(
+            f.path == "core/det_bad.py" for f in regressions)
+
+    def test_fixed_finding_expires_its_grant(self):
+        baseline = Baseline.from_report(
+            lint_fixture("exc_bad.py", "core/det_bad.py"))
+        narrower = lint_fixture("exc_bad.py")
+        expired = baseline.expired(narrower)
+        assert expired
+        assert all(path == "core/det_bad.py"
+                   for (_, path), _, _ in expired)
+        assert baseline.regressions(narrower) == []
+
+    def test_roundtrip_through_toml(self, tmp_path):
+        report = lint_fixture("exc_bad.py", "cache_bad.py")
+        baseline = Baseline.from_report(report)
+        baseline.notes[("EXC001", "exc_bad.py")] = "fixture grant"
+        path = baseline.write(tmp_path / "lint_baseline.toml")
+        loaded = Baseline.load(path)
+        assert loaded.entries == baseline.entries
+        assert loaded.notes == baseline.notes
+        assert loaded.regressions(report) == []
+
+
+# -- self-check -------------------------------------------------------------
+
+
+class TestSelfCheck:
+    def test_head_lints_clean(self):
+        run = lint_source_tree()
+        assert run.report.parse_errors == []
+        assert [f.render() for f in run.regressions] == []
+
+    def test_every_registered_rule_has_a_firing_fixture(self):
+        report = LintEngine().run(FIXTURES)
+        fired = {f.rule_id for f in report.findings} | \
+                {f.rule_id for f in report.suppressed}
+        assert fired == set(RULE_REGISTRY)
+
+    def test_rule_registry_is_complete(self):
+        families = {spec.family for spec in RULE_REGISTRY.values()}
+        assert families == {"taint", "determinism", "parallel-safety",
+                            "durability", "cache-keys",
+                            "exception-hygiene"}
