@@ -4,27 +4,49 @@ The lint gate runs on every ``pytest`` invocation
 (``tests/test_lint_gate.py``) and in CI's strict job, so its cost has
 to stay negligible next to the suite it guards.  This bench times the
 complete pass — module discovery, parse, the single traversal with all
-six rule families, baseline reconciliation — over the real
-``src/repro`` tree and fails if it exceeds a generous wall-time
-budget.
+per-module rule families, the whole-program passes (call graph +
+interprocedural taint, schema contracts, dead-symbol reachability),
+baseline reconciliation — over the real ``src/repro`` tree and fails
+if it exceeds a generous wall-time budget.
 
-The engine parses each module once and walks its AST once regardless
-of rule count, so the expected cost is ~parse time for the tree
-(well under a second for the ~125-module repo).  Results are printed
-as JSON.
+Three configurations are timed:
+
+* **serial** — one process, the default engine;
+* **parallel** — per-module parse+walk fanned over a process pool
+  (``--workers``), merged deterministically; the project passes still
+  run in the parent, so speedup approaches the per-module share of
+  total cost (Amdahl), not the worker count — and on a single-core
+  host the pool is pure overhead (the JSON records ``cpu_count`` so
+  the ratio reads in context);
+* **changed-one** — the ``--changed`` fast path with a single-file
+  focus and a warm fact cache: the whole program still feeds the
+  cross-module passes, but unchanged modules come from the pickled
+  summary cache instead of a re-parse (the steady state of an
+  edit/lint loop; the first ``--changed`` run after a cold start
+  pays one full parse to warm the cache).
+
+Results are printed as JSON.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_lint_overhead.py \
-        [--iterations 3] [--budget-s 5.0]
+        [--iterations 3] [--budget-s 5.0] [--workers 4] \
+        [--changed-budget-s 1.0]
 """
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 import time
+from pathlib import Path
 
-from repro.lint import default_source_root, lint_source_tree
+from repro.lint import (
+    LintEngine,
+    default_source_root,
+    lint_source_tree,
+)
 
 
 def _best_of(fn, iterations):
@@ -43,22 +65,57 @@ def main(argv=None) -> int:
     parser.add_argument("--budget-s", type=float, default=5.0,
                         help="fail when a full-repo lint pass takes "
                              "longer than this")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="process-pool width for the parallel "
+                             "configuration")
+    parser.add_argument("--changed-budget-s", type=float, default=1.0,
+                        help="fail when the one-file --changed path "
+                             "takes longer than this")
     args = parser.parse_args(argv)
 
+    root = default_source_root()
     best_s, run = _best_of(lint_source_tree, args.iterations)
     report = run.report
     modules = report.modules_scanned
 
+    parallel_s, parallel_run = _best_of(
+        lambda: lint_source_tree(workers=args.workers),
+        args.iterations)
+    assert [f.render() for f in parallel_run.report.findings] == \
+        [f.render() for f in report.findings], \
+        "parallel lint diverged from serial"
+
+    # the --changed fast path, pinned to a one-file focus so the
+    # number doesn't depend on the working tree's actual diff state;
+    # a warm cache in a scratch dir mirrors the edit/lint steady state.
+    one_file = "cli.py"
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_path = Path(scratch) / "reprolint-cache"
+        LintEngine(cache_path=cache_path).run(
+            root, focus=[one_file])  # warm
+        changed_s, changed_report = _best_of(
+            lambda: LintEngine(cache_path=cache_path).run(
+                root, focus=[one_file]),
+            args.iterations)
+
     print(json.dumps({
-        "root": str(default_source_root()),
+        "root": str(root),
         "iterations": args.iterations,
         "modules": modules,
         "wall_s": round(best_s, 4),
         "modules_per_s": round(modules / best_s, 1) if best_s else None,
+        "parallel_workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "parallel_wall_s": round(parallel_s, 4),
+        "parallel_speedup": round(best_s / parallel_s, 2)
+        if parallel_s else None,
+        "changed_one_file_wall_s": round(changed_s, 4),
+        "changed_focus_findings": len(changed_report.findings),
         "findings": len(report.findings),
         "regressions": len(run.regressions),
         "parse_errors": len(report.parse_errors),
         "budget_s": args.budget_s,
+        "changed_budget_s": args.changed_budget_s,
         "within_budget": best_s <= args.budget_s,
     }, indent=2))
 
@@ -71,6 +128,10 @@ def main(argv=None) -> int:
     if best_s > args.budget_s:
         print(f"FAIL: lint pass took {best_s:.2f}s, budget "
               f"{args.budget_s:.2f}s", file=sys.stderr)
+        return 1
+    if changed_s > args.changed_budget_s:
+        print(f"FAIL: one-file --changed path took {changed_s:.2f}s, "
+              f"budget {args.changed_budget_s:.2f}s", file=sys.stderr)
         return 1
     return 0
 

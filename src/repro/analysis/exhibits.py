@@ -15,6 +15,33 @@ from repro.forums.trends import coin_thread_shares
 from repro.wallets.detect import IdentifierKind, classify_identifier
 
 
+__all__ = [
+    "cdf_quantile",
+    "fig1_forum_trends",
+    "fig4_cdf",
+    "fig5_pools_per_campaign",
+    "fig6_campaign_structure",
+    "fig7_payment_timeline",
+    "fork_dieoff",
+    "headline_monero_fraction",
+    "monthly_payment_series",
+    "multi_pool_share",
+    "stock_tool_campaign_share",
+    "table10_packers",
+    "table11_infrastructure",
+    "table12_related_work",
+    "table14_top_wallets",
+    "table15_email_pools",
+    "table3_dataset",
+    "table4_currencies",
+    "table5_pre2014_reuse",
+    "table6_hosting_domains",
+    "table7_pool_popularity",
+    "table8_top_campaigns",
+    "table9_stock_tools",
+]
+
+
 # ---------------------------------------------------------------------------
 # Fig 1 — forum thread trends
 # ---------------------------------------------------------------------------

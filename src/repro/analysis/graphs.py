@@ -25,6 +25,14 @@ NODE_COLORS: Dict[str, str] = {
 }
 
 
+__all__ = [
+    "campaign_graph",
+    "structure_metrics",
+    "to_dot",
+    "to_edge_list",
+]
+
+
 def campaign_graph(campaign: Campaign) -> nx.Graph:
     """Typed graph of one campaign (samples, wallets, infrastructure)."""
     graph = nx.Graph()

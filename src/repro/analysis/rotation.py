@@ -19,6 +19,13 @@ from repro.common.simtime import Date
 from repro.core.pipeline import MeasurementResult
 
 
+__all__ = [
+    "RotationCandidate",
+    "detect_rotations",
+    "score_against_campaigns",
+]
+
+
 @dataclass(frozen=True)
 class RotationCandidate:
     """A suspected hand-over between two wallets at one pool."""

@@ -15,6 +15,13 @@ from repro.core.pipeline import MeasurementResult
 from repro.corpus.model import SyntheticWorld
 
 
+__all__ = [
+    "exclusive_counts",
+    "source_coverage",
+    "source_overlap_matrix",
+]
+
+
 def source_coverage(world: SyntheticWorld,
                     result: MeasurementResult) -> Dict[str, float]:
     """Fraction of kept samples each feed carries."""

@@ -16,6 +16,16 @@ from repro.core.pipeline import MeasurementResult
 from repro.market.rates import RATES
 
 
+__all__ = [
+    "MonthlyPoint",
+    "active_campaigns_per_month",
+    "average_monthly_usd",
+    "campaign_starts_per_month",
+    "monthly_ecosystem_series",
+    "peak_month",
+]
+
+
 @dataclass(frozen=True)
 class MonthlyPoint:
     """One month of ecosystem activity."""

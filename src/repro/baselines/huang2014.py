@@ -19,6 +19,14 @@ from repro.corpus.model import SyntheticWorld
 from repro.market.rates import RATES
 
 
+__all__ = [
+    "Huang2014Result",
+    "attempt_on_monero",
+    "build_btc_ledger_from_world",
+    "run_huang2014_baseline",
+]
+
+
 @dataclass
 class Huang2014Result:
     """What the baseline recovered."""

@@ -12,6 +12,12 @@ from collections import Counter
 OBFUSCATION_THRESHOLD = 7.5
 
 
+__all__ = [
+    "looks_obfuscated",
+    "shannon_entropy",
+]
+
+
 def shannon_entropy(data: bytes) -> float:
     """Shannon entropy in bits per byte; 0.0 for empty input."""
     if not data:

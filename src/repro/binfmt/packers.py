@@ -20,6 +20,18 @@ from repro.binfmt.format import ExecutableKind, magic_kind
 _STUB = b"\x90" * 16  # pseudo decompression stub
 
 
+__all__ = [
+    "PackedBinary",
+    "Packer",
+    "identify_packer",
+    "is_packed",
+    "pack",
+    "pack_chain",
+    "packer_names",
+    "unpack",
+]
+
+
 def _xor_stream(data: bytes, key: bytes) -> bytes:
     """XOR ``data`` with a SHA-256-expanded keystream (involutive)."""
     stream = bytearray()

@@ -12,6 +12,14 @@ from typing import List, Optional
 from repro.common.simtime import Date, POW_FORK_DATES, pow_era
 
 
+__all__ = [
+    "PowAlgorithm",
+    "algo_at",
+    "algos",
+    "max_era_for_software",
+]
+
+
 @dataclass(frozen=True)
 class PowAlgorithm:
     """One PoW era."""

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro.cli ingest    --checkpoint DIR --batch-days 7 [--resume]
     python -m repro.cli status    --checkpoint DIR
     python -m repro.cli lint      [--strict] [--update-baseline]
+                                  [--changed] [--graph] [--workers N]
 
 ``measure`` runs the full pipeline and prints the funnel; ``exhibits``
 renders the main paper tables; ``casestudy`` deep-dives one of the §V
@@ -17,7 +18,10 @@ replays the corpus as dated feed batches with durable checkpoints
 (interrupt it freely, re-run with ``--resume``); ``status`` inspects a
 checkpoint directory without touching the corpus; ``lint`` runs the
 reprolint invariant checks (see ``docs/static-analysis.md``) and fails
-on findings the committed baseline does not accept.
+on findings the committed baseline does not accept — ``--changed``
+narrows reporting to the git diff, ``--graph`` dumps the resolved
+call graph and stage-contract table, ``--workers`` fans the
+per-module work over a process pool.
 """
 
 import argparse
@@ -250,8 +254,20 @@ def cmd_lint(args) -> int:
     from repro.lint import Baseline, lint_source_tree
     root = Path(args.root) if args.root else None
     baseline = Path(args.baseline) if args.baseline else None
-    run = lint_source_tree(root=root, baseline_path=baseline)
+    if args.graph:
+        from repro.lint import build_project_index
+        from repro.lint.callgraph import render_contracts, render_graph
+        index = build_project_index(root)
+        print(render_graph(index), end="")
+        print(render_contracts(index), end="")
+        return 0
+    run = lint_source_tree(root=root, baseline_path=baseline,
+                           workers=args.workers,
+                           changed_only=args.changed)
     report = run.report
+    if args.changed and run.focus is not None:
+        print(f"reprolint --changed: {len(run.focus)} file(s) since "
+              "the merge base", file=sys.stderr)
     if args.update_baseline:
         target = (baseline if baseline is not None
                   else run.baseline.path)
@@ -373,6 +389,15 @@ def build_parser() -> argparse.ArgumentParser:
                            "lint_baseline.toml above the root)")
     lint.add_argument("--strict", action="store_true",
                       help="also fail on stale baseline grants")
+    lint.add_argument("--workers", type=int, default=None,
+                      help="process-pool width for per-module "
+                           "parse+walk (default: serial)")
+    lint.add_argument("--changed", action="store_true",
+                      help="report only files differing from the git "
+                           "merge base (full tree still analysed)")
+    lint.add_argument("--graph", action="store_true",
+                      help="dump the resolved call graph and the "
+                           "stage-contract table, then exit")
     lint.add_argument("--update-baseline", action="store_true",
                       help="rewrite the baseline to accept the "
                            "current findings")

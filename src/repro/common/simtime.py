@@ -28,6 +28,20 @@ POLL_END: Date = datetime.date(2019, 4, 30)
 _EPOCH = datetime.date(1970, 1, 1)
 
 
+__all__ = [
+    "add_days",
+    "clamp",
+    "date_range",
+    "days_between",
+    "from_unix",
+    "month_floor",
+    "parse_date",
+    "pow_era",
+    "to_unix",
+    "year_of",
+]
+
+
 def parse_date(value: Union[str, Date]) -> Date:
     """Parse ``YYYY-MM-DD`` strings; pass dates through unchanged."""
     if isinstance(value, datetime.date):

@@ -36,6 +36,18 @@ PUBLIC_REPO_DOMAINS = frozenset({
 Node = Tuple[str, str]
 
 
+__all__ = [
+    "Campaign",
+    "CampaignAggregator",
+    "GroupingPolicy",
+    "build_campaign",
+    "finalize_campaigns",
+    "is_public_repo_host",
+    "operation_for",
+    "record_attachments",
+]
+
+
 def _registrable(host: str) -> str:
     parts = host.lower().split(".")
     return ".".join(parts[-2:]) if len(parts) >= 2 else host.lower()

@@ -18,6 +18,12 @@ from repro.corpus.model import SyntheticWorld
 _PAYMENT_WINDOW = (datetime.date(2010, 1, 1), datetime.date(2019, 6, 1))
 
 
+__all__ = [
+    "ValidationReport",
+    "validate_world",
+]
+
+
 @dataclass
 class ValidationReport:
     """Outcome of validating one world."""

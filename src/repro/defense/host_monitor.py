@@ -13,6 +13,16 @@ from dataclasses import dataclass
 from typing import List
 
 
+__all__ = [
+    "CpuAnomalyMonitor",
+    "DetectionOutcome",
+    "HostState",
+    "MinerTrick",
+    "PowerMeterMonitor",
+    "typical_day_trace",
+]
+
+
 class MinerTrick(enum.Enum):
     """User/monitor-evasion behaviours from §I and §II."""
 

@@ -47,6 +47,14 @@ _DISCUSSION_TEMPLATES = [
 ]
 
 
+__all__ = [
+    "ForumCorpus",
+    "ForumPost",
+    "ForumThread",
+    "generate_forum_corpus",
+]
+
+
 @dataclass(frozen=True)
 class ForumPost:
     """One post inside a thread."""

@@ -6,6 +6,14 @@ from typing import Dict, List, Optional, Tuple
 from repro.forums.corpus import ForumCorpus, ForumThread
 
 
+__all__ = [
+    "coin_thread_shares",
+    "dominant_coin",
+    "mining_topic_threads",
+    "offer_price_stats",
+]
+
+
 def coin_thread_shares(corpus: ForumCorpus) -> Dict[int, Dict[str, float]]:
     """Per-year share of mining threads per coin (the Fig. 1 series).
 

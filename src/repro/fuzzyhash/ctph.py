@@ -30,6 +30,17 @@ _WINDOW = 7
 _VECTOR_MIN_BYTES = 64
 
 
+__all__ = [
+    "FuzzyHash",
+    "compare",
+    "compute",
+    "distance",
+    "edit_distance",
+    "score_with_grams",
+    "signature_grams",
+]
+
+
 class _RollingHash:
     """Adler-style rolling hash over a 7-byte window."""
 
@@ -52,10 +63,6 @@ class _RollingHash:
         self._pos += 1
         self._h3 = ((self._h3 << 5) ^ byte) & 0xFFFFFFFF
         return (self._h1 + self._h2 + self._h3) & 0xFFFFFFFF
-
-
-def _fnv1a_update(state: int, byte: int) -> int:
-    return ((state ^ byte) * 0x01000193) & 0xFFFFFFFF
 
 
 _FNV_INIT = 0x811C9DC5

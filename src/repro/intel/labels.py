@@ -30,6 +30,14 @@ _MINER_TOKENS = frozenset({
 _SPLIT_RE = re.compile(r"[.\-_/:! ]+")
 
 
+__all__ = [
+    "family_distribution",
+    "family_of",
+    "normalize_token",
+    "tokenize_label",
+]
+
+
 def tokenize_label(label: str) -> List[str]:
     """Lower-cased, generic-token-free tokens of one vendor label."""
     tokens = []

@@ -3,25 +3,34 @@
 The measurement's correctness contracts (enrichment never groups,
 grouping ignores donation wallets, streamed == batch, checkpoints are
 crash-safe, memo keys are complete, failures are loud) are enforced
-mechanically by six rule families over a single compile-once pass of
-the source tree.  See ``docs/static-analysis.md`` for the rule
-catalogue, pragma syntax and the baseline workflow.
+mechanically: per-module rule families over a single compile-once
+pass of each module, plus whole-program passes (call graph +
+interprocedural taint, record-schema contracts, dead-symbol
+reachability) over the per-module fact summaries.  See
+``docs/static-analysis.md`` for the rule catalogue, pragma syntax and
+the baseline workflow.
 
 High-level entry points:
 
 * :func:`lint_source_tree` — lint a tree and diff against a baseline;
   what the ``repro lint`` CLI, the pytest gate and the overhead bench
-  all call.
+  all call.  ``workers=N`` parallelises the per-module work;
+  ``changed_only=True`` narrows reporting to files differing from the
+  git merge base.
 * :class:`repro.lint.engine.LintEngine` — the underlying engine, for
   custom rule sets (the fixture tests drive it directly).
+* :func:`repro.lint.callgraph.render_graph` /
+  :func:`build_project_index` — the ``repro lint --graph`` dump.
 """
 
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Tuple
 
 from repro.lint.baseline import Baseline, find_baseline
-from repro.lint.engine import LintEngine, Rule, lint_tree
+from repro.lint.callgraph import ProjectIndex, render_graph
+from repro.lint.engine import LintEngine, ProjectRule, Rule, lint_tree
 from repro.lint.findings import (
     Finding,
     LintReport,
@@ -36,19 +45,70 @@ __all__ = [
     "LintEngine",
     "LintReport",
     "LintRun",
+    "ProjectIndex",
+    "ProjectRule",
     "RULE_REGISTRY",
     "Rule",
+    "build_project_index",
+    "changed_files",
     "default_source_root",
     "find_baseline",
     "known_rule",
     "lint_source_tree",
     "lint_tree",
+    "render_graph",
 ]
 
 
 def default_source_root() -> Path:
     """The installed ``repro`` package directory — what HEAD lints."""
     return Path(__file__).resolve().parent.parent
+
+
+def changed_files(root: Path,
+                  base_refs: Tuple[str, ...] = ("origin/main", "main"),
+                  ) -> Optional[List[str]]:
+    """Files under ``root`` differing from the git merge base.
+
+    Tries ``git merge-base HEAD <ref>`` for each ref in order, then
+    diffs (committed *and* working-tree changes).  Returns relpaths
+    under ``root``; ``None`` means "couldn't tell" (outside a git
+    checkout, or no usable base ref) and callers should fall back to
+    a full scan.
+    """
+    root = Path(root).resolve()
+
+    def git(*argv: str) -> Optional[str]:
+        try:
+            proc = subprocess.run(
+                ["git", *argv], cwd=root, capture_output=True,
+                text=True, timeout=30)
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        return proc.stdout if proc.returncode == 0 else None
+
+    top = git("rev-parse", "--show-toplevel")
+    if top is None:
+        return None
+    for ref in base_refs:
+        base = git("merge-base", "HEAD", ref)
+        if base is None:
+            continue
+        diff = git("diff", "--name-only", base.strip(), "--", ".")
+        if diff is None:
+            continue
+        repo_top = Path(top.strip())
+        out: List[str] = []
+        for line in diff.splitlines():
+            if not line.endswith(".py"):
+                continue
+            absolute = repo_top / line
+            try:
+                out.append(absolute.relative_to(root).as_posix())
+            except ValueError:
+                continue  # changed file outside the lint root
+        return sorted(set(out))
+    return None
 
 
 @dataclass
@@ -60,6 +120,8 @@ class LintRun:
     regressions: List[Finding] = field(default_factory=list)
     expired: List[Tuple[Tuple[str, str], int, int]] = \
         field(default_factory=list)
+    #: relpaths reporting was narrowed to (``--changed``), or None.
+    focus: Optional[List[str]] = None
 
     def ok(self, strict: bool = False) -> bool:
         """Gate verdict: no regressions (and, in strict, no expiry)."""
@@ -71,22 +133,72 @@ class LintRun:
 
 
 def lint_source_tree(root: Optional[Path] = None,
-                     baseline_path: Optional[Path] = None) -> LintRun:
+                     baseline_path: Optional[Path] = None,
+                     workers: Optional[int] = None,
+                     changed_only: bool = False,
+                     cache_path: Optional[Path] = None) -> LintRun:
     """Lint ``root`` (default: the repro package) against a baseline.
 
     When ``baseline_path`` is None the nearest ``lint_baseline.toml``
     above ``root`` is used; no file at all means an empty baseline, so
-    every finding is a regression.
+    every finding is a regression.  ``changed_only`` narrows the
+    *reported* files to those differing from the git merge base (the
+    whole tree is still summarized so cross-module passes stay
+    sound); when git can't answer, the full tree is reported.
+    Changed-only runs keep a fact cache (``.reprolint-cache`` next to
+    the baseline file, or ``cache_path``) so unchanged modules feed
+    the whole-program passes without re-parsing.
     """
     root = Path(root) if root is not None else default_source_root()
-    report = LintEngine().run(root)
-    if baseline_path is None:
-        baseline_path = find_baseline(root)
-    baseline = (Baseline.load(baseline_path)
-                if baseline_path is not None else Baseline())
+    focus: Optional[List[str]] = None
+    if changed_only:
+        focus = changed_files(root)
+        if focus is not None and not focus:
+            # clean diff: nothing to lint, nothing to gate.
+            baseline = _load_baseline(root, baseline_path)
+            return LintRun(report=LintReport(), baseline=baseline,
+                           focus=[])
+        if focus is not None and cache_path is None:
+            located = baseline_path or find_baseline(root)
+            if located is not None:
+                cache_path = located.parent / ".reprolint-cache"
+    report = LintEngine(workers=workers,
+                        cache_path=cache_path).run(root, focus=focus)
+    baseline = _load_baseline(root, baseline_path)
+    expired = baseline.expired(report)
+    if focus is not None:
+        focus_set = set(focus)
+        expired = [entry for entry in expired
+                   if entry[0][1] in focus_set]
     return LintRun(
         report=report,
         baseline=baseline,
         regressions=baseline.regressions(report),
-        expired=baseline.expired(report),
+        expired=expired,
+        focus=focus,
     )
+
+
+def _load_baseline(root: Path,
+                   baseline_path: Optional[Path]) -> Baseline:
+    if baseline_path is None:
+        baseline_path = find_baseline(root)
+    return (Baseline.load(baseline_path)
+            if baseline_path is not None else Baseline())
+
+
+def build_project_index(root: Optional[Path] = None) -> ProjectIndex:
+    """Summarize ``root`` into the whole-program index (``--graph``)."""
+    from repro.lint.facts import summarize_module
+    from repro.lint.symbols import build_module_info
+    root = Path(root) if root is not None else default_source_root()
+    root = root.resolve()
+    base = root.parent if root.is_file() else root
+    summaries = []
+    for path in LintEngine.discover(root):
+        try:
+            summaries.append(
+                summarize_module(build_module_info(path, base)))
+        except (SyntaxError, UnicodeDecodeError):
+            continue
+    return ProjectIndex(summaries)

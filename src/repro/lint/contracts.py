@@ -1,0 +1,47 @@
+"""The pipeline contracts reprolint enforces, as shared vocabulary.
+
+Every rule family checks some slice of the same small set of
+methodology contracts (paper §III-E and the streaming-equivalence
+guarantee); this module is the single home for the names those
+contracts are anchored on, so the per-module rules and the
+whole-program passes (call graph, interprocedural taint, schema
+checking) cannot drift apart on what counts as "enrichment", "edge
+construction" or "the durable sink".
+"""
+
+#: defining or importing either of these marks a grouping module —
+#: exactly the batch aggregator and the streaming one today, and
+#: automatically any future module that takes on edge construction.
+GROUPING_FUNCTIONS = frozenset({"record_attachments", "build_campaign"})
+
+#: modules whose outputs are enrichment-only (prefix matched): values
+#: produced by them are *informative* annotations and must never feed
+#: campaign grouping or the durable checkpoint state.
+TAINTED_MODULES = frozenset({
+    "repro.core.enrichment",
+    "repro.osint.stock_tools",
+    "repro.binfmt.packers",
+    "repro.binfmt.entropy",
+    "repro.botnet",
+    "repro.intel.labels",
+})
+
+#: attributes owned by the enrichment stage (on records or campaigns).
+#: Reads of these — as ``.attr`` or as constant ``["attr"]`` keys on
+#: record-shaped dicts — are taint sources.
+TAINTED_ATTRIBUTES = frozenset({
+    "uses_ppi", "ppi_botnets", "stock_tools", "stock_tool_matches",
+    "obfuscated", "packers", "packer", "entropy",
+})
+
+#: CheckpointStore write APIs: everything journaled or snapshotted
+#: must be a pure function of the corpus, so enrichment-tainted values
+#: reaching these calls (via any path) are TAINT003 violations.
+CHECKPOINT_SINK_METHODS = frozenset({
+    "append_outcome", "commit_batch", "write_snapshot",
+})
+
+#: module stems that anchor dead-symbol reachability: the CLI layer.
+#: DEAD001 only runs when the analyzed project contains at least one
+#: entrypoint module, so linting a lone module stays conservative.
+ENTRYPOINT_STEMS = frozenset({"cli", "__main__"})

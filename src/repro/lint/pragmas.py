@@ -7,19 +7,39 @@ Two forms, both comma-separable and accepting ``all``:
 * ``# reprolint: disable-file=DET001`` — silences matching findings in
   the whole module (put it anywhere, conventionally near the top).
 
-Pragmas are read with :mod:`tokenize` so strings that merely *contain*
-the pragma text never suppress anything.
+A trailing justification is allowed and encouraged::
+
+    memo[key] = now()  # reprolint: disable=DET001,CKEY001 — clock is logged only
+
+Rule lists stop at the first token that is not a rule ID, so the prose
+never becomes a bogus rule name.  Pragmas are read with
+:mod:`tokenize` so strings that merely *contain* the pragma text never
+suppress anything.  Besides the suppression index, parsing records an
+inventory of every pragma (line, scope, rules) so the engine can warn
+about stale pragmas — suppressions that no longer match any finding.
 """
 
 import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Set
+from typing import Dict, List, Set, Tuple
 
 _PRAGMA_RE = re.compile(
     r"#\s*reprolint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
-    r"(?P<rules>[A-Za-z0-9_,\s]+)")
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+#: a single well-formed rule ID (or the ``all`` wildcard).
+_RULE_TOKEN_RE = re.compile(r"^(all|[A-Z][A-Z0-9_]*\d{3})$")
+
+
+@dataclass(frozen=True)
+class PragmaEntry:
+    """One pragma comment, as written: where, which scope, which rules."""
+
+    line: int
+    scope: str                  # "disable" | "disable-file"
+    rules: Tuple[str, ...]      # normalised, in source order
 
 
 @dataclass
@@ -28,6 +48,8 @@ class PragmaIndex:
 
     by_line: Dict[int, Set[str]] = field(default_factory=dict)
     file_wide: Set[str] = field(default_factory=set)
+    #: every pragma as written, for stale-suppression analysis.
+    entries: List[PragmaEntry] = field(default_factory=list)
 
     def disabled(self, line: int, rule_id: str) -> bool:
         """Whether ``rule_id`` is silenced for a finding on ``line``."""
@@ -37,11 +59,23 @@ class PragmaIndex:
         return False
 
 
-def _parse_rules(text: str) -> FrozenSet[str]:
-    return frozenset(
-        part.strip().lower() if part.strip().lower() == "all"
-        else part.strip().upper()
-        for part in text.split(",") if part.strip())
+def _parse_rules(text: str) -> List[str]:
+    """Normalised rule IDs from a comma-separated list.
+
+    Each comma-separated part contributes its leading identifier
+    token; parsing stops at the first part that is not a plain rule ID
+    (or ``all``), so ``DET001,CKEY001 — clock is logged only`` yields
+    exactly ``["DET001", "CKEY001"]``.
+    """
+    rules: List[str] = []
+    for part in text.split(","):
+        token = part.strip().split()[0] if part.strip() else ""
+        token = token.lower() if token.lower() == "all" else token.upper()
+        if not _RULE_TOKEN_RE.match(token):
+            break
+        if token not in rules:
+            rules.append(token)
+    return rules
 
 
 def collect_pragmas(source: str) -> PragmaIndex:
@@ -56,11 +90,16 @@ def collect_pragmas(source: str) -> PragmaIndex:
             if match is None:
                 continue
             rules = _parse_rules(match.group("rules"))
-            if match.group("scope") == "disable-file":
+            if not rules:
+                continue
+            scope = match.group("scope")
+            line = token.start[0]
+            index.entries.append(
+                PragmaEntry(line=line, scope=scope, rules=tuple(rules)))
+            if scope == "disable-file":
                 index.file_wide.update(rules)
             else:
-                index.by_line.setdefault(
-                    token.start[0], set()).update(rules)
+                index.by_line.setdefault(line, set()).update(rules)
     except tokenize.TokenError:
         pass  # a torn module still lints; the parse error is reported
     return index

@@ -1,0 +1,52 @@
+"""DEAD — module-level functions unreachable from the CLI entrypoints.
+
+A measurement pipeline accretes helpers; the ones nothing reaches any
+more are API drift waiting to mislead the next reader.  This pass
+walks the project call graph from its roots — every module body, every
+method (classes may be driven dynamically), every ``__all__`` export,
+every dunder, and everything defined in an entrypoint module (stem
+``cli``/``__main__``) — following *references* (calls, stores,
+argument passing, re-exports), and flags the top-level functions no
+root ever mentions.
+
+The pass only runs when the analyzed project actually contains an
+entrypoint module: linting a lone module, a fixture, or a library
+subtree stays silent rather than declaring everything dead.  Public
+API that is intentionally test-only or external-facing belongs in
+``__all__`` — that both documents the intent and exempts it here.
+"""
+
+from repro.lint.callgraph import ProjectIndex
+from repro.lint.engine import ProjectEmitter, ProjectRule
+from repro.lint.findings import register_rule
+
+DEAD001 = register_rule(
+    "DEAD001", "dead-code",
+    "module-level function unreachable from any CLI entrypoint")
+
+
+class DeadCodeRule(ProjectRule):
+    """DEAD001 over the project call graph."""
+
+    def applies(self, index: ProjectIndex) -> bool:
+        return index.has_entrypoint
+
+    def run(self, index: ProjectIndex,
+            emitter: ProjectEmitter) -> None:
+        live = index.reachable_functions()
+        for summary in index.summaries:
+            if summary.is_entrypoint:
+                continue
+            for name in sorted(summary.module_functions):
+                if name in summary.exported:
+                    continue
+                if name.startswith("__") and name.endswith("__"):
+                    continue
+                if (summary.dotted, name) in live:
+                    continue
+                emitter.emit(
+                    DEAD001.rule_id, summary.dotted,
+                    summary.module_functions[name], 1,
+                    f"module-level function '{name}' is unreachable "
+                    f"from any CLI entrypoint — delete it, or declare "
+                    f"it public API via __all__", symbol=name)

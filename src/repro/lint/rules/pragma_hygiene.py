@@ -1,0 +1,18 @@
+"""PRAGMA — suppressions must keep earning their keep.
+
+* **PRAGMA001** — a ``# reprolint: disable`` pragma names a rule that
+  no longer matches any finding on its line (or anywhere in the file,
+  for ``disable-file``).  A stale suppression is worse than none: the
+  next genuine violation on that line arrives pre-silenced.
+
+The detection itself lives in the engine
+(:meth:`repro.lint.engine.LintEngine._check_stale_pragmas`) because it
+must run *after* every per-module and project pass has produced its
+findings; this module only contributes the rule's registry identity.
+"""
+
+from repro.lint.findings import register_rule
+
+PRAGMA001 = register_rule(
+    "PRAGMA001", "pragma-hygiene",
+    "stale pragma: the suppression no longer matches any finding")

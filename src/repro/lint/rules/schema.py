@@ -1,0 +1,470 @@
+"""SCHEMA — record shapes must agree across stage boundaries.
+
+The pipeline passes record-shaped dicts between stages (pipeline →
+codecs → checkpoint snapshots → report renderers); nothing but
+convention keeps a producer's keys and a consumer's reads in sync.
+This whole-program pass infers, from the fact summaries, the dict-key
+*write* set of every closed producer and the *effective read* set of
+every function parameter (a fixpoint over whole-dict forwarding), then
+checks every resolvable boundary:
+
+* **SCHEMA001** — a key is written but no reachable consumer ever
+  reads it (reported only when *every* consumer resolved: one opaque
+  escape — json.dumps, an unresolved callee, iteration — silences the
+  check rather than guessing).
+* **SCHEMA002** — a consumer *requires* a key (``d["k"]``,
+  ``d.pop("k")``) that the producer at some resolved call site never
+  writes.  Soft probes (``d.get``, ``"k" in d``) are uses, not
+  requirements.
+* **SCHEMA003** — a constructed shape drifts from a dataclass: unknown
+  keyword/`**` fields into a dataclass constructor, or an
+  attribute read on a dataclass-annotated parameter that the class
+  (fields + methods + ``self.X`` stores, bases resolved) never defines
+  — the codec/snapshot drift class of bug.
+"""
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.callgraph import ProjectIndex, Resolution
+from repro.lint.engine import ProjectEmitter, ProjectRule
+from repro.lint.facts import ClassFact, FunctionFact, ModuleSummary
+from repro.lint.findings import register_rule
+
+SCHEMA001 = register_rule(
+    "SCHEMA001", "schema",
+    "record key written but never read by any resolved consumer")
+SCHEMA002 = register_rule(
+    "SCHEMA002", "schema",
+    "record key required by a consumer but never written by its "
+    "producer")
+SCHEMA003 = register_rule(
+    "SCHEMA003", "schema",
+    "constructed shape drifts from the dataclass record shape")
+
+FnKey = Tuple[str, str]
+#: key -> (relpath, line, hard requirement?); None means TOP (opaque).
+ReadSet = Optional[Dict[str, Tuple[str, int, bool]]]
+
+
+class SchemaContractRule(ProjectRule):
+    """SCHEMA001/002/003 over the joined project index."""
+
+    def run(self, index: ProjectIndex,
+            emitter: ProjectEmitter) -> None:
+        self._res_cache: Dict[Tuple[str, str, int],
+                              Optional[Resolution]] = {}
+        eff = self._effective_reads(index)
+        self._check_local_unread(index, eff, emitter)
+        self._check_returned_shapes(index, eff, emitter)
+        self._check_boundaries(index, eff, emitter)
+        self._check_dataclass_drift(index, emitter)
+
+    # -- shared plumbing ----------------------------------------------------
+
+    def _resolve(self, index: ProjectIndex, summary: ModuleSummary,
+                 fact: FunctionFact, ci: int) -> Optional[Resolution]:
+        key = (summary.dotted, fact.qualname, ci)
+        if key not in self._res_cache:
+            self._res_cache[key] = index.resolve_call(
+                fact.calls[ci], fact, summary)
+        return self._res_cache[key]
+
+    @staticmethod
+    def _own_reads(summary: ModuleSummary,
+                   fact: FunctionFact, name: str) -> ReadSet:
+        """A name's direct key reads in its own function, or TOP."""
+        use = fact.name_uses.get(name)
+        if use is None:
+            return {}
+        if use.open_reads or use.returned:
+            return None
+        out: Dict[str, Tuple[str, int, bool]] = {}
+        for key, line in use.key_tests.items():
+            out[key] = (summary.relpath, line, False)
+        for key, line in use.key_reads.items():
+            out[key] = (summary.relpath, line, True)
+        return out
+
+    def _effective_reads(
+            self, index: ProjectIndex,
+    ) -> Dict[FnKey, List[ReadSet]]:
+        """Per-parameter key-read sets, closed over whole-dict
+        forwarding between resolved functions (TOP on any escape)."""
+        eff: Dict[FnKey, List[ReadSet]] = {}
+        for summary in index.summaries:
+            for qualname, fact in summary.functions.items():
+                eff[(summary.dotted, qualname)] = [
+                    self._own_reads(summary, fact, name)
+                    for name in fact.params]
+        for _ in range(len(eff) + 1):
+            changed = False
+            for summary in index.summaries:
+                for qualname, fact in summary.functions.items():
+                    row = eff[(summary.dotted, qualname)]
+                    for i, name in enumerate(fact.params):
+                        use = fact.name_uses.get(name)
+                        if use is None or row[i] is None:
+                            continue
+                        for ci, pos in use.forwards:
+                            grown = self._forwarded(
+                                index, summary, fact, ci, pos, eff)
+                            if grown is None:
+                                row[i] = None
+                                changed = True
+                                break
+                            for key, where in grown.items():
+                                if key not in row[i]:
+                                    row[i][key] = where
+                                    changed = True
+                                elif where[2] and not row[i][key][2]:
+                                    row[i][key] = where
+                                    changed = True
+                        else:
+                            continue
+            if not changed:
+                break
+        return eff
+
+    def _forwarded(self, index: ProjectIndex, summary: ModuleSummary,
+                   fact: FunctionFact, ci: int, pos: int,
+                   eff: Dict[FnKey, List[ReadSet]]) -> ReadSet:
+        """Reads implied by forwarding a dict whole into call ``ci``."""
+        res = self._resolve(index, summary, fact, ci)
+        if res is None or res.kind != "function":
+            return None
+        row = eff.get((res.module, res.qualname))
+        target = index.by_dotted[res.module].functions[res.qualname]
+        if row is None or pos >= len(target.params):
+            return None
+        return row[pos]
+
+    # -- SCHEMA001: written-never-read --------------------------------------
+
+    def _check_local_unread(self, index: ProjectIndex,
+                            eff: Dict[FnKey, List[ReadSet]],
+                            emitter: ProjectEmitter) -> None:
+        for summary in index.summaries:
+            for qualname in sorted(summary.functions):
+                fact = summary.functions[qualname]
+                for name in sorted(fact.name_uses):
+                    if name in fact.params:
+                        continue
+                    use = fact.name_uses[name]
+                    if not (use.dict_inits > 0 and use.other_inits == 0
+                            and not use.open_reads
+                            and not use.returned):
+                        continue
+                    consumed: Set[str] = (set(use.key_reads)
+                                          | set(use.key_tests))
+                    opaque = False
+                    for ci, pos in use.forwards:
+                        grown = self._forwarded(
+                            index, summary, fact, ci, pos, eff)
+                        if grown is None:
+                            opaque = True
+                            break
+                        consumed |= set(grown)
+                    if opaque:
+                        continue
+                    for key, line in sorted(use.key_writes.items()):
+                        if key in consumed:
+                            continue
+                        emitter.emit(
+                            SCHEMA001.rule_id, summary.dotted, line, 1,
+                            f"key '{key}' written to '{name}' is "
+                            f"never read by any consumer (every "
+                            f"consumer resolved) — dead schema field",
+                            symbol=qualname)
+
+    def _call_sites(self, index: ProjectIndex,
+                    ) -> Dict[FnKey, List[Tuple[ModuleSummary,
+                                                FunctionFact, int]]]:
+        sites: Dict[FnKey, List] = {}
+        for summary in index.summaries:
+            for qualname in sorted(summary.functions):
+                fact = summary.functions[qualname]
+                for ci in range(len(fact.calls)):
+                    res = self._resolve(index, summary, fact, ci)
+                    if res is not None and res.kind == "function":
+                        sites.setdefault(
+                            (res.module, res.qualname), []).append(
+                                (summary, fact, ci))
+        return sites
+
+    def _check_returned_shapes(self, index: ProjectIndex,
+                               eff: Dict[FnKey, List[ReadSet]],
+                               emitter: ProjectEmitter) -> None:
+        """SCHEMA001 for closed dict shapes returned to callers."""
+        sites = self._call_sites(index)
+        for summary in index.summaries:
+            for qualname in sorted(summary.functions):
+                fact = summary.functions[qualname]
+                keys = fact.returns_dict_keys
+                if not keys:
+                    continue
+                callers = sites.get((summary.dotted, qualname), [])
+                if not callers:
+                    continue  # public API; external consumers unknown
+                consumed: Set[str] = set()
+                opaque = False
+                for c_summary, c_fact, ci in callers:
+                    cons = self._consumption(
+                        index, c_summary, c_fact, ci, eff)
+                    if cons is None:
+                        opaque = True
+                        break
+                    consumed |= cons
+                if opaque:
+                    continue
+                for key, line in sorted(keys.items()):
+                    if key in consumed:
+                        continue
+                    emitter.emit(
+                        SCHEMA001.rule_id, summary.dotted, line, 1,
+                        f"result key '{key}' of {qualname}() is never "
+                        f"read by any caller (all "
+                        f"{len(callers)} call sites resolved) — dead "
+                        f"schema field", symbol=qualname)
+
+    def _consumption(self, index: ProjectIndex,
+                     summary: ModuleSummary, fact: FunctionFact,
+                     ci: int,
+                     eff: Dict[FnKey, List[ReadSet]]) -> Optional[Set[str]]:
+        """Keys call ``ci``'s result has read from it; None = opaque."""
+        if fact.ret.is_call == ci:
+            # returned whole: the caller's own callers may read it.
+            # (a call merely nested in the return expression is still
+            # tracked through the arg.is_call branch below.)
+            return None
+        consumed: Set[str] = set()
+        recognised = False
+        for name, bind in fact.binds.items():
+            if ci not in bind.calls:
+                continue
+            if bind.is_call != ci:
+                return None  # result embedded in a larger expression
+            recognised = True
+            own = self._own_reads(summary, fact, name)
+            if own is None:
+                return None
+            consumed |= set(own)
+            use = fact.name_uses.get(name)
+            for cj, pos in (use.forwards if use is not None else ()):
+                grown = self._forwarded(
+                    index, summary, fact, cj, pos, eff)
+                if grown is None:
+                    return None
+                consumed |= set(grown)
+        for cj, call in enumerate(fact.calls):
+            for pos, arg in enumerate(call.args):
+                if arg.is_call == ci:
+                    recognised = True
+                    grown = self._forwarded(
+                        index, summary, fact, cj, pos, eff)
+                    if grown is None:
+                        return None
+                    consumed |= set(grown)
+                elif ci in arg.calls:
+                    return None
+            for _, arg in call.kwargs:
+                if ci in arg.calls:
+                    return None
+        if not recognised:
+            return None  # discarded or used in an untracked context
+        return consumed
+
+    # -- SCHEMA002: read-never-written --------------------------------------
+
+    def _check_boundaries(self, index: ProjectIndex,
+                          eff: Dict[FnKey, List[ReadSet]],
+                          emitter: ProjectEmitter) -> None:
+        reported: Set[Tuple[str, int, str]] = set()
+        for summary in index.summaries:
+            for qualname in sorted(summary.functions):
+                fact = summary.functions[qualname]
+                for ci, call in enumerate(fact.calls):
+                    res = self._resolve(index, summary, fact, ci)
+                    if res is None or res.kind != "function":
+                        continue
+                    target = index.by_dotted[
+                        res.module].functions[res.qualname]
+                    row = eff[(res.module, res.qualname)]
+                    for pos, arg in enumerate(call.args):
+                        provided = self._provided_keys(
+                            index, summary, fact, arg)
+                        if provided is None or pos >= len(row):
+                            continue
+                        needed = row[pos]
+                        if needed is None:
+                            continue
+                        for key in sorted(needed):
+                            path, line, hard = needed[key]
+                            if not hard or key in provided:
+                                continue
+                            mark = (path, line, key)
+                            if mark in reported:
+                                continue
+                            reported.add(mark)
+                            emitter.emit(
+                                SCHEMA002.rule_id, res.module, line, 1,
+                                f"key '{key}' is required here but "
+                                f"never written by the record built "
+                                f"at {summary.relpath}:{call.line} "
+                                f"({summary.dotted}.{qualname} -> "
+                                f"{res.origin})",
+                                symbol=res.qualname)
+
+    def _provided_keys(self, index: ProjectIndex,
+                       summary: ModuleSummary, fact: FunctionFact,
+                       arg) -> Optional[Set[str]]:
+        """The closed key set an argument provides, or None."""
+        if arg.is_name is not None:
+            use = fact.name_uses.get(arg.is_name)
+            if use is not None and use.dict_inits > 0 and \
+                    use.other_inits == 0 and not use.open_writes:
+                return set(use.key_writes)
+            return None
+        if arg.is_call is not None:
+            res = self._resolve(index, summary, fact, arg.is_call)
+            if res is not None and res.kind == "function":
+                keys = index.by_dotted[res.module].functions[
+                    res.qualname].returns_dict_keys
+                if keys:
+                    return set(keys)
+        return None
+
+    # -- SCHEMA003: dataclass shape drift -----------------------------------
+
+    def _class_closure(self, index: ProjectIndex,
+                       cls_res: Resolution, depth: int = 8,
+                       ) -> Optional[Tuple[ClassFact, Set[str],
+                                           Set[str]]]:
+        """(class, all fields, all attrs) with bases resolved, or
+        None when any base is external (attrs unknowable)."""
+        if depth <= 0:
+            return None
+        owner = index.by_dotted[cls_res.module]
+        cls = owner.classes.get(cls_res.qualname)
+        if cls is None:
+            return None
+        fields: Set[str] = set(cls.fields)
+        attrs: Set[str] = set(cls.attrs)
+        for base_text in cls.bases:
+            head, *rest = base_text.split(".")
+            if not rest and head in owner.classes:
+                candidate = f"{owner.dotted}.{head}"
+            else:
+                origin = owner.import_aliases.get(head)
+                if origin is None:
+                    return None
+                candidate = ".".join([origin] + rest)
+            base_res = index.resolve_qualified(candidate)
+            if base_res is None or base_res.kind != "class":
+                return None
+            deeper = self._class_closure(index, base_res, depth - 1)
+            if deeper is None:
+                return None
+            _, base_fields, base_attrs = deeper
+            fields |= base_fields
+            attrs |= base_attrs
+        return cls, fields, attrs
+
+    def _check_dataclass_drift(self, index: ProjectIndex,
+                               emitter: ProjectEmitter) -> None:
+        for summary in index.summaries:
+            for qualname in sorted(summary.functions):
+                fact = summary.functions[qualname]
+                self._check_ctor_kwargs(index, summary, fact, emitter)
+                self._check_starstar(index, summary, fact, emitter)
+                self._check_annotated_params(
+                    index, summary, fact, emitter)
+
+    def _resolve_class(self, index: ProjectIndex,
+                       summary: ModuleSummary, fact: FunctionFact,
+                       text: str) -> Optional[Resolution]:
+        res = index._resolve_text(text, summary, fact)
+        if res is not None and res.kind == "class":
+            return res
+        return None
+
+    def _check_ctor_kwargs(self, index: ProjectIndex,
+                           summary: ModuleSummary, fact: FunctionFact,
+                           emitter: ProjectEmitter) -> None:
+        for ci, call in enumerate(fact.calls):
+            if not call.kwargs or call.callee is None:
+                continue
+            res = self._resolve_class(index, summary, fact,
+                                      call.callee)
+            if res is None:
+                continue
+            closure = self._class_closure(index, res)
+            if closure is None:
+                continue
+            cls, fields, attrs = closure
+            if not cls.is_dataclass or "__init__" in cls.attrs:
+                continue
+            for kw_name, _ in call.kwargs:
+                if kw_name is None or kw_name in fields:
+                    continue
+                emitter.emit(
+                    SCHEMA003.rule_id, summary.dotted, call.line,
+                    call.col,
+                    f"keyword '{kw_name}' is not a field of "
+                    f"dataclass {res.origin} — constructed shape "
+                    f"drifts from the record shape",
+                    symbol=fact.qualname)
+
+    def _check_starstar(self, index: ProjectIndex,
+                        summary: ModuleSummary, fact: FunctionFact,
+                        emitter: ProjectEmitter) -> None:
+        for callee, data_name, line in fact.starstar_calls:
+            res = self._resolve_class(index, summary, fact, callee)
+            if res is None:
+                continue
+            closure = self._class_closure(index, res)
+            if closure is None:
+                continue
+            cls, fields, attrs = closure
+            if not cls.is_dataclass or "__init__" in cls.attrs:
+                continue
+            use = fact.name_uses.get(data_name)
+            if use is None or not (use.dict_inits > 0
+                                   and use.other_inits == 0
+                                   and not use.open_writes):
+                continue
+            for key in sorted(use.key_writes):
+                if key in fields:
+                    continue
+                emitter.emit(
+                    SCHEMA003.rule_id, summary.dotted, line, 1,
+                    f"'{data_name}' carries key '{key}' into "
+                    f"{res.origin}(**{data_name}) but the dataclass "
+                    f"has no such field — snapshot/codec drift",
+                    symbol=fact.qualname)
+
+    def _check_annotated_params(self, index: ProjectIndex,
+                                summary: ModuleSummary,
+                                fact: FunctionFact,
+                                emitter: ProjectEmitter) -> None:
+        for i, annotation in enumerate(fact.param_annotations):
+            if annotation is None or \
+                    i not in fact.param_attr_reads:
+                continue
+            res = self._resolve_class(index, summary, fact, annotation)
+            if res is None:
+                continue
+            closure = self._class_closure(index, res)
+            if closure is None:
+                continue
+            cls, fields, attrs = closure
+            if not cls.is_dataclass:
+                continue
+            for attr, line in sorted(fact.param_attr_reads[i]):
+                if attr in attrs or attr.startswith("__"):
+                    continue
+                emitter.emit(
+                    SCHEMA003.rule_id, summary.dotted, line, 1,
+                    f"attribute '.{attr}' read on parameter "
+                    f"'{fact.params[i]}: {annotation}' but dataclass "
+                    f"{res.origin} defines no such field or method — "
+                    f"record-shape drift", symbol=fact.qualname)

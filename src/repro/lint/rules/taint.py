@@ -24,9 +24,20 @@ that takes on edge construction.
 import ast
 from typing import Set
 
-from repro.lint.engine import Emitter, Rule
+from repro.lint.contracts import (
+    GROUPING_FUNCTIONS,
+    TAINTED_ATTRIBUTES,
+    TAINTED_MODULES,
+)
+from repro.lint.engine import Emitter, ProjectEmitter, ProjectRule, Rule
 from repro.lint.findings import register_rule
 from repro.lint.symbols import FUNCTION_NODES, ModuleInfo
+
+__all__ = [
+    "GROUPING_FUNCTIONS", "TAINTED_ATTRIBUTES", "TAINTED_MODULES",
+    "TaintSeparationRule", "InterproceduralTaintRule",
+    "is_grouping_module",
+]
 
 TAINT001 = register_rule(
     "TAINT001", "taint",
@@ -34,25 +45,9 @@ TAINT001 = register_rule(
 TAINT002 = register_rule(
     "TAINT002", "taint",
     "grouping code reads an enrichment-owned attribute")
-
-#: defining or importing either of these marks a grouping module.
-GROUPING_FUNCTIONS = frozenset({"record_attachments", "build_campaign"})
-
-#: modules whose outputs are enrichment-only (prefix matched).
-TAINTED_MODULES = frozenset({
-    "repro.core.enrichment",
-    "repro.osint.stock_tools",
-    "repro.binfmt.packers",
-    "repro.binfmt.entropy",
-    "repro.botnet",
-    "repro.intel.labels",
-})
-
-#: attributes owned by the enrichment stage (on records or campaigns).
-TAINTED_ATTRIBUTES = frozenset({
-    "uses_ppi", "ppi_botnets", "stock_tools", "stock_tool_matches",
-    "obfuscated", "packers", "packer", "entropy",
-})
+TAINT003 = register_rule(
+    "TAINT003", "taint",
+    "enrichment-tainted value reaches the checkpoint store")
 
 
 def is_grouping_module(module: ModuleInfo) -> bool:
@@ -84,6 +79,17 @@ class TaintSeparationRule(Rule):
                 f"enrichment attribute '.{node.attr}' read inside a "
                 "grouping module — enrichment must stay informative, "
                 "never a grouping edge (paper §III-E)")
+        elif isinstance(node, ast.Subscript) and \
+                isinstance(node.ctx, ast.Load) and \
+                isinstance(node.slice, ast.Constant) and \
+                node.slice.value in TAINTED_ATTRIBUTES:
+            # field sensitivity for record-shaped dicts: the key is
+            # the same enrichment-owned name, the container differs.
+            emitter.emit(
+                TAINT002.rule_id, node,
+                f"enrichment key '[{node.slice.value!r}]' read inside "
+                "a grouping module — enrichment must stay "
+                "informative, never a grouping edge (paper §III-E)")
 
     def _check_import(self, node: ast.AST, emitter: Emitter) -> None:
         names: Set[str] = set()
@@ -101,3 +107,23 @@ class TaintSeparationRule(Rule):
                     f"grouping module imports '{name}' — enrichment "
                     "outputs must not feed edge construction")
                 return
+
+
+class InterproceduralTaintRule(ProjectRule):
+    """TAINT002 (any call depth) + TAINT003 via the fixpoint engine.
+
+    The per-module rule above catches *direct* enrichment reads in
+    grouping code; this pass catches the laundered ones — a helper
+    chain (possibly crossing a ``pool.submit`` boundary) whose return
+    value carries enrichment taint into a grouping module, and any
+    path by which a tainted value reaches the checkpoint store
+    (:mod:`repro.lint.interproc` documents the lattice and the
+    deliberate mutation-tracking gap).
+    """
+
+    def run(self, index, emitter: ProjectEmitter) -> None:
+        from repro.lint.interproc import run_taint_analysis
+        for finding in run_taint_analysis(index):
+            emitter.emit(
+                finding.rule_id, finding.module, finding.line,
+                finding.col, finding.message, symbol=finding.symbol)

@@ -64,8 +64,15 @@ class ModuleInfo:
         return self.import_aliases.get(name)
 
 
-def build_module_info(path: Path, root: Path) -> ModuleInfo:
-    """Parse ``path`` once and derive its symbol tables."""
+def build_module_info(path: Path, root: Path,
+                      with_pragmas: bool = True) -> ModuleInfo:
+    """Parse ``path`` once and derive its symbol tables.
+
+    ``with_pragmas=False`` skips the tokenizer pass that collects
+    suppression pragmas — the ``--changed`` fast path uses it for
+    out-of-focus modules, whose findings are scoped out of the report
+    anyway (their facts still feed the whole-program passes).
+    """
     source = path.read_text(encoding="utf-8")
     tree = ast.parse(source, filename=str(path))
     rel = path.relative_to(root)
@@ -75,7 +82,8 @@ def build_module_info(path: Path, root: Path) -> ModuleInfo:
         parts=tuple(rel.parts[:-1]) + (rel.stem,),
         tree=tree,
         source=source,
-        pragmas=collect_pragmas(source),
+        pragmas=(collect_pragmas(source) if with_pragmas
+                 else PragmaIndex()),
     )
     for node in tree.body:
         _index_toplevel(info, node)

@@ -15,6 +15,15 @@ from repro.netsim.flows import FlowLog, FlowRecord
 PathLike = Union[str, Path]
 
 
+__all__ = [
+    "dump_flows",
+    "flow_from_dict",
+    "flow_to_dict",
+    "load_flows",
+    "merge_captures",
+]
+
+
 def flow_to_dict(flow: FlowRecord) -> dict:
     """JSON-serialisable dictionary view of one flow."""
     return {

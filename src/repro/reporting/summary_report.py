@@ -122,6 +122,8 @@ def render_measurement_report(world: SyntheticWorld,
     parts.append("## Headline (§IV-D)")
     parts.append("")
     parts.append(f"- illicit XMR observed: {headline['total_xmr']:,.0f}")
+    parts.append(f"- circulating supply at cutoff: "
+                 f"{headline['circulating_supply']:,.0f} XMR")
     parts.append(f"- share of circulating supply: "
                  f"{headline['fraction']*100:.2f}%")
     parts.append(f"- estimated value: ${headline['total_usd']:,.0f}")

@@ -15,6 +15,16 @@ from typing import List, Optional, Tuple
 from repro.wallets.addresses import COINS, Coin, is_valid_address
 
 
+__all__ = [
+    "ClassifiedIdentifier",
+    "IdentifierKind",
+    "classify_identifier",
+    "classify_identifier_legacy",
+    "extract_identifiers",
+    "extract_identifiers_legacy",
+]
+
+
 class IdentifierKind(enum.Enum):
     """What kind of mining identifier a string is."""
 

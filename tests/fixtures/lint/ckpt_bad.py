@@ -1,0 +1,19 @@
+"""Checkpoint-sink positive fixture: enrichment-tainted values reach
+the checkpoint store, both directly and laundered through a helper."""
+
+
+def persist_outcome(store, campaign):
+    annotation = campaign.packers  # enrichment-owned attribute
+    store.append_outcome(annotation)  # TAINT003 direct sink write
+
+
+def write_through(store, value):
+    store.commit_batch(value)  # sink: param flows in, taint decided at caller
+
+
+def launder_and_persist(store, campaign):
+    write_through(store, campaign.uses_ppi)  # TAINT003 via helper
+
+
+def persist_clean(store, campaign):
+    store.append_outcome(campaign.first_seen)  # untainted — no finding

@@ -1,0 +1,8 @@
+"""DEAD fixture entrypoint: reaches ``used_entry`` and, through it,
+the private helper — but never ``forgotten``."""
+
+from deadpkg.lib import used_entry
+
+
+def main(argv):
+    return used_entry(argv)

@@ -1,0 +1,13 @@
+"""DEAD fixture library: one live chain, one unreachable function."""
+
+
+def used_entry(items):
+    return _helper(items)
+
+
+def _helper(items):
+    return len(items)
+
+
+def forgotten(items):  # DEAD001 unreachable from the cli entrypoint
+    return sum(items)

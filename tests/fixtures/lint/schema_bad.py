@@ -1,0 +1,43 @@
+"""SCHEMA positive fixture: record shapes drifting across boundaries."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FlowRecord:
+    src: str
+    dst: str
+
+
+def make_flow(src, dst):
+    return {
+        "src": src,
+        "dst": dst,
+        "legacy": 1,  # SCHEMA001 no caller ever reads this key
+    }
+
+
+def consume_flow(record):
+    return record["src"] + record["dst"] + record["proto"]  # SCHEMA002
+
+
+def handoff():
+    return consume_flow(make_flow("a", "b"))
+
+
+def drop_rate():
+    stats = {"seen": 10, "dropped": 1, "skipped": 0}  # SCHEMA001 'skipped'
+    return stats["dropped"] / stats["seen"]
+
+
+def rebuild(src, dst):
+    return FlowRecord(src=src, dst=dst, proto="tcp")  # SCHEMA003 kwarg
+
+
+def thaw():
+    data = {"src": "a", "dst": "b", "ttl": 9}
+    return FlowRecord(**data)  # SCHEMA003 'ttl' is not a field
+
+
+def describe(flow: FlowRecord):
+    return flow.src + flow.protocol  # SCHEMA003 attr drift

@@ -1,0 +1,45 @@
+"""SCHEMA negative fixture: the same shapes, kept in sync — plus the
+escape hatches that must silence the checks rather than guess.
+
+* every produced key is read (or soft-probed) by some resolved caller
+* consumers only require keys every producer writes
+* dataclass construction and reads stay inside the declared fields
+* a record that escapes through an unresolved callee is opaque: no
+  SCHEMA001, even though no *resolved* consumer reads "extra"
+"""
+
+import json
+from dataclasses import dataclass
+
+
+@dataclass
+class FlowRecord:
+    src: str
+    dst: str
+
+
+def make_flow(src, dst):
+    return {"src": src, "dst": dst, "proto": "tcp"}
+
+
+def consume_flow(record):
+    if record.get("proto") == "udp":  # soft probe, not a requirement
+        return record["dst"]
+    return record["src"]
+
+
+def handoff():
+    return consume_flow(make_flow("a", "b"))
+
+
+def snapshot():
+    payload = {"src": "a", "dst": "b", "extra": 1}
+    return json.dumps(payload)  # opaque escape: silences SCHEMA001
+
+
+def rebuild(src, dst):
+    return FlowRecord(src=src, dst=dst)
+
+
+def describe(flow: FlowRecord):
+    return flow.src + flow.dst

@@ -1,0 +1,15 @@
+"""Deep-taint positive fixture: a grouping module pulls enrichment
+data through a three-hop helper chain that crosses a pool boundary.
+No line here reads an enrichment attribute directly — only the
+interprocedural pass can see the laundering."""
+
+from taintdeep.helpers import relay_via_pool
+
+
+def build_campaign(component, pool):
+    edges = []
+    for node in component:
+        flags = relay_via_pool(pool, node)  # TAINT002 laundered taint
+        if flags:
+            edges.append((node, flags))
+    return edges

@@ -1,0 +1,12 @@
+"""Deep-taint negative fixture: the same grouping shape, but the
+helper it calls returns a sanitized count — importing a module that
+*contains* tainted helpers is fine; calling the clean one is too."""
+
+from taintdeep.helpers import sample_count
+
+
+def build_campaign(component, pool):
+    edges = []
+    for node in component:
+        edges.append((node, sample_count(node)))
+    return edges

@@ -1,0 +1,23 @@
+"""Deep-taint fixture helpers: a laundering chain, three calls deep.
+
+No finding fires *here* — none of these functions group campaigns.
+The chain only becomes a violation when a grouping module consumes
+its return value (see ``grouping.py``).
+"""
+
+
+def read_flags(campaign):
+    return campaign.stock_tools  # the enrichment source (hop 3)
+
+
+def relay(campaign):
+    return read_flags(campaign)  # hop 2
+
+
+def relay_via_pool(pool, campaign):
+    handle = pool.submit(relay, campaign)  # hop 1, across the pool
+    return handle
+
+
+def sample_count(campaign):
+    return len(campaign.identifiers)  # clean helper

@@ -7,6 +7,7 @@ pragma suppression, baseline add/expire arithmetic, and the self-check
 that HEAD lints clean.
 """
 
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -14,9 +15,13 @@ import pytest
 from repro.lint import (
     Baseline,
     LintEngine,
+    LintReport,
     RULE_REGISTRY,
+    build_project_index,
+    changed_files,
     lint_source_tree,
 )
+from repro.lint.pragmas import collect_pragmas
 
 FIXTURES = Path(__file__).parent / "fixtures" / "lint"
 
@@ -213,6 +218,220 @@ class TestBaseline:
         assert loaded.regressions(report) == []
 
 
+# -- whole-program passes ---------------------------------------------------
+
+
+class TestInterproceduralTaint:
+    def test_three_hop_chain_through_pool_flagged(self):
+        report = lint_fixture("taintdeep/grouping.py",
+                              "taintdeep/helpers.py")
+        assert found(report, "TAINT002") == [
+            ("taintdeep/grouping.py", line)
+            for line in marked_lines("taintdeep/grouping.py",
+                                     "TAINT002")]
+        (finding,) = report.findings
+        assert "relay_via_pool" in finding.message
+
+    def test_sanitized_variant_is_clean(self):
+        report = lint_fixture("taintdeep/grouping_ok.py",
+                              "taintdeep/helpers.py")
+        assert report.findings == []
+
+    def test_helpers_alone_are_clean(self):
+        # the chain is only a violation once grouping code consumes it
+        assert lint_fixture("taintdeep/helpers.py").findings == []
+
+    def test_checkpoint_sink_direct_and_laundered(self):
+        report = lint_fixture("ckpt_bad.py")
+        assert {line for _, line in found(report, "TAINT003")} == \
+            set(marked_lines("ckpt_bad.py", "TAINT003"))
+        # the untainted write must stay silent
+        assert len(report.findings) == 2
+
+
+class TestSchemaRules:
+    def test_positive(self):
+        report = lint_fixture("schema_bad.py")
+        for rule in ("SCHEMA001", "SCHEMA002", "SCHEMA003"):
+            assert {line for _, line in found(report, rule)} == \
+                set(marked_lines("schema_bad.py", rule)), rule
+
+    def test_negative_including_opaque_escape(self):
+        assert lint_fixture("schema_ok.py").findings == []
+
+
+class TestDeadCode:
+    def test_unreachable_function_flagged(self):
+        report = lint_fixture("deadpkg/cli.py", "deadpkg/lib.py")
+        assert found(report, "DEAD001") == [
+            ("deadpkg/lib.py", line)
+            for line in marked_lines("deadpkg/lib.py", "DEAD001")]
+
+    def test_no_entrypoint_means_no_dead_code_pass(self):
+        # without a cli/__main__ module the roots are unknowable
+        assert lint_fixture("deadpkg/lib.py").findings == []
+
+
+class TestGraphRender:
+    def test_render_graph_and_contracts(self):
+        from repro.lint.callgraph import render_contracts, render_graph
+        index = build_project_index(FIXTURES)
+        graph = render_graph(index)
+        assert "taintdeep.grouping.build_campaign" in graph
+        assert "-> taintdeep.helpers.relay_via_pool" in graph
+        contracts = render_contracts(index)
+        assert "schema_bad.make_flow" in contracts
+        assert "produces" in contracts and "requires" in contracts
+
+
+# -- pragma parsing and hygiene ---------------------------------------------
+
+
+class TestPragmaParsing:
+    def test_multi_rule_list(self):
+        index = collect_pragmas(
+            "x = now()  # reprolint: disable=DET001,CKEY001 — "
+            "clock is logged only\n")
+        (entry,) = index.entries
+        assert entry.rules == ("DET001", "CKEY001")
+        assert index.disabled(1, "DET001")
+        assert index.disabled(1, "CKEY001")
+        assert not index.disabled(1, "EXC001")
+
+    def test_prose_never_becomes_a_rule(self):
+        index = collect_pragmas(
+            "y = 2  # reprolint: disable=DET001, see ticket 42\n")
+        (entry,) = index.entries
+        assert entry.rules == ("DET001",)
+
+    def test_scopes_and_all_wildcard(self):
+        index = collect_pragmas(
+            "# reprolint: disable-file=all\n"
+            "z = 3  # reprolint: disable=EXC001\n")
+        assert [e.scope for e in index.entries] == \
+            ["disable-file", "disable"]
+        assert index.disabled(99, "DET001")  # file-wide wildcard
+
+    def test_stale_pragma_warned_live_pragma_kept(self):
+        report = lint_fixture("pragma_stale.py")
+        assert found(report, "PRAGMA001") == [
+            ("pragma_stale.py", line)
+            for line in marked_lines("pragma_stale.py", "PRAGMA001")]
+        # the live pragma still suppresses, and is not reported stale
+        assert found(report, "EXC001") == []
+        assert "EXC001" in {f.rule_id for f in report.suppressed}
+
+
+# -- parallel workers and --changed focus -----------------------------------
+
+
+class TestParallelEngine:
+    def test_workers_match_serial(self):
+        serial = LintEngine().run(FIXTURES)
+        parallel = LintEngine(workers=2).run(FIXTURES)
+        assert [f.render() for f in serial.findings] == \
+            [f.render() for f in parallel.findings]
+        assert sorted(f.render() for f in serial.suppressed) == \
+            sorted(f.render() for f in parallel.suppressed)
+
+
+class TestFocusAndChanged:
+    def test_focus_narrows_reporting_but_keeps_program(self):
+        paths = [FIXTURES / "taintdeep/grouping.py",
+                 FIXTURES / "taintdeep/helpers.py"]
+        out_of_focus = LintEngine().run(
+            FIXTURES, paths=paths, focus=["taintdeep/helpers.py"])
+        assert out_of_focus.findings == []
+        in_focus = LintEngine().run(
+            FIXTURES, paths=paths, focus=["taintdeep/grouping.py"])
+        assert [f.rule_id for f in in_focus.findings] == ["TAINT002"]
+
+    def test_changed_files_outside_git(self, tmp_path):
+        assert changed_files(tmp_path) is None
+
+    def test_summary_cache_serves_unchanged_modules(self, tmp_path):
+        paths = [FIXTURES / "taintdeep/grouping.py",
+                 FIXTURES / "taintdeep/helpers.py"]
+        cache = tmp_path / "reprolint-cache"
+        focus = ["taintdeep/grouping.py"]
+        cold = LintEngine(cache_path=cache).run(
+            FIXTURES, paths=paths, focus=focus)
+        assert cache.exists()
+        warm = LintEngine(cache_path=cache).run(
+            FIXTURES, paths=paths, focus=focus)
+        assert [f.render() for f in warm.findings] == \
+            [f.render() for f in cold.findings]
+        assert [f.rule_id for f in warm.findings] == ["TAINT002"]
+
+    def test_summary_cache_invalidates_on_edit(self, tmp_path):
+        pkg = tmp_path / "taintdeep"
+        pkg.mkdir()
+        for name in ("grouping.py", "helpers.py"):
+            pkg.joinpath(name).write_text(
+                (FIXTURES / "taintdeep" / name).read_text())
+        cache = tmp_path / "reprolint-cache"
+        focus = ["taintdeep/grouping.py"]
+        first = LintEngine(cache_path=cache).run(tmp_path, focus=focus)
+        assert [f.rule_id for f in first.findings] == ["TAINT002"]
+        # neutralise the out-of-focus helper; its cached facts must
+        # not survive the edit (mtime/size stamp changes).
+        helpers = pkg / "helpers.py"
+        helpers.write_text(
+            helpers.read_text().replace(
+                "campaign.stock_tools", "campaign.first_seen"))
+        second = LintEngine(cache_path=cache).run(tmp_path,
+                                                  focus=focus)
+        assert second.findings == []
+
+    def test_changed_files_sees_working_tree_diff(self, tmp_path):
+        repo = tmp_path / "repo"
+        (repo / "pkg").mkdir(parents=True)
+        (repo / "pkg" / "a.py").write_text("A = 1\n")
+        (repo / "pkg" / "b.py").write_text("B = 2\n")
+
+        def git(*argv):
+            subprocess.run(
+                ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+                 *argv], cwd=repo, check=True, capture_output=True)
+
+        git("init", "-b", "main")
+        git("add", ".")
+        git("commit", "-m", "seed")
+        (repo / "pkg" / "b.py").write_text("B = 3\n")
+        assert changed_files(repo, base_refs=("main",)) == ["pkg/b.py"]
+        assert changed_files(repo / "pkg",
+                             base_refs=("main",)) == ["b.py"]
+
+
+# -- baseline edge cases ----------------------------------------------------
+
+
+class TestBaselineEdgeCases:
+    def test_budget_shrink_is_not_a_regression(self):
+        report = lint_fixture("exc_bad.py")
+        baseline = Baseline.from_report(report)
+        reduced = LintReport()
+        reduced.findings = report.findings[:-1]
+        assert baseline.regressions(reduced) == []
+        assert baseline.expired(reduced)
+
+    def test_deleted_path_grant_expires(self):
+        baseline = Baseline.from_report(lint_fixture("exc_bad.py"))
+        assert baseline.regressions(LintReport()) == []
+        expired = baseline.expired(LintReport())
+        assert expired
+        assert {path for (_, path), _, _ in expired} == {"exc_bad.py"}
+
+    def test_rewrite_is_byte_identical(self, tmp_path):
+        report = lint_fixture("exc_bad.py", "cache_bad.py")
+        path = tmp_path / "lint_baseline.toml"
+        Baseline.from_report(report).write(path)
+        first = path.read_bytes()
+        loaded = Baseline.load(path)
+        Baseline.from_report(report, notes=loaded.notes).write(path)
+        assert path.read_bytes() == first
+
+
 # -- self-check -------------------------------------------------------------
 
 
@@ -232,4 +451,5 @@ class TestSelfCheck:
         families = {spec.family for spec in RULE_REGISTRY.values()}
         assert families == {"taint", "determinism", "parallel-safety",
                             "durability", "cache-keys",
-                            "exception-hygiene"}
+                            "exception-hygiene", "schema",
+                            "dead-code", "pragma-hygiene"}
