@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Unified benchmark harness entry point.
+
+Thin wrapper over :mod:`repro.scale.bench` so the suite can be run
+without installing the package::
+
+    PYTHONPATH=src python benchmarks/harness.py --suite all
+    PYTHONPATH=src python benchmarks/harness.py --suite scale \
+        --scales 0.055,0.55
+
+Emits ``BENCH_scale.json`` (out-of-core scaling curve: samples, time,
+throughput, peak RSS per point) and ``BENCH_pipeline.json`` (batch
+pipeline stage breakdown).  Every point runs in a fresh subprocess so
+peak-RSS numbers are per-point, not a shared high-water mark.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.scale.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,19 +24,26 @@ def pseudo_code(rng: DeterministicRNG, size: int) -> bytes:
     """Generate ``size`` bytes of code-like, compressible content."""
     if size <= 0:
         return b""
+    # This is the hottest loop of world generation (one call per sample
+    # body), so the underlying random.Random methods are bound locally:
+    # the draw sequence is untouched — bernoulli(p) is random() < p and
+    # choice/randint delegate 1:1 — only attribute lookups go away.
+    _random = rng._random.random
+    _choice = rng._random.choice
+    _randint = rng._random.randint
     # Build a small library of basic blocks, then emit them with reuse.
     library: List[bytes] = []
     for _ in range(max(4, size // (_BLOCK * 8))):
         block = bytearray()
         for _ in range(_BLOCK):
-            if rng.bernoulli(0.8):
-                block.append(rng.choice(_COMMON))
+            if _random() < 0.8:
+                block.append(_choice(_COMMON))
             else:
-                block.append(rng.choice(_RARE))
+                block.append(_choice(_RARE))
         library.append(bytes(block))
     out = bytearray()
     while len(out) < size:
-        out += rng.choice(library)
-        if rng.bernoulli(0.3):
-            out += bytes([0x90] * rng.randint(1, 6))  # nop sled padding
+        out += _choice(library)
+        if _random() < 0.3:
+            out += b"\x90" * _randint(1, 6)  # nop sled padding
     return bytes(out[:size])

@@ -8,6 +8,8 @@ Subcommands::
     python -m repro.cli defense   --scale 0.01
     python -m repro.cli ingest    --checkpoint DIR --batch-days 7 [--resume]
     python -m repro.cli status    --checkpoint DIR
+    python -m repro.cli scale     --scale 0.55 [--store DIR] [--shards K]
+    python -m repro.cli bench     [--suite scale|pipeline|all]
     python -m repro.cli lint      [--strict] [--update-baseline]
                                   [--changed] [--graph] [--workers N]
 
@@ -16,7 +18,10 @@ renders the main paper tables; ``casestudy`` deep-dives one of the §V
 campaigns; ``defense`` evaluates the §VI countermeasures; ``ingest``
 replays the corpus as dated feed batches with durable checkpoints
 (interrupt it freely, re-run with ``--resume``); ``status`` inspects a
-checkpoint directory without touching the corpus; ``lint`` runs the
+checkpoint directory without touching the corpus; ``scale`` runs the
+out-of-core streaming pipeline (:mod:`repro.scale`) that never holds
+the whole world in memory; ``bench`` emits the ``BENCH_*.json``
+scaling/stage benchmarks; ``lint`` runs the
 reprolint invariant checks (see ``docs/static-analysis.md``) and fails
 on findings the committed baseline does not accept — ``--changed``
 narrows reporting to the git diff, ``--graph`` dumps the resolved
@@ -246,6 +251,53 @@ def cmd_ingest(args) -> int:
     return 0
 
 
+def cmd_scale(args) -> int:
+    """Run the out-of-core streaming pipeline and print its funnel."""
+    from repro.common.memory import peak_rss_mib, rss_supported
+    from repro.scale.columnar import RecordStore
+    from repro.scale.pipeline import ScalePipeline
+    from repro.scale.stream import StreamingCorpus
+    config = ScenarioConfig(seed=args.seed, scale=args.scale,
+                            mining_stride_days=args.stride_days)
+    corpus = StreamingCorpus(config, chunk_samples=args.chunk_samples,
+                             keep_sample_hashes=False)
+    store = RecordStore(args.store) if args.store else None
+    pipeline = ScalePipeline(corpus, store=store, workers=args.workers,
+                             num_shards=args.shards)
+    result = pipeline.run()
+    stats = result.stats
+    print(f"collected:   {stats.collected}")
+    print(f"executables: {stats.executables}")
+    print(f"malware:     {stats.malware}")
+    print(f"miners:      {stats.miners}")
+    print(f"ancillaries: {stats.ancillaries}")
+    print(f"campaigns:   {len(result.campaigns)}")
+    print(f"segments:    {result.store.num_segments} "
+          f"({len(result.store)} records)")
+    print(f"spilled:     {result.deferred_spilled} deferred, "
+          f"{result.rejected_spilled} rejected, "
+          f"{result.recovered} recovered "
+          f"({result.spill_bytes / (1024 * 1024):.1f} MiB on disk)")
+    if rss_supported():
+        print(f"peak RSS:    {peak_rss_mib():.1f} MiB")
+    if args.store:
+        print(f"store:       {args.store}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Run the benchmark harness (see ``benchmarks/harness.py``)."""
+    from repro.scale import bench
+    argv = ["--suite", args.suite, "--seed", str(args.seed),
+            "--workers", str(args.workers),
+            "--chunk-samples", str(args.chunk_samples),
+            "--shards", str(args.shards),
+            "--out-dir", args.out_dir]
+    if args.scales:
+        argv += ["--scales", args.scales]
+    return bench.main(argv)
+
+
 def cmd_lint(args) -> int:
     """Run reprolint over the source tree and gate on the baseline."""
     import json
@@ -375,6 +427,37 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--verify", action="store_true",
                            help="also run the batch pipeline and assert "
                                 "the results are identical")
+    scale = sub.add_parser(
+        "scale",
+        help="out-of-core streaming pipeline (repro.scale)")
+    scale.add_argument("--scale", type=float, default=0.055)
+    scale.add_argument("--seed", type=int, default=2019)
+    scale.add_argument("--workers", type=_positive_int, default=1)
+    scale.add_argument("--chunk-samples", type=_positive_int,
+                       default=4096, help="samples per streamed chunk")
+    scale.add_argument("--shards", type=_positive_int, default=8,
+                       help="union-find shards for aggregation")
+    scale.add_argument("--stride-days", type=_positive_int, default=30,
+                       help="mining-driver stride (coarser = faster)")
+    scale.add_argument("--store", type=str, default=None,
+                       help="persist the columnar record store here "
+                            "(default: a temp dir, deleted on exit)")
+    scale.set_defaults(func=cmd_scale)
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark harness; writes BENCH_scale.json / "
+             "BENCH_pipeline.json")
+    bench.add_argument("--suite", choices=["scale", "pipeline", "all"],
+                       default="all")
+    bench.add_argument("--scales", type=str, default=None,
+                       help="comma-separated scale factors")
+    bench.add_argument("--seed", type=int, default=2019)
+    bench.add_argument("--workers", type=_positive_int, default=1)
+    bench.add_argument("--chunk-samples", type=_positive_int,
+                       default=4096)
+    bench.add_argument("--shards", type=_positive_int, default=8)
+    bench.add_argument("--out-dir", type=str, default=".")
+    bench.set_defaults(func=cmd_bench)
     status = sub.add_parser("status")
     status.add_argument("--checkpoint", type=str, required=True,
                         help="checkpoint directory to inspect")

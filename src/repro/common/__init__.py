@@ -12,6 +12,7 @@ from repro.common.errors import (
     PoolError,
     ProtocolError,
 )
+from repro.common.memory import peak_rss_bytes, peak_rss_mib, rss_supported
 from repro.common.rng import DeterministicRNG, derive_seed
 from repro.common.simtime import (
     SIM_START,
@@ -33,6 +34,9 @@ __all__ = [
     "ProtocolError",
     "DeterministicRNG",
     "derive_seed",
+    "peak_rss_bytes",
+    "peak_rss_mib",
+    "rss_supported",
     "SIM_START",
     "SIM_END",
     "POW_FORK_DATES",

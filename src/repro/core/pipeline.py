@@ -190,11 +190,16 @@ class MeasurementPipeline:
                  use_ha_reports: bool = True,
                  workers: int = 1,
                  chunk_size: Optional[int] = None,
-                 profiler: Optional[PipelineProfiler] = None) -> None:
+                 profiler: Optional[PipelineProfiler] = None,
+                 record_store=None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.world = world
         self.workers = workers
+        #: optional repro.scale.columnar.RecordStore (duck-typed to
+        #: avoid a core -> scale import cycle); every run appends the
+        #: kept record set as one columnar segment.
+        self.record_store = record_store
         self.profiler = profiler or PipelineProfiler()
         self._policy = policy or GroupingPolicy.full()
         self._chunk_size = chunk_size
@@ -245,6 +250,10 @@ class MeasurementPipeline:
                 self._recover_ancillaries(records, verdicts, stats)
 
             kept = list(records.values())
+
+            if self.record_store is not None:
+                with prof.stage("record store flush", items=len(kept)):
+                    self.record_store.append_segment(kept)
 
             # -- warm the CTPH memo for enrichment (pooled runs) ---------
             if self.workers > 1:

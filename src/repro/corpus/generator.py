@@ -10,7 +10,7 @@ simulators so that pool-side payment ledgers exist for profit analysis.
 
 import datetime
 import hashlib
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.binfmt.codegen import pseudo_code
 from repro.binfmt.format import ExecutableKind, build_binary
@@ -27,6 +27,7 @@ from repro.corpus import distributions as dist
 from repro.corpus.driver import MiningDriver
 from repro.corpus.model import (
     GroundTruthCampaign,
+    SampleChunk,
     SampleRecord,
     ScenarioConfig,
     SyntheticWorld,
@@ -57,6 +58,29 @@ _XMR_END = datetime.date(2019, 4, 30)
 #: campaign's hashrate into "distinct infected IPs" seen by pools.
 _HASHRATE_PER_BOT = 100.0
 
+# Invariant per-sample distribution setup, hoisted out of the emission
+# loops: re-deriving these name/weight lists on every draw dominated the
+# generator profile without changing a single draw (the RNG consumes
+# values, not the lists they come from).
+_PPI_NAMES = tuple(n for n, _ in dist.PPI_WEIGHTS)
+_PPI_P = tuple(w for _, w in dist.PPI_WEIGHTS)
+_STOCK_TOOL_NAMES = tuple(n for n, _ in dist.STOCK_TOOL_WEIGHTS)
+_STOCK_TOOL_P = tuple(w for _, w in dist.STOCK_TOOL_WEIGHTS)
+_PACKER_NAMES = tuple(n for n, _ in dist.PACKER_WEIGHTS)
+_PACKER_P = tuple(w for _, w in dist.PACKER_WEIGHTS)
+_WALLET_COUNTS = tuple(c for c, _ in dist.WALLETS_PER_CAMPAIGN_P)
+_WALLET_COUNT_P = tuple(w for _, w in dist.WALLETS_PER_CAMPAIGN_P)
+_XMR_POOL_NAMES = tuple(n for n, _ in dist.XMR_POOL_WEIGHTS)
+_XMR_POOL_P = tuple(w for _, w in dist.XMR_POOL_WEIGHTS)
+_EMAIL_POOL_NAMES = tuple(n for n, _ in dist.EMAIL_POOL_WEIGHTS)
+_EMAIL_POOL_P = tuple(w for _, w in dist.EMAIL_POOL_WEIGHTS)
+_HOSTING_NAMES = tuple(d for d, _, _ in dist.HOSTING_DOMAINS)
+_HOSTING_P = tuple(w for _, w, _ in dist.HOSTING_DOMAINS)
+_HOSTING_PUBLIC = {d: p for d, _, p in dist.HOSTING_DOMAINS}
+_AV_VENDOR_LIST = list(AV_VENDORS)
+_MINER_PORTS = (3333, 4444, 5555, 7777, 8080)
+_BTC_POOLS = ("50btc", "slushpool", "btcdig", "f2pool", "suprnova")
+
 
 class EcosystemGenerator:
     """Deterministic generator for a full synthetic ecosystem."""
@@ -79,6 +103,12 @@ class EcosystemGenerator:
         self._campaign_counter = 0
         self._sample_counter = 0
         self._tool_drop_hashes: Dict[str, str] = {}  # tool sha -> emitted
+        #: every sha256 ever registered; replaces the per-emission scan
+        #: over self.samples (which streaming mode drains anyway)
+        self._seen_hashes: set = set()
+        self._parent_links: Dict[str, List[str]] = {}
+        self._hosting_owner: Dict[str, int] = {}
+        self._skeleton_built = False
 
     # ------------------------------------------------------------------
     # top level
@@ -118,6 +148,128 @@ class EcosystemGenerator:
             ),
         )
         return world
+
+    # ------------------------------------------------------------------
+    # streaming mode
+    # ------------------------------------------------------------------
+
+    def build_skeleton(self) -> None:
+        """Campaign-level world state only — no sample bodies.
+
+        Builds everything :meth:`stream_chunks` needs up front: DNS,
+        catalogs, every campaign's ground truth, the case studies, and
+        the pool-side payment ledgers (the mining driver reads only
+        campaign fields and its own keyed substreams, so replaying it
+        before emission draws exactly what the batch path draws after).
+        Idempotent; an instance supports either :meth:`generate` or the
+        streaming path, not both.
+        """
+        if self._skeleton_built:
+            return
+        self._skeleton_built = True
+        self._setup_world()
+        self._generate_wallet_campaigns()
+        self._generate_email_campaigns()
+        self._generate_unknown_campaigns()
+        if self.config.include_case_studies:
+            self._add_case_studies()
+        MiningDriver(self).run()
+
+    def stream_chunks(self, chunk_samples: int = 4096,
+                      keep_sample_hashes: bool = True,
+                      ) -> Iterator[SampleChunk]:
+        """Yield the batch world in bounded chunks, never holding it.
+
+        Emits campaigns in batch order (identical draw sequence), but
+        builds each sample's VT/HA intel lazily at yield time from its
+        per-sample ``intel:{sha}`` substream, so the union of all
+        chunks equals :meth:`generate`'s world as sha-keyed maps.  The
+        first three XMR campaigns that emit miners are withheld until
+        the pre-2014 reuse fixture has added its parent links to them,
+        preserving report equality; known-operation hash IoCs are
+        published before the owning campaign's samples are yielded,
+        exactly as a batch consumer would observe them.
+
+        ``keep_sample_hashes=False`` drops per-campaign sample-hash
+        ground truth once a campaign has been emitted (fixture targets
+        and operation campaigns excepted), bounding skeleton memory by
+        campaign count rather than sample count.
+        """
+        self.build_skeleton()
+        op_for_campaign: Dict[int, object] = {}
+        for operation, campaign in self._known_operation_pairs():
+            campaign.known_operation = operation.name
+            operation.wallets.update(campaign.identifiers[:2])
+            operation.domains.update(campaign.cname_domains[:1])
+            op_for_campaign[campaign.campaign_id] = operation
+        whitelist = self.stock.whitelist_hashes()
+        sandbox = Sandbox(self.resolver, SandboxEnvironment(
+            analysis_date=datetime.date(2018, 9, 1)))
+
+        def build_chunk(samples: List[SampleRecord]) -> SampleChunk:
+            reports: Dict[str, AvReport] = {}
+            ha_reports: Dict[str, object] = {}
+            for sample in samples:
+                rng = self.rng.substream(f"intel:{sample.sha256}")
+                reports[sample.sha256] = self._make_vt_report(
+                    rng, sample, whitelist)
+                self._parent_links.pop(sample.sha256, None)
+                if sample.kind == "miner" and rng.bernoulli(0.03):
+                    ha_reports[sample.sha256] = sandbox.run(
+                        sample.sha256, sample.behavior)
+            return SampleChunk(samples=samples, reports=reports,
+                               ha_reports=ha_reports)
+
+        fixture_pool: List[GroundTruthCampaign] = []
+        fixture_miners: Dict[int, List[str]] = {}
+        held: List[List[SampleRecord]] = []
+        pending: List[SampleRecord] = []
+
+        for campaign in self.campaigns:
+            self._emit_campaign_samples(campaign)
+            emitted, self.samples = self.samples, []
+            withheld = (len(fixture_pool) < 3 and campaign.coin == "XMR"
+                        and any(s.kind == "miner" for s in emitted))
+            if withheld:
+                # candidate fixture target: its miners may gain parent
+                # links (and its op-IoC slice may grow) once the fixture
+                # exists, so emission and IoC publication both wait.
+                fixture_pool.append(campaign)
+                fixture_miners[campaign.campaign_id] = [
+                    s.sha256 for s in emitted if s.kind == "miner"]
+                held.append(emitted)
+                continue
+            operation = op_for_campaign.get(campaign.campaign_id)
+            if operation is not None:
+                self._publish_operation_hashes(operation, campaign)
+            elif not keep_sample_hashes:
+                campaign.sample_hashes = []
+            pending.extend(emitted)
+            while len(pending) >= chunk_samples:
+                yield build_chunk(pending[:chunk_samples])
+                del pending[:chunk_samples]
+
+        fixture = self._emit_pre2014_fixture(fixture_pool, fixture_miners)
+        self.samples = []
+        for campaign, emitted in zip(fixture_pool, held):
+            operation = op_for_campaign.get(campaign.campaign_id)
+            if operation is not None:
+                self._publish_operation_hashes(operation, campaign)
+            pending.extend(emitted)
+        pending.extend(fixture)
+        while len(pending) >= chunk_samples:
+            yield build_chunk(pending[:chunk_samples])
+            del pending[:chunk_samples]
+
+        if self.config.include_junk:
+            for record in self._iter_junk():
+                pending.append(record)
+                self.samples.clear()
+                if len(pending) >= chunk_samples:
+                    yield build_chunk(pending[:chunk_samples])
+                    del pending[:chunk_samples]
+        if pending:
+            yield build_chunk(pending)
 
     # ------------------------------------------------------------------
     # world setup
@@ -219,21 +371,18 @@ class EcosystemGenerator:
         # infrastructure / stealth by band
         campaign.uses_ppi = rng.bernoulli(dist.BAND_FEATURES["ppi"][band])
         if campaign.uses_ppi:
-            names = [n for n, _ in dist.PPI_WEIGHTS]
-            weights = [w for _, w in dist.PPI_WEIGHTS]
-            campaign.ppi_botnet = rng.choices(names, weights=weights)[0]
+            campaign.ppi_botnet = rng.choices(_PPI_NAMES,
+                                              weights=_PPI_P)[0]
         campaign.uses_stock_tool = rng.bernoulli(
             dist.BAND_FEATURES["stock_tool"][band])
         if campaign.uses_stock_tool:
-            names = [n for n, _ in dist.STOCK_TOOL_WEIGHTS]
-            weights = [w for _, w in dist.STOCK_TOOL_WEIGHTS]
-            campaign.stock_framework = rng.choices(names, weights=weights)[0]
+            campaign.stock_framework = rng.choices(
+                _STOCK_TOOL_NAMES, weights=_STOCK_TOOL_P)[0]
         campaign.uses_obfuscation = rng.bernoulli(
             dist.BAND_FEATURES["obfuscation"][band])
         if campaign.uses_obfuscation or rng.bernoulli(0.60):
-            names = [n for n, _ in dist.PACKER_WEIGHTS]
-            weights = [w for _, w in dist.PACKER_WEIGHTS]
-            campaign.packer = rng.choices(names, weights=weights)[0]
+            campaign.packer = rng.choices(_PACKER_NAMES,
+                                          weights=_PACKER_P)[0]
         campaign.uses_cname = rng.bernoulli(dist.BAND_FEATURES["cname"][band])
         if campaign.uses_cname:
             self._setup_cname(rng, campaign)
@@ -244,9 +393,7 @@ class EcosystemGenerator:
         return campaign
 
     def _sample_wallet_count(self, rng: DeterministicRNG) -> int:
-        counts = [c for c, _ in dist.WALLETS_PER_CAMPAIGN_P]
-        weights = [w for _, w in dist.WALLETS_PER_CAMPAIGN_P]
-        return rng.choices(counts, weights=weights)[0]
+        return rng.choices(_WALLET_COUNTS, weights=_WALLET_COUNT_P)[0]
 
     def _sample_activity(self, rng: DeterministicRNG,
                          band: int) -> Tuple[Date, Date, bool]:
@@ -275,8 +422,8 @@ class EcosystemGenerator:
         return start, end, updates
 
     def _sample_pools(self, rng: DeterministicRNG, band: int) -> List[str]:
-        names = [n for n, _ in dist.XMR_POOL_WEIGHTS]
-        weights = [w for _, w in dist.XMR_POOL_WEIGHTS]
+        names = _XMR_POOL_NAMES
+        weights = _XMR_POOL_P
         if rng.bernoulli(dist.BAND_SINGLE_POOL_PROB[band]):
             n_pools = 1
         else:
@@ -318,8 +465,7 @@ class EcosystemGenerator:
             years = list(year_weights)
             year = rng.choices(years,
                                weights=[year_weights[y] for y in years])[0]
-            campaign.pools = [rng.choice(["50btc", "slushpool", "btcdig",
-                                          "f2pool", "suprnova"])]
+            campaign.pools = [rng.choice(_BTC_POOLS)]
         else:
             year = rng.choices([2016, 2017, 2018, 2019],
                                weights=[0.1, 0.5, 0.35, 0.05])[0]
@@ -334,15 +480,13 @@ class EcosystemGenerator:
 
     @staticmethod
     def _pick_packer(rng: DeterministicRNG) -> str:
-        names = [n for n, _ in dist.PACKER_WEIGHTS]
-        weights = [w for _, w in dist.PACKER_WEIGHTS]
-        return rng.choices(names, weights=weights)[0]
+        return rng.choices(_PACKER_NAMES, weights=_PACKER_P)[0]
 
     def _generate_email_campaigns(self) -> None:
         rng = self.rng.substream("email-campaigns")
         count = self._scaled(dist.EMAIL_CAMPAIGNS, minimum=5)
-        pool_names = [n for n, _ in dist.EMAIL_POOL_WEIGHTS]
-        pool_weights = [w for _, w in dist.EMAIL_POOL_WEIGHTS]
+        pool_names = _EMAIL_POOL_NAMES
+        pool_weights = _EMAIL_POOL_P
         for _ in range(count):
             campaign = GroundTruthCampaign(
                 campaign_id=self._next_campaign_id(),
@@ -402,9 +546,14 @@ class EcosystemGenerator:
     # known operations / OSINT
     # ------------------------------------------------------------------
 
-    def _assign_known_operations(self) -> None:
-        """Tag the largest non-case-study XMR campaigns as the six
-        publicly reported operations and publish their IoCs."""
+    def _known_operation_pairs(self) -> List[tuple]:
+        """(operation, campaign) pairs: the largest non-case-study XMR
+        campaigns become the six publicly reported operations.
+
+        Selection reads only campaign-level fields, so streaming mode
+        can pick the pairs before any sample exists; the hash-IoC slice
+        is published separately once a campaign's samples are known.
+        """
         candidates = sorted(
             (c for c in self.campaigns
              if c.coin == "XMR" and c.known_operation is None
@@ -412,13 +561,21 @@ class EcosystemGenerator:
              and c.band is not None and c.band >= 1),
             key=lambda c: c.target_xmr, reverse=True,
         )
-        for operation, campaign in zip(self.osint.operations(), candidates):
+        return list(zip(self.osint.operations(), candidates))
+
+    @staticmethod
+    def _publish_operation_hashes(operation, campaign) -> None:
+        """Publish a third of the campaign's samples as hash IoCs."""
+        operation.sample_hashes.update(
+            campaign.sample_hashes[: max(1, len(campaign.sample_hashes) // 3)]
+        )
+
+    def _assign_known_operations(self) -> None:
+        """Tag the operation campaigns and publish their IoCs."""
+        for operation, campaign in self._known_operation_pairs():
             campaign.known_operation = operation.name
             operation.wallets.update(campaign.identifiers[:2])
-            # Publish a third of its samples and one domain as IoCs.
-            operation.sample_hashes.update(
-                campaign.sample_hashes[: max(1, len(campaign.sample_hashes) // 3)]
-            )
+            self._publish_operation_hashes(operation, campaign)
             operation.domains.update(campaign.cname_domains[:1])
 
     # ------------------------------------------------------------------
@@ -460,12 +617,9 @@ class EcosystemGenerator:
         when a draw collides with a domain already owned by another
         campaign, the actor registers a fresh one.
         """
-        domains = dist.HOSTING_DOMAINS
-        names = [d for d, _, _ in domains]
-        weights = [w for _, w, _ in domains]
-        public = {d: p for d, _, p in domains}
-        if not hasattr(self, "_hosting_owner"):
-            self._hosting_owner: Dict[str, int] = {}
+        names = _HOSTING_NAMES
+        weights = _HOSTING_P
+        public = _HOSTING_PUBLIC
         urls = []
         for _ in range(rng.randint(1, 3)):
             domain = rng.choices(names, weights=weights)[0]
@@ -507,7 +661,7 @@ class EcosystemGenerator:
             wallet = campaign.identifiers[sample_index]
         else:
             wallet = rng.choice(campaign.identifiers)
-        port = rng.choice([3333, 4444, 5555, 7777, 8080])
+        port = rng.choice(_MINER_PORTS)
         if campaign.uses_proxy and campaign.proxy_host:
             return campaign.proxy_host, wallet, port
         if campaign.uses_cname and campaign.cname_domains:
@@ -631,7 +785,7 @@ class EcosystemGenerator:
         else:
             raw = tool.raw
         sha, md5 = self._mk_hashes(raw)
-        if self.vt is not None and sha not in {s.sha256 for s in self.samples}:
+        if self.vt is not None and sha not in self._seen_hashes:
             record = SampleRecord(
                 sha256=sha, md5=md5, raw=raw,
                 behavior=BehaviorScript(),
@@ -687,14 +841,11 @@ class EcosystemGenerator:
                 sources.append(feed)
         return sources
 
-    _parent_links: Dict[str, List[str]]
-
     def _register_sample(self, record: SampleRecord,
                          campaign: Optional[GroundTruthCampaign]) -> None:
-        if not hasattr(self, "_parent_links"):
-            self._parent_links = {}
         self._sample_counter += 1
         self.samples.append(record)
+        self._seen_hashes.add(record.sha256)
         if campaign is not None:
             campaign.sample_hashes.append(record.sha256)
 
@@ -702,24 +853,37 @@ class EcosystemGenerator:
     # fixtures
     # ------------------------------------------------------------------
 
-    def _add_pre2014_reuse_fixture(self) -> None:
+    def _add_pre2014_reuse_fixture(self) -> List[SampleRecord]:
         """Table V: droppers seen in 2012/2013 later updated to mine XMR."""
-        rng = self.rng.substream("pre2014")
         miner_hashes = {s.sha256 for s in self.samples if s.kind == "miner"}
         xmr_campaigns = [
             c for c in self.campaigns if c.coin == "XMR"
             and any(sha in miner_hashes for sha in c.sample_hashes)
         ]
+        miners_by_campaign = {
+            c.campaign_id: [sha for sha in c.sample_hashes
+                            if sha in miner_hashes]
+            for c in xmr_campaigns
+        }
+        return self._emit_pre2014_fixture(xmr_campaigns, miners_by_campaign)
+
+    def _emit_pre2014_fixture(
+            self, xmr_campaigns: List[GroundTruthCampaign],
+            miners_by_campaign: Dict[int, List[str]]) -> List[SampleRecord]:
+        """Emit the reuse fixture given XMR-with-miner campaigns in
+        campaign order and their miner hashes (streaming mode passes
+        only the first three such campaigns — the only ones targeted)."""
+        rng = self.rng.substream("pre2014")
         if len(xmr_campaigns) < 2:
-            return
+            return []
         targets = [xmr_campaigns[0], xmr_campaigns[0], xmr_campaigns[1],
                    xmr_campaigns[min(2, len(xmr_campaigns) - 1)]]
         years = [2012, 2013, 2013, 2013]
+        emitted: List[SampleRecord] = []
         for index, (year, campaign) in enumerate(zip(years, targets)):
             behavior = BehaviorScript()
             behavior.append(HttpGet("http://updates.old-botnet.ru/stage2"))
-            miners = [sha for sha in campaign.sample_hashes
-                      if sha in miner_hashes]
+            miners = miners_by_campaign[campaign.campaign_id]
             # drop up to two children so the dropper stays recoverable
             # even when one child fails the sanity checks
             children = (miners if len(miners) <= 2
@@ -744,13 +908,26 @@ class EcosystemGenerator:
                 true_campaign_id=campaign.campaign_id,
             )
             self._register_sample(record, campaign)
+            emitted.append(record)
             for dropped in children:
                 self._parent_links.setdefault(dropped, []).append(sha)
+        return emitted
 
     def _emit_junk(self) -> None:
         """Non-mining feed noise the sanity checks must drop (§III-B)."""
+        for _ in self._iter_junk():
+            pass
+
+    def _iter_junk(self):
+        """Generate junk samples one at a time (streaming-friendly).
+
+        ``_sample_counter`` equals ``len(self.samples)`` on the batch
+        path, so sizing the junk share off the counter keeps the draw
+        sequence identical while letting streaming mode drain
+        ``self.samples`` between chunks.
+        """
         rng = self.rng.substream("junk")
-        mining_count = len(self.samples)
+        mining_count = self._sample_counter
         count = int(mining_count * self.config.junk_ratio)
         for i in range(count):
             roll = rng.random()
@@ -782,6 +959,7 @@ class EcosystemGenerator:
                 kind=kind,
             )
             self._register_sample(record, None)
+            yield record
 
     # ------------------------------------------------------------------
     # intel publication
@@ -789,11 +967,11 @@ class EcosystemGenerator:
 
     def _publish_intel(self) -> None:
         """Emit the VT reports (detection model) and a slice of HA runs."""
-        rng = self.rng.substream("intel")
         whitelist = self.stock.whitelist_hashes()
         sandbox = Sandbox(self.resolver, SandboxEnvironment(
             analysis_date=datetime.date(2018, 9, 1)))
         for sample in self.samples:
+            rng = self.rng.substream(f"intel:{sample.sha256}")
             report = self._make_vt_report(rng, sample, whitelist)
             self.vt.add_report(report)
             if sample.kind == "miner" and rng.bernoulli(0.03):
@@ -835,7 +1013,7 @@ class EcosystemGenerator:
             label_base = ("Trojan.CoinMiner" if sample.kind == "miner"
                           else "Trojan.Dropper")
         positives = min(positives, len(AV_VENDORS))
-        vendors = rng.sample(list(AV_VENDORS), positives)
+        vendors = rng.sample(_AV_VENDOR_LIST, positives)
         detections = {}
         for vendor in vendors:
             label = f"{label_base}.{rng.hexbytes(2)}"

@@ -6,7 +6,8 @@ from typing import Dict, List, Optional
 from repro.common.simtime import Date
 from repro.forums.corpus import ForumCorpus
 from repro.intel.ha import HaService
-from repro.intel.vt import VtService
+from repro.intel.vt import AvReport, VtService
+from repro.sandbox.emulator import SandboxReport
 from repro.netsim.dns import DnsZone, PassiveDns, Resolver
 from repro.osint.feeds import OsintFeeds
 from repro.osint.stock_tools import StockToolCatalog
@@ -105,6 +106,26 @@ class SampleRecord:
     @property
     def size(self) -> int:
         return len(self.raw)
+
+
+@dataclass
+class SampleChunk:
+    """One bounded slice of a streamed world (see
+    :meth:`repro.corpus.generator.EcosystemGenerator.stream_chunks`).
+
+    Holds the samples plus exactly the intel the pipeline needs to
+    analyse them: their VT reports and any community sandbox (HA)
+    reports, both keyed by sha256.  Chunks are disjoint and, taken
+    together, reproduce the batch world sample-for-sample and
+    report-for-report.
+    """
+
+    samples: List["SampleRecord"]
+    reports: Dict[str, AvReport]
+    ha_reports: Dict[str, SandboxReport]
+
+    def __len__(self) -> int:
+        return len(self.samples)
 
 
 @dataclass

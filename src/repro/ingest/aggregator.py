@@ -32,6 +32,7 @@ from repro.core.aggregation import (
     record_attachments,
 )
 from repro.core.records import MinerRecord
+from repro.core.unionfind import UnionFind
 from repro.osint.feeds import OsintFeeds
 
 
@@ -44,43 +45,26 @@ class IncrementalAggregator:
         self._policy = policy or GroupingPolicy.full()
         #: records by sha256, in arrival order
         self._records: Dict[str, MinerRecord] = {}
-        #: union-find forest; key order doubles as node insertion order
-        self._parent: Dict[Node, Node] = {}
-        self._rank: Dict[Node, int] = {}
+        #: union-find forest (node order doubles as insertion order);
+        #: shared with the sharded aggregator in repro.scale.shards.
+        self._forest: UnionFind = UnionFind()
         self._proxy_ips: Set[str] = set()
         #: sample nodes by the destination IP their record mined against
         self._by_dst_ip: Dict[str, List[Node]] = {}
-        #: total component merges performed (distinct roots united)
-        self.merges = 0
 
-    # -- union-find core ---------------------------------------------------
+    @property
+    def merges(self) -> int:
+        """Total component merges performed (distinct roots united)."""
+        return self._forest.merges
 
     def _ensure(self, node: Node) -> None:
-        if node not in self._parent:
-            self._parent[node] = node
-            self._rank[node] = 0
+        self._forest.ensure(node)
 
     def _find(self, node: Node) -> Node:
-        root = node
-        while self._parent[root] != root:
-            root = self._parent[root]
-        while self._parent[node] != root:  # path compression
-            self._parent[node], node = root, self._parent[node]
-        return root
+        return self._forest.find(node)
 
     def _union(self, a: Node, b: Node) -> bool:
-        self._ensure(a)
-        self._ensure(b)
-        ra, rb = self._find(a), self._find(b)
-        if ra == rb:
-            return False
-        if self._rank[ra] < self._rank[rb]:
-            ra, rb = rb, ra
-        self._parent[rb] = ra
-        if self._rank[ra] == self._rank[rb]:
-            self._rank[ra] += 1
-        self.merges += 1
-        return True
+        return self._forest.union(a, b)
 
     # -- ingestion ---------------------------------------------------------
 
@@ -138,15 +122,11 @@ class IncrementalAggregator:
 
     def num_components(self) -> int:
         """Current number of connected components (all node kinds)."""
-        return sum(1 for node in self._parent
-                   if self._find(node) == node)
+        return self._forest.num_components()
 
     def components(self) -> List[List[Node]]:
         """Connected components, ordered by first-node insertion."""
-        grouped: Dict[Node, List[Node]] = {}
-        for node in self._parent:
-            grouped.setdefault(self._find(node), []).append(node)
-        return list(grouped.values())
+        return self._forest.components()
 
     def campaigns(self) -> List[Campaign]:
         """Materialise the current campaign set (non-destructive).

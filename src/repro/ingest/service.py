@@ -187,8 +187,8 @@ class IngestionService:
                  snapshot_every: int = 8,
                  fsync: bool = True,
                  profiler: Optional[PipelineProfiler] = None,
-                 fault_hook: Optional[Callable[[str, int], None]] = None
-                 ) -> None:
+                 fault_hook: Optional[Callable[[str, int], None]] = None,
+                 record_store=None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if snapshot_every < 1:
@@ -200,6 +200,12 @@ class IngestionService:
         self.profiler = profiler or PipelineProfiler()
         self.scheduler = FeedScheduler(world, batch_days)
         self.store = CheckpointStore(checkpoint_dir, fsync=fsync)
+        #: optional repro.scale.columnar.RecordStore (duck-typed to keep
+        #: ingest free of a scale import); each batch's admitted records
+        #: become one batch-aligned segment, written before the commit
+        #: marker so a replayed batch finds its segment already present
+        #: and skips it (the reprocessed records are deterministic).
+        self.record_store = record_store
         self._chunk_size = chunk_size
         self._policy = policy or GroupingPolicy.full()
         self._fault = fault_hook or (lambda point, batch_id: None)
@@ -320,6 +326,15 @@ class IngestionService:
         self.profiler.count("batches_committed")
 
         # -- durability boundary ------------------------------------------
+        # journal-replayed admissions (frontier_seed) belong to this
+        # batch too — a resumed in-flight batch must write the same
+        # record set an uninterrupted run would have.
+        segment_shas = list(dict.fromkeys(frontier_seed + new_records))
+        if self.record_store is not None and segment_shas:
+            name = f"batch-{batch.batch_id:06d}"
+            if not self.record_store.has_segment(name):
+                self.record_store.append_segment(
+                    [self._records[sha] for sha in segment_shas], name=name)
         self._fault("pre-commit", batch.batch_id)
         self.store.commit_batch(batch.batch_id, metrics.to_json())
         self._fault("post-commit", batch.batch_id)

@@ -1,0 +1,32 @@
+"""Out-of-core scaling: streaming corpus, columnar store, sharded aggregation.
+
+``repro.scale`` is the million-sample path.  The in-memory pipeline
+(:mod:`repro.core.pipeline`) materialises the whole synthetic world and
+keeps every live ``SampleRecord`` — fine at tier-1 scales, hopeless at
+the paper's real corpus size (4.4M samples).  This package provides:
+
+* :mod:`repro.scale.stream` — the corpus generator as a deterministic
+  chunk iterator (never holds the world);
+* :mod:`repro.scale.columnar` — an append-only, mmap-readable columnar
+  store for extracted :class:`~repro.core.records.MinerRecord` rows;
+* :mod:`repro.scale.shards` — identifier-locality sharded union-find
+  campaign aggregation with a bounded cross-shard frontier merge;
+* :mod:`repro.scale.pipeline` — the measurement pipeline rewired over
+  all three, bit-identical to the batch path where both can run.
+"""
+
+from repro.scale.columnar import RecordStore, SegmentReader, write_segment
+from repro.scale.pipeline import ScalePipeline, ScaleResult
+from repro.scale.shards import ShardedCampaignAggregator
+from repro.scale.stream import StreamingCorpus, materialize_stream
+
+__all__ = [
+    "RecordStore",
+    "ScalePipeline",
+    "ScaleResult",
+    "SegmentReader",
+    "ShardedCampaignAggregator",
+    "StreamingCorpus",
+    "materialize_stream",
+    "write_segment",
+]

@@ -1,0 +1,224 @@
+"""Scaling benchmark harness: time, throughput, peak RSS per point.
+
+Each measurement point runs in a **fresh subprocess** — ``ru_maxrss``
+is a lifetime high-water mark, so points sharing a process would
+inherit each other's peaks.  The child re-invokes this module with
+``--point-scale`` and prints one JSON object on stdout; the parent
+collects points into ``BENCH_scale.json`` (the out-of-core pipeline's
+scaling curve) and ``BENCH_pipeline.json`` (the batch pipeline's stage
+breakdown at tier-1 scale, for comparison).
+
+Invoked via ``python -m repro.scale.bench``, ``python
+benchmarks/harness.py`` or ``repro bench`` — all the same code.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = [
+    "measure_pipeline_point",
+    "measure_scale_point",
+    "run_point_subprocess",
+    "run_scaling_suite",
+]
+
+#: the committed scaling curve: ~10k / ~100k / ~1M streamed samples
+#: (empirical scale factors; the bench reports the exact counts).
+DEFAULT_SCALES = [0.072, 0.72, 6.35]
+
+
+def measure_scale_point(scale: float, seed: int = 2019, workers: int = 1,
+                        chunk_samples: int = 4096, num_shards: int = 8,
+                        stride_days: int = 30) -> Dict:
+    """One out-of-core pipeline run; returns its metrics dict.
+
+    Call only in a fresh process if peak RSS matters (see module doc).
+    """
+    from repro.common.memory import peak_rss_mib
+    from repro.corpus.model import ScenarioConfig
+    from repro.scale.pipeline import ScalePipeline
+    from repro.scale.stream import StreamingCorpus
+
+    config = ScenarioConfig(seed=seed, scale=scale,
+                            mining_stride_days=stride_days)
+    t0 = time.perf_counter()
+    corpus = StreamingCorpus(config, chunk_samples=chunk_samples,
+                             keep_sample_hashes=False)
+    skeleton_s = time.perf_counter() - t0
+    pipeline = ScalePipeline(corpus, workers=workers,
+                             num_shards=num_shards)
+    t1 = time.perf_counter()
+    result = pipeline.run()
+    run_s = time.perf_counter() - t1
+    store_bytes = sum(p.stat().st_size
+                      for p in result.store.segment_paths())
+    samples = result.stats.collected
+    return {
+        "suite": "scale",
+        "scale": scale,
+        "seed": seed,
+        "workers": workers,
+        "chunk_samples": chunk_samples,
+        "num_shards": num_shards,
+        "samples": samples,
+        "records": len(result.store),
+        "campaigns": len(result.campaigns),
+        "skeleton_s": round(skeleton_s, 3),
+        "run_s": round(run_s, 3),
+        "total_s": round(skeleton_s + run_s, 3),
+        "samples_per_s": round(samples / run_s, 1) if run_s else 0.0,
+        "peak_rss_mib": round(peak_rss_mib() or 0.0, 1),
+        "store_mib": round(store_bytes / (1024 * 1024), 2),
+        "spill_mib": round(result.spill_bytes / (1024 * 1024), 2),
+        "segments": result.store.num_segments,
+        "deferred": result.deferred_spilled,
+        "rejected": result.rejected_spilled,
+        "recovered": result.recovered,
+    }
+
+
+def measure_pipeline_point(scale: float = 0.02, seed: int = 2019,
+                           workers: int = 1) -> Dict:
+    """One batch-pipeline run with per-stage timings (tier-1 scales)."""
+    from repro.common.memory import peak_rss_mib
+    from repro.core.pipeline import MeasurementPipeline
+    from repro.corpus.generator import generate_world
+    from repro.corpus.model import ScenarioConfig
+
+    t0 = time.perf_counter()
+    world = generate_world(ScenarioConfig(seed=seed, scale=scale))
+    world_s = time.perf_counter() - t0
+    pipeline = MeasurementPipeline(world, workers=workers)
+    t1 = time.perf_counter()
+    result = pipeline.run()
+    run_s = time.perf_counter() - t1
+    stages = [
+        {"stage": timing.name, "seconds": round(timing.wall_s, 3),
+         "items": timing.items}
+        for timing in pipeline.profiler.stages.values()
+    ]
+    return {
+        "suite": "pipeline",
+        "scale": scale,
+        "seed": seed,
+        "workers": workers,
+        "samples": result.stats.collected,
+        "records": len(result.records),
+        "campaigns": len(result.campaigns),
+        "world_s": round(world_s, 3),
+        "run_s": round(run_s, 3),
+        "samples_per_s": round(result.stats.collected / run_s, 1)
+        if run_s else 0.0,
+        "peak_rss_mib": round(peak_rss_mib() or 0.0, 1),
+        "stages": stages,
+    }
+
+
+def run_point_subprocess(argv: List[str], timeout: Optional[float] = None
+                         ) -> Dict:
+    """Run one point in a child interpreter; parse its JSON stdout."""
+    command = [sys.executable, "-m", "repro.scale.bench"] + argv
+    proc = subprocess.run(command, capture_output=True, text=True,
+                          timeout=timeout)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"bench point failed ({' '.join(argv)}):\n{proc.stderr}")
+    return json.loads(proc.stdout)
+
+
+def run_scaling_suite(scales: List[float], seed: int = 2019,
+                      workers: int = 1, chunk_samples: int = 4096,
+                      num_shards: int = 8) -> Dict:
+    """The scaling curve: one subprocess per scale point."""
+    points = []
+    for scale in scales:
+        points.append(run_point_subprocess([
+            "--point-scale", str(scale), "--seed", str(seed),
+            "--workers", str(workers),
+            "--chunk-samples", str(chunk_samples),
+            "--shards", str(num_shards),
+        ]))
+        last = points[-1]
+        print(f"  scale={scale}: {last['samples']} samples in "
+              f"{last['total_s']}s, peak {last['peak_rss_mib']} MiB",
+              file=sys.stderr)
+    return {"bench": "scale", "seed": seed, "workers": workers,
+            "chunk_samples": chunk_samples, "num_shards": num_shards,
+            "points": points}
+
+
+def run_pipeline_suite(scale: float = 0.02, seed: int = 2019,
+                       workers: int = 1) -> Dict:
+    """Batch-pipeline stage breakdown, in its own subprocess."""
+    point = run_point_subprocess([
+        "--pipeline-scale", str(scale), "--seed", str(seed),
+        "--workers", str(workers),
+    ])
+    return {"bench": "pipeline", "seed": seed, "workers": workers,
+            "points": [point]}
+
+
+def _write_json(path: Path, payload: Dict) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Harness entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="scaling / pipeline benchmark harness")
+    parser.add_argument("--point-scale", type=float, default=None,
+                        help="run ONE scale-pipeline point, JSON on "
+                             "stdout (used by the parent harness)")
+    parser.add_argument("--pipeline-scale", type=float, default=None,
+                        help="run ONE batch-pipeline point, JSON on "
+                             "stdout")
+    parser.add_argument("--suite", choices=["scale", "pipeline", "all"],
+                        default=None, help="full suite to run")
+    parser.add_argument("--scales", type=str, default=None,
+                        help="comma-separated scale factors for the "
+                             "scaling suite")
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--chunk-samples", type=int, default=4096)
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--out-dir", type=str, default=".",
+                        help="where BENCH_*.json land")
+    args = parser.parse_args(argv)
+
+    if args.point_scale is not None:
+        print(json.dumps(measure_scale_point(
+            args.point_scale, seed=args.seed, workers=args.workers,
+            chunk_samples=args.chunk_samples, num_shards=args.shards)))
+        return 0
+    if args.pipeline_scale is not None:
+        print(json.dumps(measure_pipeline_point(
+            args.pipeline_scale, seed=args.seed, workers=args.workers)))
+        return 0
+
+    suite = args.suite or "all"
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    scales = ([float(s) for s in args.scales.split(",")]
+              if args.scales else DEFAULT_SCALES)
+    if suite in ("scale", "all"):
+        _write_json(out_dir / "BENCH_scale.json",
+                    run_scaling_suite(scales, seed=args.seed,
+                                      workers=args.workers,
+                                      chunk_samples=args.chunk_samples,
+                                      num_shards=args.shards))
+    if suite in ("pipeline", "all"):
+        _write_json(out_dir / "BENCH_pipeline.json",
+                    run_pipeline_suite(seed=args.seed,
+                                       workers=args.workers))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Peak-RSS helper: sane values, monotonicity, child accounting."""
+
+import subprocess
+import sys
+
+from repro.common.memory import peak_rss_bytes, peak_rss_mib, rss_supported
+
+
+class TestPeakRss:
+    def test_supported_on_posix(self):
+        # the CI and dev platforms are all POSIX; the helper must work
+        assert rss_supported()
+
+    def test_bytes_positive_and_plausible(self):
+        peak = peak_rss_bytes()
+        assert peak is not None
+        # a running CPython interpreter needs at least a few MiB and
+        # (in a test process) far less than a terabyte
+        assert 1 * 1024 * 1024 < peak < 1 << 40
+
+    def test_mib_matches_bytes(self):
+        mib = peak_rss_mib()
+        by = peak_rss_bytes()
+        assert mib is not None and by is not None
+        # the peak can only grow between the two calls
+        assert mib * 1024 * 1024 <= by + 1024 * 1024
+
+    def test_monotone_nondecreasing(self):
+        before = peak_rss_bytes()
+        ballast = [bytes(1024) for _ in range(1024)]
+        after = peak_rss_bytes()
+        del ballast
+        assert after >= before
+
+    def test_self_only_excludes_children(self):
+        own = peak_rss_bytes(include_children=False)
+        both = peak_rss_bytes(include_children=True)
+        assert own is not None and both is not None
+        assert both >= own
+
+    def test_children_accounted_after_join(self):
+        # a waited-for child that allocates ~64 MiB must raise the
+        # child high-water mark above that allocation
+        script = "x = bytearray(64 * 1024 * 1024); print(len(x))"
+        subprocess.run([sys.executable, "-c", script], check=True,
+                       capture_output=True)
+        both = peak_rss_bytes(include_children=True)
+        assert both is not None
+        assert both >= 64 * 1024 * 1024

@@ -1,0 +1,67 @@
+"""Disjoint-set forest shared by the ingest and sharded aggregators."""
+
+from repro.core.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind()
+        for node in "abc":
+            uf.ensure(node)
+        assert len(uf) == 3
+        assert uf.num_components() == 3
+        assert uf.merges == 0
+        assert [sorted(c) for c in uf.components()] == \
+            [["a"], ["b"], ["c"]]
+
+    def test_union_fuses(self):
+        uf = UnionFind()
+        assert uf.union("a", "b") is True
+        assert uf.union("a", "b") is False  # redundant: free, uncounted
+        assert uf.merges == 1
+        assert uf.num_components() == 1
+        assert uf.find("a") == uf.find("b")
+
+    def test_transitive(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        uf.union("x", "y")
+        assert uf.find("a") == uf.find("c")
+        assert uf.find("a") != uf.find("x")
+        assert uf.num_components() == 2
+
+    def test_ensure_is_idempotent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.ensure("a")
+        assert uf.num_components() == 1
+
+    def test_contains(self):
+        uf = UnionFind()
+        uf.ensure("a")
+        assert "a" in uf
+        assert "b" not in uf
+
+    def test_insertion_order_preserved(self):
+        uf = UnionFind()
+        for node in ["d", "b", "a", "c"]:
+            uf.ensure(node)
+        assert list(uf.nodes()) == ["d", "b", "a", "c"]
+        uf.union("a", "d")
+        # components ordered by first-node insertion, members likewise
+        assert uf.components() == [["d", "a"], ["b"], ["c"]]
+
+    def test_tuple_nodes(self):
+        uf = UnionFind()
+        uf.union(("sample", "s1"), ("id", "W1"))
+        uf.union(("sample", "s2"), ("id", "W1"))
+        assert uf.find(("sample", "s1")) == uf.find(("sample", "s2"))
+
+    def test_many_chained_unions(self):
+        uf = UnionFind()
+        for i in range(100):
+            uf.union(i, i + 1)
+        assert uf.num_components() == 1
+        assert uf.merges == 100
+        assert uf.find(0) == uf.find(100)
