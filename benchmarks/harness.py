@@ -9,9 +9,13 @@ without installing the package::
         --scales 0.055,0.55
 
 Emits ``BENCH_scale.json`` (out-of-core scaling curve: samples, time,
-throughput, peak RSS per point) and ``BENCH_pipeline.json`` (batch
-pipeline stage breakdown).  Every point runs in a fresh subprocess so
-peak-RSS numbers are per-point, not a shared high-water mark.
+throughput, peak RSS per point), ``BENCH_pipeline.json`` (batch
+pipeline stage breakdown), ``BENCH_scan.json`` (one-pass scan kernel
+vs the legacy per-pattern path, equivalence-asserted) and
+``BENCH_serve.json`` (sustained-QPS serving run with p50/p95/p99
+latency and a hot swap under load — see docs/serving.md).  Every
+point runs in a fresh subprocess so peak-RSS numbers are per-point,
+not a shared high-water mark.
 """
 
 import sys

@@ -8,7 +8,7 @@ from urllib.parse import urlparse
 from repro.chain.emission import MONERO_EMISSION
 from repro.common.simtime import POW_FORK_DATES, Date
 from repro.core.aggregation import Campaign
-from repro.core.pipeline import MeasurementResult
+from repro.core.pipeline import MeasurementResult, iter_result_records
 from repro.corpus.distributions import BAND_LABELS, band_of
 from repro.forums.corpus import ForumCorpus
 from repro.forums.trends import coin_thread_shares
@@ -97,7 +97,9 @@ def table4_currencies(result: MeasurementResult) -> Dict[str, object]:
                 unknown += 1
     samples_per_year: Dict[str, Counter] = {"BTC": Counter(),
                                             "XMR": Counter()}
-    for record in result.miner_records():
+    for record in iter_result_records(result):
+        if not record.is_miner:
+            continue
         tickers = {t for t in record.identifier_coins if t}
         for ticker in tickers & {"BTC", "XMR"}:
             if record.first_seen is None:
@@ -170,7 +172,7 @@ def table6_hosting_domains(result: MeasurementResult,
     """(domain, #samples hosted, #distinct URLs), by sample count."""
     samples_per_domain: Dict[str, set] = defaultdict(set)
     urls_per_domain: Dict[str, set] = defaultdict(set)
-    for record in result.records:
+    for record in iter_result_records(result):
         for url in record.itw_urls:
             host = urlparse(url).hostname or ""
             if not host:
@@ -326,7 +328,7 @@ def table10_packers(result: MeasurementResult) -> Dict[str, int]:
     """Table X: packer family -> sample count, plus the unpacked rest."""
     counts: Counter = Counter()
     not_packed = 0
-    for record in result.records:
+    for record in iter_result_records(result):
         if record.packer:
             counts[record.packer] += 1
         elif record.obfuscated:
@@ -542,7 +544,9 @@ def table15_email_pools(result: MeasurementResult) -> Dict[str, int]:
     recovered from the sample's own records, not from payment data.
     """
     pool_emails: Dict[str, set] = defaultdict(set)
-    for record in result.miner_records():
+    for record in iter_result_records(result):
+        if not record.is_miner:
+            continue
         emails = [i for i in record.identifiers
                   if classify_identifier(i).kind is IdentifierKind.EMAIL]
         if not emails:

@@ -9,7 +9,9 @@ Subcommands::
     python -m repro.cli ingest    --checkpoint DIR --batch-days 7 [--resume]
     python -m repro.cli status    --checkpoint DIR
     python -m repro.cli scale     --scale 0.55 [--store DIR] [--shards K]
-    python -m repro.cli bench     [--suite scale|pipeline|all]
+    python -m repro.cli serve     [--checkpoint DIR | --store DIR]
+                                  [--port 8742] [--api-key KEY --rate 50]
+    python -m repro.cli bench     [--suite scale|pipeline|scan|serve|all]
     python -m repro.cli lint      [--strict] [--update-baseline]
                                   [--changed] [--graph] [--workers N]
 
@@ -20,7 +22,10 @@ replays the corpus as dated feed batches with durable checkpoints
 (interrupt it freely, re-run with ``--resume``); ``status`` inspects a
 checkpoint directory without touching the corpus; ``scale`` runs the
 out-of-core streaming pipeline (:mod:`repro.scale`) that never holds
-the whole world in memory; ``bench`` emits the ``BENCH_*.json``
+the whole world in memory; ``serve`` starts the threat-intel HTTP API
+(:mod:`repro.serve`) over a checkpoint directory (hot-swapping as the
+checkpoint advances), a columnar record store, or a fresh pipeline
+run; ``bench`` emits the ``BENCH_*.json``
 scaling/stage benchmarks; ``lint`` runs the
 reprolint invariant checks (see ``docs/static-analysis.md``) and fails
 on findings the committed baseline does not accept — ``--changed``
@@ -285,6 +290,100 @@ def cmd_scale(args) -> int:
     return 0
 
 
+async def _serve_main(service, source, host: str, port: int,
+                      poll_interval: float) -> int:
+    """Run the HTTP front end (+ snapshot watcher) until interrupted."""
+    import asyncio
+
+    from repro.serve.http import HttpServer
+    from repro.serve.watcher import SnapshotWatcher
+    server = HttpServer(service.handle, host=host, port=port)
+    await server.start()
+    print(f"serving on http://{host}:{server.port}", file=sys.stderr)
+    watcher_task = None
+    if source is not None:
+        watcher = SnapshotWatcher(service, source,
+                                  interval_s=poll_interval)
+        watcher.prime()
+        watcher_task = asyncio.ensure_future(watcher.run_forever())
+        print(f"watching {source.store.directory} every "
+              f"{poll_interval}s", file=sys.stderr)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        if watcher_task is not None:
+            watcher_task.cancel()
+        await server.stop()
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Start the threat-intel HTTP API over an index source."""
+    import asyncio
+
+    from repro.serve.app import IntelService
+    from repro.serve.auth import ApiKeyRegistry
+    from repro.serve.index import build_index
+    from repro.serve.snapshot import (
+        CheckpointIndexSource,
+        checkpoint_plan,
+        result_from_store,
+    )
+
+    registry = ApiKeyRegistry()
+    if args.api_key:
+        for key in args.api_key:
+            registry.add(key, rate=args.rate, burst=args.burst)
+    else:
+        issued = registry.generate(name="default", rate=args.rate,
+                                   burst=args.burst)
+        print(f"api key (generated): {issued.key}", file=sys.stderr)
+
+    source = None
+    if args.checkpoint:
+        plan = checkpoint_plan(args.checkpoint)
+        seed = (plan["seed"] if plan and plan.get("seed") is not None
+                else args.seed)
+        scale = (plan["scale"]
+                 if plan and plan.get("scale") is not None
+                 else args.scale)
+        world = _get_world(seed, scale)
+        source = CheckpointIndexSource(world, args.checkpoint,
+                                       batch_days=args.batch_days)
+        if source.stamp() is None:
+            print(f"no checkpoint state under {args.checkpoint}",
+                  file=sys.stderr)
+            return 1
+        index = source.build(1)
+    elif args.store:
+        from repro.scale.columnar import RecordStore
+        world = _get_world(args.seed, args.scale)
+        result = result_from_store(world, RecordStore(args.store))
+        index = build_index(result, generation=1,
+                            source=f"store:{args.store}")
+    else:
+        world = _get_world(args.seed, args.scale)
+        pipeline = MeasurementPipeline(world, workers=args.workers)
+        result = pipeline.run()
+        index = build_index(
+            result, generation=1,
+            source=f"pipeline seed={args.seed} scale={args.scale}")
+    counts = index.counts()
+    print(f"index generation {index.generation} from {index.source}: "
+          f"{counts['hashes']} hashes, {counts['wallets']} wallets, "
+          f"{counts['campaigns']} campaigns, {counts['domains']} "
+          f"domains", file=sys.stderr)
+    service = IntelService(index, registry)
+    try:
+        return asyncio.run(_serve_main(service, source, args.host,
+                                       args.port, args.poll_interval))
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+        return 0
+
+
 def cmd_bench(args) -> int:
     """Run the benchmark harness (see ``benchmarks/harness.py``)."""
     from repro.scale import bench
@@ -292,6 +391,9 @@ def cmd_bench(args) -> int:
             "--workers", str(args.workers),
             "--chunk-samples", str(args.chunk_samples),
             "--shards", str(args.shards),
+            "--iterations", str(args.iterations),
+            "--duration", str(args.duration),
+            "--concurrency", str(args.concurrency),
             "--out-dir", args.out_dir]
     if args.scales:
         argv += ["--scales", args.scales]
@@ -443,11 +545,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist the columnar record store here "
                             "(default: a temp dir, deleted on exit)")
     scale.set_defaults(func=cmd_scale)
+    serve = sub.add_parser(
+        "serve",
+        help="threat-intel HTTP API over a checkpoint / store / "
+             "pipeline run (repro.serve)")
+    serve.add_argument("--checkpoint", type=str, default=None,
+                       help="checkpoint directory to index and watch "
+                            "for new snapshots")
+    serve.add_argument("--store", type=str, default=None,
+                       help="columnar record-store directory to index")
+    serve.add_argument("--scale", type=float, default=0.01,
+                       help="world scale (overridden by the "
+                            "checkpoint's own plan when present)")
+    serve.add_argument("--seed", type=int, default=2019)
+    serve.add_argument("--workers", type=_positive_int, default=1,
+                       help="pipeline workers for the fallback "
+                            "fresh-run source")
+    serve.add_argument("--batch-days", type=_positive_int, default=None,
+                       help="feed plan override for journal-only "
+                            "checkpoints")
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8742,
+                       help="listen port (0 = ephemeral)")
+    serve.add_argument("--api-key", action="append", default=None,
+                       help="accept this API key (repeatable; default: "
+                            "generate one and print it)")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="per-key sustained requests/second "
+                            "(0 = unlimited)")
+    serve.add_argument("--burst", type=_positive_int, default=10,
+                       help="per-key burst ceiling")
+    serve.add_argument("--poll-interval", type=float, default=2.0,
+                       help="checkpoint poll period for hot swap")
+    serve.set_defaults(func=cmd_serve)
     bench = sub.add_parser(
         "bench",
         help="benchmark harness; writes BENCH_scale.json / "
-             "BENCH_pipeline.json")
-    bench.add_argument("--suite", choices=["scale", "pipeline", "all"],
+             "BENCH_pipeline.json / BENCH_scan.json / BENCH_serve.json")
+    bench.add_argument("--suite",
+                       choices=["scale", "pipeline", "scan", "serve",
+                                "all"],
                        default="all")
     bench.add_argument("--scales", type=str, default=None,
                        help="comma-separated scale factors")
@@ -456,6 +593,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--chunk-samples", type=_positive_int,
                        default=4096)
     bench.add_argument("--shards", type=_positive_int, default=8)
+    bench.add_argument("--iterations", type=_positive_int, default=3,
+                       help="best-of iterations for the scan lane")
+    bench.add_argument("--duration", type=float, default=8.0,
+                       help="sustained-load seconds for the serve lane")
+    bench.add_argument("--concurrency", type=_positive_int, default=8,
+                       help="client threads for the serve lane")
     bench.add_argument("--out-dir", type=str, default=".")
     bench.set_defaults(func=cmd_bench)
     status = sub.add_parser("status")

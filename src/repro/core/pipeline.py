@@ -13,7 +13,7 @@ which keeps parallel results bit-identical to the serial path.  A
 
 import datetime
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.common.net import is_ipv4_literal
 from repro.core.aggregation import (
@@ -171,6 +171,22 @@ class MeasurementResult:
     def campaigns_with_payments(self) -> List[Campaign]:
         """Campaigns with observed pool payments (total XMR > 0)."""
         return [c for c in self.campaigns if c.total_xmr > 0]
+
+
+def iter_result_records(result) -> Iterator[MinerRecord]:
+    """Stream a result's records without materialising a list.
+
+    Works across both result flavours: a store-backed result
+    (:class:`repro.scale.pipeline.ScaleResult`, whose ``records`` is a
+    materialising *method*) streams straight from its columnar
+    segments; a batch :class:`MeasurementResult` iterates its in-memory
+    list.  Exhibit, export and serving layers use this so they never
+    force a million-record world into memory just to fold over it.
+    """
+    store = getattr(result, "store", None)
+    if store is not None:
+        return store.iter_records()
+    return iter(result.records)
 
 
 class MeasurementPipeline:

@@ -156,6 +156,23 @@ class CheckpointStore:
         """Whether this directory holds any checkpoint state."""
         return self.snapshot_path.exists() or self.journal_path.exists()
 
+    def stamp(self) -> Tuple[Tuple[str, int, int], ...]:
+        """Cheap fingerprint of the on-disk checkpoint state.
+
+        One ``(name, mtime_ns, size)`` triple per existing checkpoint
+        file.  Snapshot watchers (:mod:`repro.serve`) poll this to
+        detect both compactions *and* newly committed journal batches
+        without parsing anything; any durable write changes the stamp.
+        """
+        parts: List[Tuple[str, int, int]] = []
+        for path in (self.snapshot_path, self.journal_path):
+            try:
+                stat = path.stat()
+            except FileNotFoundError:
+                continue
+            parts.append((path.name, stat.st_mtime_ns, stat.st_size))
+        return tuple(parts)
+
     def load(self) -> JournalReplay:
         """Read back snapshot + journal, dropping stale/torn entries.
 

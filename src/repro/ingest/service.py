@@ -25,6 +25,7 @@ with ``resume=True`` skips every already-committed batch and every
 journaled hash of the in-flight one.
 """
 
+import dataclasses
 import datetime
 import time
 from dataclasses import dataclass, field
@@ -522,15 +523,27 @@ class IngestionService:
         Idempotent — resuming an already-complete checkpoint re-derives
         the same result without reprocessing any sample.
         """
-        prof = self.profiler
         # deferred samples nothing ever vouched for: below AV threshold
         for sha in sorted(self._pending, key=self._pending.get):
             self._verdicts[sha] = SanityVerdict(
                 sha, is_executable=True, is_malware=False,
                 reasons="below AV threshold")
+        result = self._materialize_result(self._verdicts, self._stats)
+        with self.profiler.stage("ingest: snapshot"):
+            self.store.write_snapshot(
+                self._snapshot_state(finalized=True))
+        return result
+
+    def _materialize_result(self, verdicts: Dict[str, SanityVerdict],
+                            stats: PipelineStats) -> MeasurementResult:
+        """Funnel accounting + campaigns + enrichment over the records.
+
+        ``stats`` is mutated (miners/ancillaries/by_source recomputed);
+        callers that must not disturb the running state pass a copy.
+        """
+        prof = self.profiler
         kept = list(self._records.values())
         with prof.stage("ingest: funnel accounting", items=len(kept)):
-            stats = self._stats
             stats.miners = sum(1 for r in kept if r.is_miner)
             stats.ancillaries = len(kept) - stats.miners
             stats.by_source = {}
@@ -547,15 +560,44 @@ class IngestionService:
                 self.world.vt, self.world.stock_catalog,
                 self.world.sample_by_hash)
             enricher.enrich_all(campaigns, self._profiles)
-        result = MeasurementResult(
+        return MeasurementResult(
             records=kept, campaigns=campaigns,
             profiles=dict(self._profiles),
-            verdicts=dict(self._verdicts),
-            stats=self._stats, proxy_ips=set(self._proxy_ips))
-        with prof.stage("ingest: snapshot"):
-            self.store.write_snapshot(
-                self._snapshot_state(finalized=True))
-        return result
+            verdicts=dict(verdicts),
+            stats=stats, proxy_ips=set(self._proxy_ips))
+
+    # ------------------------------------------------------------------
+    # read-only state access (serving layer)
+    # ------------------------------------------------------------------
+
+    def restore_state(self) -> int:
+        """Rebuild in-memory state from the checkpoint, process nothing.
+
+        The :mod:`repro.serve` index builder uses this to load whatever
+        state a (possibly still-running) ingestion has made durable —
+        snapshot plus committed and in-flight journal batches.  Returns
+        the cursor: the first batch the checkpoint does *not* cover.
+        """
+        with self.profiler.stage("checkpoint restore"):
+            self._restore(self.store.load(), self.scheduler.batches())
+        return self._cursor
+
+    def current_result(self) -> MeasurementResult:
+        """Materialise the state ingested so far, without finalizing.
+
+        Unlike :meth:`finalize` this neither writes a snapshot nor
+        mutates the running state: pending verdicts and funnel stats
+        are completed on copies, and campaigns are freshly built (the
+        aggregator's materialisation is non-destructive).  After the
+        final batch the result equals :meth:`finalize`'s.
+        """
+        verdicts = dict(self._verdicts)
+        for sha in sorted(self._pending, key=self._pending.get):
+            verdicts[sha] = SanityVerdict(
+                sha, is_executable=True, is_malware=False,
+                reasons="below AV threshold")
+        stats = dataclasses.replace(self._stats, by_source={})
+        return self._materialize_result(verdicts, stats)
 
     # ------------------------------------------------------------------
     # durable state

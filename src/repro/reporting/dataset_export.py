@@ -12,7 +12,8 @@ import json
 from pathlib import Path
 from typing import Dict, List, Union
 
-from repro.core.pipeline import MeasurementResult
+from repro.core.aggregation import Campaign
+from repro.core.pipeline import MeasurementResult, iter_result_records
 
 _SAMPLE_FIELDS = [
     "SHA256", "POOL", "URLPOOL", "USER", "PASS", "NTHREADS", "AGENT",
@@ -34,7 +35,7 @@ def export_samples_csv(result: MeasurementResult,
     with path.open("w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=_SAMPLE_FIELDS)
         writer.writeheader()
-        for record in result.records:
+        for record in iter_result_records(result):
             writer.writerow({
                 "SHA256": record.sha256,
                 "POOL": record.pool or "",
@@ -86,32 +87,40 @@ def export_wallets_csv(result: MeasurementResult,
     return rows
 
 
+def campaign_summary(campaign: Campaign) -> Dict:
+    """One campaign's JSON-safe summary (release index / serve API).
+
+    The shape the authors' released campaign index uses; the
+    :mod:`repro.serve` ``/v1/campaign/{id}`` endpoint returns the same
+    dict, so feed consumers can switch between file and API transports.
+    """
+    return {
+        "campaign_id": campaign.campaign_id,
+        "num_samples": campaign.num_samples,
+        "num_wallets": campaign.num_wallets,
+        "coins": sorted(campaign.coins),
+        "total_xmr": round(campaign.total_xmr, 6),
+        "total_usd": round(campaign.total_usd, 2),
+        "pools": campaign.pools_used,
+        "cname_aliases": sorted(campaign.cname_aliases),
+        "proxies": sorted(campaign.proxies),
+        "operations": sorted(campaign.operations),
+        "ppi_botnets": campaign.ppi_botnets,
+        "stock_tools": campaign.stock_tools,
+        "obfuscated": campaign.obfuscated,
+        "first_seen": campaign.first_seen.isoformat()
+        if campaign.first_seen else None,
+        "last_share": campaign.last_share.isoformat()
+        if campaign.last_share else None,
+        "active": campaign.active,
+    }
+
+
 def export_campaigns_json(result: MeasurementResult,
                           path: Union[str, Path]) -> int:
     """Write per-campaign summaries (the release's campaign index)."""
     path = Path(path)
-    campaigns: List[Dict] = []
-    for campaign in result.campaigns:
-        campaigns.append({
-            "campaign_id": campaign.campaign_id,
-            "num_samples": campaign.num_samples,
-            "num_wallets": campaign.num_wallets,
-            "coins": sorted(campaign.coins),
-            "total_xmr": round(campaign.total_xmr, 6),
-            "total_usd": round(campaign.total_usd, 2),
-            "pools": campaign.pools_used,
-            "cname_aliases": sorted(campaign.cname_aliases),
-            "proxies": sorted(campaign.proxies),
-            "operations": sorted(campaign.operations),
-            "ppi_botnets": campaign.ppi_botnets,
-            "stock_tools": campaign.stock_tools,
-            "obfuscated": campaign.obfuscated,
-            "first_seen": campaign.first_seen.isoformat()
-            if campaign.first_seen else None,
-            "last_share": campaign.last_share.isoformat()
-            if campaign.last_share else None,
-            "active": campaign.active,
-        })
+    campaigns = [campaign_summary(c) for c in result.campaigns]
     with path.open("w") as handle:
         json.dump({"campaigns": campaigns}, handle, indent=1)
     return len(campaigns)

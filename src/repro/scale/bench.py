@@ -1,12 +1,17 @@
-"""Scaling benchmark harness: time, throughput, peak RSS per point.
+"""Unified benchmark harness: scale, pipeline, scan and serve lanes.
 
 Each measurement point runs in a **fresh subprocess** — ``ru_maxrss``
 is a lifetime high-water mark, so points sharing a process would
-inherit each other's peaks.  The child re-invokes this module with
-``--point-scale`` and prints one JSON object on stdout; the parent
-collects points into ``BENCH_scale.json`` (the out-of-core pipeline's
-scaling curve) and ``BENCH_pipeline.json`` (the batch pipeline's stage
-breakdown at tier-1 scale, for comparison).
+inherit each other's peaks.  The child re-invokes this module with a
+``--*-scale`` flag and prints one JSON object on stdout; the parent
+collects points into the committed artifacts:
+
+* ``BENCH_scale.json`` — the out-of-core pipeline's scaling curve
+* ``BENCH_pipeline.json`` — batch-pipeline stage breakdown (tier-1)
+* ``BENCH_scan.json`` — one-pass scan kernel vs the legacy per-pattern
+  path (throughput + equivalence)
+* ``BENCH_serve.json`` — sustained-QPS serving run with p50/p95/p99
+  latency and a mid-run hot swap (see :mod:`repro.serve.bench`)
 
 Invoked via ``python -m repro.scale.bench``, ``python
 benchmarks/harness.py`` or ``repro bench`` — all the same code.
@@ -23,8 +28,11 @@ from typing import Dict, List, Optional
 __all__ = [
     "measure_pipeline_point",
     "measure_scale_point",
+    "measure_scan_point",
     "run_point_subprocess",
     "run_scaling_suite",
+    "run_scan_suite",
+    "run_serve_suite",
 ]
 
 #: the committed scaling curve: ~10k / ~100k / ~1M streamed samples
@@ -119,6 +127,86 @@ def measure_pipeline_point(scale: float = 0.02, seed: int = 2019,
     }
 
 
+def measure_scan_point(scale: float = 0.02, seed: int = 2019,
+                       iterations: int = 3) -> Dict:
+    """Scan-kernel vs legacy per-pattern throughput at one scale.
+
+    A compact lane over shared :class:`~repro.perf.scan.ScanContext`
+    views: both paths scan identical materialised bytes/text, so the
+    timing isolates the pattern-matching work the kernel replaced
+    (``benchmarks/bench_scan_kernel.py`` remains the deep-dive tool
+    that also times materialisation).  Equivalence is asserted per
+    sample and reported in the point.
+    """
+    from repro.common.memory import peak_rss_mib
+    from repro.corpus.generator import generate_world
+    from repro.corpus.model import ScenarioConfig
+    from repro.perf.cache import clear_caches
+    from repro.perf.scan import ScanContext
+    from repro.wallets.detect import (
+        extract_identifiers,
+        extract_identifiers_legacy,
+    )
+    from repro.yarm.builtin import builtin_miner_rules
+
+    world = generate_world(ScenarioConfig(seed=seed, scale=scale,
+                                          include_junk=False))
+    rules = builtin_miner_rules()
+    rules.kernel()  # compile outside the timed region
+    clear_caches()
+    contexts = []
+    for sample in world.samples:
+        ctx = ScanContext.for_sample(sample.raw)
+        ctx.strings  # materialise blob/text once, outside the timing
+        contexts.append(ctx)
+    bytes_scanned = sum(len(ctx.data) for ctx in contexts)
+
+    mismatches = 0
+    for ctx in contexts:
+        same_rules = rules.scan_legacy(ctx.data) == rules.scan(ctx)
+        same_ids = (extract_identifiers_legacy(ctx.text)
+                    == extract_identifiers(ctx.text))
+        if not (same_rules and same_ids):
+            mismatches += 1
+
+    def legacy_pass():
+        for ctx in contexts:
+            rules.scan_legacy(ctx.data)
+            extract_identifiers_legacy(ctx.text)
+
+    def kernel_pass():
+        for ctx in contexts:
+            rules.scan(ctx)
+            extract_identifiers(ctx.text)
+
+    def best_of(fn):
+        best = float("inf")
+        for _ in range(iterations):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    legacy_s = best_of(legacy_pass)
+    kernel_s = best_of(kernel_pass)
+    mib = bytes_scanned / (1024 * 1024)
+    return {
+        "suite": "scan",
+        "scale": scale,
+        "seed": seed,
+        "iterations": iterations,
+        "samples": len(contexts),
+        "mib_scanned": round(mib, 2),
+        "legacy_s": round(legacy_s, 4),
+        "kernel_s": round(kernel_s, 4),
+        "speedup": round(legacy_s / kernel_s, 2) if kernel_s else 0.0,
+        "kernel_mib_per_s": round(mib / kernel_s, 1) if kernel_s else 0.0,
+        "equivalent": mismatches == 0,
+        "mismatches": mismatches,
+        "peak_rss_mib": round(peak_rss_mib() or 0.0, 1),
+    }
+
+
 def run_point_subprocess(argv: List[str], timeout: Optional[float] = None
                          ) -> Dict:
     """Run one point in a child interpreter; parse its JSON stdout."""
@@ -163,6 +251,34 @@ def run_pipeline_suite(scale: float = 0.02, seed: int = 2019,
             "points": [point]}
 
 
+def run_scan_suite(scale: float = 0.02, seed: int = 2019,
+                   iterations: int = 3) -> Dict:
+    """Scan-kernel lane, in its own subprocess."""
+    point = run_point_subprocess([
+        "--scan-scale", str(scale), "--seed", str(seed),
+        "--iterations", str(iterations),
+    ])
+    print(f"  scan: {point['samples']} samples, "
+          f"{point['speedup']}x kernel speedup, "
+          f"equivalent={point['equivalent']}", file=sys.stderr)
+    return {"bench": "scan", "seed": seed, "points": [point]}
+
+
+def run_serve_suite(scale: float = 0.02, seed: int = 2019,
+                    duration_s: float = 8.0,
+                    concurrency: int = 8) -> Dict:
+    """Sustained-QPS serving lane, in its own subprocess."""
+    point = run_point_subprocess([
+        "--serve-scale", str(scale), "--seed", str(seed),
+        "--duration", str(duration_s),
+        "--concurrency", str(concurrency),
+    ], timeout=duration_s + 600)
+    print(f"  serve: {point['qps']} qps over {point['duration_s']}s, "
+          f"p50={point['p50_ms']}ms p99={point['p99_ms']}ms, "
+          f"swap_clean={point['swap_clean']}", file=sys.stderr)
+    return {"bench": "serve", "seed": seed, "points": [point]}
+
+
 def _write_json(path: Path, payload: Dict) -> None:
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}", file=sys.stderr)
@@ -179,7 +295,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--pipeline-scale", type=float, default=None,
                         help="run ONE batch-pipeline point, JSON on "
                              "stdout")
-    parser.add_argument("--suite", choices=["scale", "pipeline", "all"],
+    parser.add_argument("--scan-scale", type=float, default=None,
+                        help="run ONE scan-kernel point, JSON on stdout")
+    parser.add_argument("--serve-scale", type=float, default=None,
+                        help="run ONE serving-QPS point, JSON on stdout")
+    parser.add_argument("--iterations", type=int, default=3,
+                        help="best-of iterations for the scan lane")
+    parser.add_argument("--duration", type=float, default=8.0,
+                        help="sustained-load seconds for the serve lane")
+    parser.add_argument("--concurrency", type=int, default=8,
+                        help="client threads for the serve lane")
+    parser.add_argument("--suite",
+                        choices=["scale", "pipeline", "scan", "serve",
+                                 "all"],
                         default=None, help="full suite to run")
     parser.add_argument("--scales", type=str, default=None,
                         help="comma-separated scale factors for the "
@@ -192,15 +320,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="where BENCH_*.json land")
     args = parser.parse_args(argv)
 
-    if args.point_scale is not None:
-        print(json.dumps(measure_scale_point(
-            args.point_scale, seed=args.seed, workers=args.workers,
-            chunk_samples=args.chunk_samples, num_shards=args.shards)))
-        return 0
-    if args.pipeline_scale is not None:
-        print(json.dumps(measure_pipeline_point(
-            args.pipeline_scale, seed=args.seed, workers=args.workers)))
-        return 0
+    # the bare point flags are the child-process protocol; with an
+    # explicit --suite they instead parameterise that suite's scale.
+    if args.suite is None:
+        if args.point_scale is not None:
+            print(json.dumps(measure_scale_point(
+                args.point_scale, seed=args.seed, workers=args.workers,
+                chunk_samples=args.chunk_samples, num_shards=args.shards)))
+            return 0
+        if args.pipeline_scale is not None:
+            print(json.dumps(measure_pipeline_point(
+                args.pipeline_scale, seed=args.seed, workers=args.workers)))
+            return 0
+        if args.scan_scale is not None:
+            print(json.dumps(measure_scan_point(
+                args.scan_scale, seed=args.seed,
+                iterations=args.iterations)))
+            return 0
+        if args.serve_scale is not None:
+            from repro.serve.bench import measure_serve_point
+            print(json.dumps(measure_serve_point(
+                args.serve_scale, seed=args.seed,
+                duration_s=args.duration,
+                concurrency=args.concurrency)))
+            return 0
 
     suite = args.suite or "all"
     out_dir = Path(args.out_dir)
@@ -217,6 +360,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         _write_json(out_dir / "BENCH_pipeline.json",
                     run_pipeline_suite(seed=args.seed,
                                        workers=args.workers))
+    if suite in ("scan", "all"):
+        _write_json(out_dir / "BENCH_scan.json",
+                    run_scan_suite(args.scan_scale or 0.02,
+                                   seed=args.seed,
+                                   iterations=args.iterations))
+    if suite in ("serve", "all"):
+        _write_json(out_dir / "BENCH_serve.json",
+                    run_serve_suite(args.serve_scale or 0.02,
+                                    seed=args.seed,
+                                    duration_s=args.duration,
+                                    concurrency=args.concurrency))
     return 0
 
 

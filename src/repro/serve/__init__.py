@@ -1,0 +1,11 @@
+"""repro.serve — the threat-intel serving layer.
+
+Turns the batch reproduction's knowledge base (hash→campaign,
+wallet→profit, domain/IP→infrastructure) into a queryable service:
+immutable read indexes built from checkpoint snapshots or columnar
+record stores, a stdlib-asyncio HTTP front end with API-key auth and
+per-key rate limits, lock-free hot swap onto new snapshots, and
+structured per-request metrics.  See ``docs/serving.md``.
+"""
+
+__all__ = []

@@ -1,0 +1,279 @@
+"""The intel service: routing, auth, generation tracking, hot swap.
+
+Requests run against exactly one :class:`~repro.serve.index.IntelIndex`
+generation, pinned for the request's whole lifetime:
+
+1. the handler *acquires* the current generation (in-flight count +1),
+2. answers every lookup from that one immutable index,
+3. releases it on the way out.
+
+``swap()`` installs a new index with a single reference assignment —
+no lock, no request ever waits.  All bookkeeping runs on the event
+loop thread (or, for a cross-thread swap, is marshalled onto it), so
+the counters need no synchronisation; the old generation is retired
+the moment its in-flight count drains to zero.  A request therefore
+never observes two generations, and a swap never interrupts a request
+already running against the old index.
+
+``handle()`` is transport-free (an ``HttpRequest -> HttpResponse``
+coroutine): tests call it directly, the HTTP front end and the bench
+wire it to sockets.
+"""
+
+import time
+from typing import Any, Awaitable, Callable, Dict, List, Optional
+
+from repro.serve.auth import ApiKeyRegistry
+from repro.serve.http import HttpRequest, HttpResponse, json_response
+from repro.serve.index import IntelIndex
+from repro.serve.metrics import ServeMetrics
+
+__all__ = ["IntelService"]
+
+#: hard ceiling on IoCs accepted by one /v1/scan call.
+MAX_SCAN_IOCS = 10_000
+
+
+class _Generation:
+    """One installed index + its in-flight accounting."""
+
+    __slots__ = ("index", "inflight", "retired")
+
+    def __init__(self, index: IntelIndex) -> None:
+        self.index = index
+        self.inflight = 0
+        self.retired = False
+
+
+class IntelService:
+    """Routes intel queries against the live index generation.
+
+    ``request_hook(request, index)`` is an optional async test seam,
+    awaited after the request has pinned its generation — hot-swap
+    tests park a request there, swap underneath it, and assert the
+    parked request still answers from its original index.
+    """
+
+    def __init__(self, index: IntelIndex, keys: ApiKeyRegistry,
+                 metrics: Optional[ServeMetrics] = None,
+                 clock: Callable[[], float] = time.perf_counter,
+                 request_hook: Optional[
+                     Callable[[HttpRequest, IntelIndex],
+                              Awaitable[None]]] = None) -> None:
+        self._current = _Generation(index)
+        self._keys = keys
+        self.metrics = metrics or ServeMetrics()
+        self._clock = clock
+        self._request_hook = request_hook
+        self._retired_generations: List[int] = []
+
+    # -- generation management --------------------------------------------
+
+    @property
+    def index(self) -> IntelIndex:
+        """The currently installed index."""
+        return self._current.index
+
+    @property
+    def generation(self) -> int:
+        """The currently installed index's generation number."""
+        return self._current.index.generation
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently pinned to the installed generation."""
+        return self._current.inflight
+
+    @property
+    def retired_generations(self) -> List[int]:
+        """Generations fully drained and retired, in retire order."""
+        return list(self._retired_generations)
+
+    def swap(self, new_index: IntelIndex) -> int:
+        """Install ``new_index``; returns the replaced generation.
+
+        One reference flip — requests already holding the old
+        generation keep it until they release; new requests acquire
+        the new one.  Call on the event loop thread (the watcher does;
+        cross-thread callers marshal via ``loop.call_soon_threadsafe``).
+        """
+        old = self._current
+        self._current = _Generation(new_index)
+        self.metrics.swap(old.index.generation, new_index.generation)
+        old.retired = True
+        if old.inflight == 0:
+            self._retire(old)
+        return old.index.generation
+
+    def _acquire(self) -> _Generation:
+        generation = self._current
+        generation.inflight += 1
+        return generation
+
+    def _release(self, generation: _Generation) -> None:
+        generation.inflight -= 1
+        if generation.retired and generation.inflight == 0:
+            self._retire(generation)
+
+    def _retire(self, generation: _Generation) -> None:
+        self._retired_generations.append(generation.index.generation)
+        self.metrics.retired(generation.index.generation)
+
+    # -- request path ------------------------------------------------------
+
+    async def handle(self, request: HttpRequest) -> HttpResponse:
+        """Serve one request end to end (auth, route, metrics)."""
+        t0 = self._clock()
+        endpoint = self._endpoint_label(request)
+        if request.path == "/v1/healthz":
+            response = json_response(
+                {"status": "ok", "generation": self.generation})
+            self._observe(endpoint, response, t0, self.generation, "")
+            return response
+        presented = request.header("x-api-key")
+        if not presented:
+            bearer = request.header("authorization")
+            if bearer.lower().startswith("bearer "):
+                presented = bearer[7:].strip()
+        api_key = self._keys.authenticate(presented)
+        if api_key is None:
+            response = json_response(
+                {"error": "missing or unknown API key"}, status=401)
+            self._observe(endpoint, response, t0, self.generation, "")
+            return response
+        allowed, retry_after = self._keys.throttle(api_key)
+        if not allowed:
+            response = json_response(
+                {"error": "rate limit exceeded",
+                 "retry_after_s": round(retry_after, 3)},
+                status=429,
+                headers={"retry-after": f"{max(retry_after, 0.0):.3f}"})
+            self._observe(endpoint, response, t0, self.generation,
+                          api_key.name)
+            return response
+        generation = self._acquire()
+        try:
+            if self._request_hook is not None:
+                await self._request_hook(request, generation.index)
+            response = self._dispatch(request, generation.index)
+        finally:
+            self._release(generation)
+        self._observe(endpoint, response, t0,
+                      generation.index.generation, api_key.name)
+        return response
+
+    def _observe(self, endpoint: str, response: HttpResponse, t0: float,
+                 generation: int, key: str) -> None:
+        self.metrics.observe(endpoint, response.status,
+                             self._clock() - t0, generation, key)
+
+    @staticmethod
+    def _endpoint_label(request: HttpRequest) -> str:
+        parts = [p for p in request.path.split("/") if p]
+        if len(parts) >= 2 and parts[0] == "v1":
+            return f"{request.method} /v1/{parts[1]}"
+        return f"{request.method} {request.path}"
+
+    # -- routing -----------------------------------------------------------
+
+    def _dispatch(self, request: HttpRequest,
+                  index: IntelIndex) -> HttpResponse:
+        parts = [p for p in request.path.split("/") if p]
+        if len(parts) < 2 or parts[0] != "v1":
+            return self._not_found(index, "unknown endpoint")
+        head = parts[1]
+        if request.method == "GET" and head == "info":
+            return json_response(index.info())
+        if request.method == "GET" and head == "metrics":
+            payload = self.metrics.snapshot()
+            payload["generation"] = index.generation
+            return json_response(payload)
+        if request.method == "POST" and head == "scan":
+            return self._scan(request, index)
+        if request.method == "GET" and len(parts) == 3 and \
+                head in ("hash", "wallet", "campaign", "domain"):
+            return self._point_lookup(head, parts[2], index)
+        if head in ("hash", "wallet", "campaign", "domain", "scan"):
+            return json_response(
+                {"error": f"method {request.method} not allowed",
+                 "generation": index.generation}, status=405)
+        return self._not_found(index, "unknown endpoint")
+
+    @staticmethod
+    def _not_found(index: IntelIndex, message: str) -> HttpResponse:
+        return json_response({"error": message, "found": False,
+                              "generation": index.generation},
+                             status=404)
+
+    def _point_lookup(self, kind: str, value: str,
+                      index: IntelIndex) -> HttpResponse:
+        if kind == "hash":
+            intel = index.hash_intel(value)
+        elif kind == "wallet":
+            intel = index.wallet_intel(value)
+        elif kind == "domain":
+            intel = index.domain_intel(value)
+        else:  # campaign
+            try:
+                intel = index.campaign_intel(int(value))
+            except ValueError:
+                return json_response(
+                    {"error": f"campaign id must be an integer, "
+                              f"got {value!r}",
+                     "generation": index.generation}, status=400)
+        if intel is None:
+            return self._not_found(index, f"unknown {kind}: {value}")
+        return json_response({"kind": kind, "found": True,
+                              "generation": index.generation,
+                              "intel": intel})
+
+    def _scan(self, request: HttpRequest,
+              index: IntelIndex) -> HttpResponse:
+        try:
+            payload = request.json()
+        except ValueError:
+            return json_response(
+                {"error": "body must be JSON",
+                 "generation": index.generation}, status=400)
+        if not isinstance(payload, dict):
+            return json_response(
+                {"error": "body must be a JSON object",
+                 "generation": index.generation}, status=400)
+        iocs = payload.get("iocs")
+        text = payload.get("text")
+        if iocs is None and text is None:
+            return json_response(
+                {"error": "provide 'iocs' (list) or 'text' (string)",
+                 "generation": index.generation}, status=400)
+        if iocs is not None:
+            if not isinstance(iocs, list) or \
+                    not all(isinstance(i, str) for i in iocs):
+                return json_response(
+                    {"error": "'iocs' must be a list of strings",
+                     "generation": index.generation}, status=400)
+            if len(iocs) > MAX_SCAN_IOCS:
+                return json_response(
+                    {"error": f"too many IoCs "
+                              f"({len(iocs)} > {MAX_SCAN_IOCS})",
+                     "generation": index.generation}, status=400)
+            blob = "\n".join(iocs)
+        else:
+            if not isinstance(text, str):
+                return json_response(
+                    {"error": "'text' must be a string",
+                     "generation": index.generation}, status=400)
+            blob = text
+        hits = index.scan_text(blob)
+        resolved: List[Dict[str, Any]] = []
+        for hit in hits:
+            match = index.lookup(hit["indicator"])
+            if match is not None:
+                resolved.append({"kind": match["kind"],
+                                 "indicator": hit["indicator"],
+                                 "intel": match["intel"]})
+        return json_response({
+            "generation": index.generation,
+            "submitted": len(iocs) if iocs is not None else 1,
+            "hits": resolved,
+            "num_hits": len(resolved),
+        })

@@ -1,0 +1,102 @@
+"""API-key authentication and per-key token-bucket rate limiting.
+
+Keys are presented via the ``X-Api-Key`` header (or ``Authorization:
+Bearer <key>``).  Each key owns a token bucket: ``rate`` tokens/second
+refill up to a ``burst`` ceiling, one token per request; ``rate=0``
+means unlimited.  The clock is injectable so tests drive time
+explicitly instead of sleeping.
+"""
+
+import hmac
+import secrets
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["ApiKey", "ApiKeyRegistry", "TokenBucket"]
+
+
+@dataclass
+class ApiKey:
+    """One issued credential and its rate-limit policy."""
+
+    key: str
+    name: str = ""
+    #: sustained requests/second this key may spend; 0 = unlimited.
+    rate: float = 0.0
+    #: bucket ceiling — short bursts above ``rate`` up to this size.
+    burst: int = 10
+
+
+class TokenBucket:
+    """Classic token bucket over an injectable monotonic clock."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_last", "_clock")
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float]) -> None:
+        self.rate = rate
+        self.burst = max(1, burst)
+        self._clock = clock
+        self._tokens = float(self.burst)
+        self._last = clock()
+
+    def allow(self) -> Tuple[bool, float]:
+        """Spend one token; returns (allowed, retry_after_seconds)."""
+        now = self._clock()
+        self._tokens = min(float(self.burst),
+                           self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True, 0.0
+        needed = 1.0 - self._tokens
+        retry = needed / self.rate if self.rate > 0 else float("inf")
+        return False, retry
+
+
+class ApiKeyRegistry:
+    """The credential store the request path authenticates against."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic
+                 ) -> None:
+        self._clock = clock
+        self._keys: Dict[str, ApiKey] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add(self, key: str, name: str = "", rate: float = 0.0,
+            burst: int = 10) -> ApiKey:
+        """Register one key; replaces any previous policy for it."""
+        issued = ApiKey(key=key, name=name or key[:8], rate=rate,
+                        burst=burst)
+        self._keys[key] = issued
+        if rate > 0:
+            self._buckets[key] = TokenBucket(rate, burst, self._clock)
+        else:
+            self._buckets.pop(key, None)
+        return issued
+
+    def generate(self, name: str = "", rate: float = 0.0,
+                 burst: int = 10) -> ApiKey:
+        """Mint a fresh random key and register it."""
+        return self.add(secrets.token_hex(16), name=name, rate=rate,
+                        burst=burst)
+
+    def authenticate(self, presented: Optional[str]) -> Optional[ApiKey]:
+        """Constant-time lookup of a presented credential."""
+        if not presented:
+            return None
+        for key, issued in self._keys.items():
+            if hmac.compare_digest(key, presented):
+                return issued
+        return None
+
+    def throttle(self, api_key: ApiKey) -> Tuple[bool, float]:
+        """Spend one token for this key; (allowed, retry_after_s)."""
+        bucket = self._buckets.get(api_key.key)
+        if bucket is None:
+            return True, 0.0
+        return bucket.allow()

@@ -1,0 +1,154 @@
+"""Sustained-QPS benchmark for the serving layer.
+
+Real sockets end to end: a :class:`~repro.serve.http.BackgroundServer`
+on its own event loop, hammered by ``concurrency`` client threads
+driving a deterministic round-robin query mix (hash / wallet / domain
+/ campaign point lookups with a bulk scan every ``scan_every``-th
+request).  Halfway through, a second index generation is built and
+hot-swapped in under full load — the report asserts no request was
+dropped and every response carried exactly one generation, which is
+the acceptance property the swap design promises.
+
+Wired into the unified harness (``repro bench --suite serve``) which
+runs this in a fresh subprocess and commits ``BENCH_serve.json``.
+"""
+
+import threading
+import time
+from typing import Any, Dict, List
+
+from repro.serve.app import IntelService
+from repro.serve.auth import ApiKeyRegistry
+from repro.serve.client import IntelClient
+from repro.serve.http import BackgroundServer
+from repro.serve.index import build_index
+from repro.serve.metrics import latency_summary
+
+__all__ = ["measure_serve_point"]
+
+_BENCH_KEY = "bench-key"
+
+
+def _query_plan(index, scan_every: int) -> List[tuple]:
+    """The deterministic per-worker query cycle: (kind, value)."""
+    examples = index.examples(limit=16)
+    plan: List[tuple] = []
+    for table, kind in (("hashes", "hash"), ("wallets", "wallet"),
+                        ("domains", "domain"),
+                        ("campaigns", "campaign")):
+        for value in examples[table]:
+            plan.append((kind, value))
+    if not plan:
+        raise RuntimeError("index is empty; nothing to benchmark")
+    # one bulk scan every scan_every requests: a 16-IoC mixed list
+    scan_iocs = (examples["hashes"][:6] + examples["wallets"][:5]
+                 + examples["domains"][:5])
+    spaced: List[tuple] = []
+    for i, query in enumerate(plan * max(1, scan_every)):
+        if scan_every and i % scan_every == scan_every - 1:
+            spaced.append(("scan", scan_iocs))
+        spaced.append(query)
+    return spaced
+
+
+def _worker(host: str, port: int, plan: List[tuple], offset: int,
+            deadline: float, out: List[Dict[str, Any]]) -> None:
+    observations: List[Dict[str, Any]] = []
+    with IntelClient(host, port, api_key=_BENCH_KEY) as client:
+        position = offset
+        while time.perf_counter() < deadline:
+            kind, value = plan[position % len(plan)]
+            position += 1
+            t0 = time.perf_counter()
+            if kind == "scan":
+                status, payload = client.request(
+                    "POST", "/v1/scan", body={"iocs": value})
+            else:
+                status, payload = client.request(
+                    "GET", f"/v1/{kind}/{value}")
+            observations.append({
+                "kind": kind,
+                "status": status,
+                "latency_s": time.perf_counter() - t0,
+                "generation": payload.get("generation"),
+            })
+    out.extend(observations)
+
+
+def measure_serve_point(scale: float = 0.01, seed: int = 2019,
+                        duration_s: float = 8.0, concurrency: int = 8,
+                        scan_every: int = 10) -> Dict[str, Any]:
+    """One sustained-load run; returns the BENCH_serve point dict."""
+    from repro.core.pipeline import MeasurementPipeline
+    from repro.corpus.generator import generate_world
+    from repro.corpus.model import ScenarioConfig
+
+    t0 = time.perf_counter()
+    world = generate_world(ScenarioConfig(seed=seed, scale=scale))
+    result = MeasurementPipeline(world).run()
+    pipeline_s = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    index = build_index(result, generation=1,
+                        source=f"pipeline seed={seed} scale={scale}")
+    build_s = time.perf_counter() - t1
+
+    registry = ApiKeyRegistry()
+    registry.add(_BENCH_KEY, name="bench")
+    service = IntelService(index, registry)
+    plan = _query_plan(index, scan_every)
+    observations: List[Dict[str, Any]] = []
+    with BackgroundServer(service.handle) as server:
+        deadline = time.perf_counter() + duration_s
+        threads = []
+        for worker_id in range(concurrency):
+            thread = threading.Thread(
+                target=_worker,
+                args=(server.host, server.port, plan,
+                      worker_id * 7, deadline, observations),
+                daemon=True)
+            thread.start()
+            threads.append(thread)
+        # halfway: rebuild the same snapshot as generation 2 and swap
+        # it in under full load (the lock-free flip acceptance check).
+        time.sleep(duration_s / 2)
+        second = build_index(result, generation=2,
+                             source=index.source)
+        server.call_soon(lambda: service.swap(second))
+        for thread in threads:
+            thread.join(timeout=duration_s + 30)
+
+    latencies = [o["latency_s"] for o in observations]
+    by_kind: Dict[str, Any] = {}
+    for kind in sorted({o["kind"] for o in observations}):
+        subset = [o["latency_s"] for o in observations
+                  if o["kind"] == kind]
+        summary = latency_summary(subset)
+        summary["requests"] = len(subset)
+        by_kind[kind] = summary
+    errors = sum(1 for o in observations if o["status"] >= 400)
+    generations = sorted({o["generation"] for o in observations
+                          if o["generation"] is not None})
+    point: Dict[str, Any] = {
+        "suite": "serve",
+        "scale": scale,
+        "seed": seed,
+        "duration_s": duration_s,
+        "concurrency": concurrency,
+        "requests": len(observations),
+        "qps": round(len(observations) / duration_s, 1),
+        "errors": errors,
+        "index": index.counts(),
+        "pipeline_s": round(pipeline_s, 3),
+        "index_build_s": round(build_s, 3),
+        "swaps": 1,
+        "generations_seen": generations,
+        # every response carried exactly one generation and none failed
+        # across the mid-run swap:
+        "swap_clean": (errors == 0
+                       and all(o["generation"] is not None
+                               for o in observations)
+                       and set(generations) <= {1, 2}),
+        "by_kind": by_kind,
+    }
+    point.update(latency_summary(latencies))
+    return point

@@ -1,0 +1,114 @@
+"""Structured per-request metrics for the serving layer.
+
+Every handled request is recorded as one observation — endpoint,
+status, latency, index generation, key name — folded into bounded
+per-endpoint latency rings and counters, with the most recent
+observations kept verbatim as a structured event ring.  ``snapshot()``
+renders the whole thing JSON-safe for ``/v1/metrics``.
+"""
+
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = ["ServeMetrics", "latency_summary", "percentile"]
+
+#: latency observations retained per endpoint (ring buffer).
+LATENCY_WINDOW = 4096
+#: structured request events retained verbatim.
+EVENT_WINDOW = 256
+
+
+def percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q / 100.0 * len(ordered) + 0.5)) - 1))
+    return ordered[rank]
+
+
+def latency_summary(latencies_s: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99/mean/max over raw second-latencies, in ms."""
+    ordered = sorted(latencies_s)
+    if not ordered:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+                "mean_ms": 0.0, "max_ms": 0.0}
+    to_ms = 1000.0
+    return {
+        "p50_ms": round(percentile(ordered, 50) * to_ms, 3),
+        "p95_ms": round(percentile(ordered, 95) * to_ms, 3),
+        "p99_ms": round(percentile(ordered, 99) * to_ms, 3),
+        "mean_ms": round(sum(ordered) / len(ordered) * to_ms, 3),
+        "max_ms": round(ordered[-1] * to_ms, 3),
+    }
+
+
+class ServeMetrics:
+    """Bounded-memory request telemetry for one service instance."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic
+                 ) -> None:
+        self._clock = clock
+        self._started = clock()
+        self._latencies: Dict[str, deque] = {}
+        self._requests: Dict[str, int] = {}
+        self._statuses: Dict[str, Dict[str, int]] = {}
+        self._events: deque = deque(maxlen=EVENT_WINDOW)
+        self._swaps = 0
+        self._retired: List[int] = []
+
+    def observe(self, endpoint: str, status: int, latency_s: float,
+                generation: int, key: str = "") -> None:
+        """Record one handled request."""
+        ring = self._latencies.get(endpoint)
+        if ring is None:
+            ring = self._latencies[endpoint] = deque(
+                maxlen=LATENCY_WINDOW)
+        ring.append(latency_s)
+        self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+        by_status = self._statuses.setdefault(endpoint, {})
+        by_status[str(status)] = by_status.get(str(status), 0) + 1
+        self._events.append({
+            "t": round(self._clock() - self._started, 6),
+            "endpoint": endpoint,
+            "status": status,
+            "latency_ms": round(latency_s * 1000.0, 3),
+            "generation": generation,
+            "key": key,
+        })
+
+    def swap(self, old_generation: int, new_generation: int) -> None:
+        """Record an index hot swap (old generation now retiring)."""
+        self._swaps += 1
+        self._events.append({
+            "t": round(self._clock() - self._started, 6),
+            "endpoint": "swap",
+            "from_generation": old_generation,
+            "to_generation": new_generation,
+        })
+
+    def retired(self, generation: int) -> None:
+        """Record that a drained generation was fully retired."""
+        self._retired.append(generation)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe aggregate view (the /v1/metrics payload)."""
+        endpoints = {}
+        for endpoint in sorted(self._requests):
+            summary: Dict[str, Any] = {
+                "requests": self._requests[endpoint],
+                "by_status": dict(sorted(
+                    self._statuses.get(endpoint, {}).items())),
+            }
+            summary.update(latency_summary(
+                list(self._latencies.get(endpoint, ()))))
+            endpoints[endpoint] = summary
+        return {
+            "uptime_s": round(self._clock() - self._started, 3),
+            "requests_total": sum(self._requests.values()),
+            "index_swaps": self._swaps,
+            "generations_retired": list(self._retired),
+            "endpoints": endpoints,
+            "events": list(self._events),
+        }

@@ -1,0 +1,60 @@
+"""Snapshot watcher: polls a checkpoint, rebuilds and hot-swaps.
+
+The watcher runs as a task on the serving event loop.  Each poll
+fingerprints the checkpoint's durable files (``stamp()``); when the
+fingerprint changes, the next index generation is built **off the loop
+thread** (``run_in_executor``, so queries keep flowing during the
+restore) and then installed with one atomic ``swap()`` back on the
+loop.  The stamp is recorded *before* the build — if the checkpoint
+advances mid-build, the next poll sees a new fingerprint and rebuilds.
+"""
+
+import asyncio
+from typing import Optional
+
+__all__ = ["SnapshotWatcher"]
+
+
+class SnapshotWatcher:
+    """Poll-rebuild-swap loop over an index source.
+
+    ``source`` implements the :class:`~repro.serve.snapshot.
+    CheckpointIndexSource` protocol: ``stamp()`` (None or a comparable
+    fingerprint) and ``build(generation)``.
+    """
+
+    def __init__(self, service, source,
+                 interval_s: float = 2.0) -> None:
+        self.service = service
+        self.source = source
+        self.interval_s = interval_s
+        self.swaps = 0
+        self._last_stamp = None
+
+    def prime(self) -> None:
+        """Record the current stamp as already served.
+
+        Call when the service was started from an index built off this
+        same source, so the first poll doesn't rebuild it redundantly.
+        """
+        self._last_stamp = self.source.stamp()
+
+    async def poll_once(self) -> bool:
+        """One poll cycle; True iff a new generation was installed."""
+        loop = asyncio.get_event_loop()
+        stamp = await loop.run_in_executor(None, self.source.stamp)
+        if stamp is None or stamp == self._last_stamp:
+            return False
+        self._last_stamp = stamp
+        generation = self.service.generation + 1
+        index = await loop.run_in_executor(
+            None, self.source.build, generation)
+        self.service.swap(index)
+        self.swaps += 1
+        return True
+
+    async def run_forever(self) -> None:
+        """Poll at ``interval_s`` until cancelled."""
+        while True:
+            await self.poll_once()
+            await asyncio.sleep(self.interval_s)
