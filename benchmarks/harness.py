@@ -6,16 +6,22 @@ without installing the package::
 
     PYTHONPATH=src python benchmarks/harness.py --suite all
     PYTHONPATH=src python benchmarks/harness.py --suite scale \
-        --scales 0.055,0.55
+        --scales 0.055,0.55 --workers-list 1,2,4
 
 Emits ``BENCH_scale.json`` (out-of-core scaling curve: samples, time,
-throughput, peak RSS per point), ``BENCH_pipeline.json`` (batch
-pipeline stage breakdown), ``BENCH_scan.json`` (one-pass scan kernel
-vs the legacy per-pattern path, equivalence-asserted) and
-``BENCH_serve.json`` (sustained-QPS serving run with p50/p95/p99
-latency and a hot swap under load — see docs/serving.md).  Every
-point runs in a fresh subprocess so peak-RSS numbers are per-point,
-not a shared high-water mark.
+throughput, peak RSS per point — crossed with ``--workers-list``
+aggregation worker counts), ``BENCH_pipeline.json`` (batch pipeline
+stage breakdown), ``BENCH_scan.json`` (one-pass scan kernel vs the
+legacy per-pattern path, equivalence-asserted), ``BENCH_serve.json``
+(sustained-QPS serving run with p50/p95/p99 latency; ``workers=1``
+hot-swaps under load, ``workers>1`` benchmarks the SO_REUSEPORT
+fleet — see docs/serving.md) and ``BENCH_ingest.json`` (checkpointed
+ingestion: batches/s plus cold-resume cost).  Every point runs in a
+fresh subprocess so peak-RSS numbers are per-point, not a shared
+high-water mark, and each suite also appends an immutable
+``BENCH_history/<suite>-<NNNN>.json`` entry.  CI gates fresh runs
+against the committed JSONs with ``benchmarks/regression_gate.py``
+(>25% throughput drop on any matched point fails).
 """
 
 import sys

@@ -11,7 +11,9 @@ Subcommands::
     python -m repro.cli scale     --scale 0.55 [--store DIR] [--shards K]
     python -m repro.cli serve     [--checkpoint DIR | --store DIR]
                                   [--port 8742] [--api-key KEY --rate 50]
-    python -m repro.cli bench     [--suite scale|pipeline|scan|serve|all]
+                                  [--workers N]
+    python -m repro.cli bench     [--suite scale|pipeline|scan|serve|
+                                   ingest|all] [--workers-list 1,2,4]
     python -m repro.cli lint      [--strict] [--update-baseline]
                                   [--changed] [--graph] [--workers N]
 
@@ -25,8 +27,10 @@ out-of-core streaming pipeline (:mod:`repro.scale`) that never holds
 the whole world in memory; ``serve`` starts the threat-intel HTTP API
 (:mod:`repro.serve`) over a checkpoint directory (hot-swapping as the
 checkpoint advances), a columnar record store, or a fresh pipeline
-run; ``bench`` emits the ``BENCH_*.json``
-scaling/stage benchmarks; ``lint`` runs the
+run — ``--workers N`` forks an ``SO_REUSEPORT`` fleet of N serving
+processes sharing one pre-fork index; ``bench`` emits the
+``BENCH_*.json`` scaling/stage benchmarks plus per-run
+``BENCH_history/`` entries; ``lint`` runs the
 reprolint invariant checks (see ``docs/static-analysis.md``) and fails
 on findings the committed baseline does not accept — ``--changed``
 narrows reporting to the git diff, ``--graph`` dumps the resolved
@@ -268,7 +272,8 @@ def cmd_scale(args) -> int:
                              keep_sample_hashes=False)
     store = RecordStore(args.store) if args.store else None
     pipeline = ScalePipeline(corpus, store=store, workers=args.workers,
-                             num_shards=args.shards)
+                             num_shards=args.shards,
+                             prefetch=args.prefetch)
     result = pipeline.run()
     stats = result.stats
     print(f"collected:   {stats.collected}")
@@ -360,12 +365,14 @@ def cmd_serve(args) -> int:
     elif args.store:
         from repro.scale.columnar import RecordStore
         world = _get_world(args.seed, args.scale)
-        result = result_from_store(world, RecordStore(args.store))
+        result = result_from_store(world, RecordStore(args.store),
+                                   workers=args.pipeline_workers)
         index = build_index(result, generation=1,
                             source=f"store:{args.store}")
     else:
         world = _get_world(args.seed, args.scale)
-        pipeline = MeasurementPipeline(world, workers=args.workers)
+        pipeline = MeasurementPipeline(world,
+                                       workers=args.pipeline_workers)
         result = pipeline.run()
         index = build_index(
             result, generation=1,
@@ -376,6 +383,8 @@ def cmd_serve(args) -> int:
           f"{counts['campaigns']} campaigns, {counts['domains']} "
           f"domains", file=sys.stderr)
     service = IntelService(index, registry)
+    if args.workers > 1:
+        return _serve_fleet(service, args)
     try:
         return asyncio.run(_serve_main(service, source, args.host,
                                        args.port, args.poll_interval))
@@ -384,19 +393,46 @@ def cmd_serve(args) -> int:
         return 0
 
 
+def _serve_fleet(service, args) -> int:
+    """Run the multi-process fleet until interrupted (frozen index)."""
+    import time as _time
+
+    from repro.serve.fleet import ServerFleet
+    if args.checkpoint:
+        print("--workers > 1 serves a frozen index; checkpoint "
+              "watching disabled", file=sys.stderr)
+    with ServerFleet(service.handle, host=args.host, port=args.port,
+                     workers=args.workers) as fleet:
+        print(f"serving on http://{fleet.host}:{fleet.port} with "
+              f"{args.workers} workers (pids "
+              f"{' '.join(str(p) for p in fleet.pids)})",
+              file=sys.stderr)
+        try:
+            while fleet.alive():
+                _time.sleep(1.0)
+            print("all workers exited", file=sys.stderr)
+        except KeyboardInterrupt:
+            print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Run the benchmark harness (see ``benchmarks/harness.py``)."""
     from repro.scale import bench
     argv = ["--suite", args.suite, "--seed", str(args.seed),
             "--workers", str(args.workers),
+            "--prefetch", str(args.prefetch),
             "--chunk-samples", str(args.chunk_samples),
             "--shards", str(args.shards),
             "--iterations", str(args.iterations),
             "--duration", str(args.duration),
             "--concurrency", str(args.concurrency),
+            "--batch-days", str(args.batch_days),
             "--out-dir", args.out_dir]
     if args.scales:
         argv += ["--scales", args.scales]
+    if args.workers_list:
+        argv += ["--workers-list", args.workers_list]
     return bench.main(argv)
 
 
@@ -539,6 +575,8 @@ def build_parser() -> argparse.ArgumentParser:
                        default=4096, help="samples per streamed chunk")
     scale.add_argument("--shards", type=_positive_int, default=8,
                        help="union-find shards for aggregation")
+    scale.add_argument("--prefetch", type=int, default=2,
+                       help="chunk prefetch depth (0 = synchronous)")
     scale.add_argument("--stride-days", type=_positive_int, default=30,
                        help="mining-driver stride (coarser = faster)")
     scale.add_argument("--store", type=str, default=None,
@@ -559,8 +597,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "checkpoint's own plan when present)")
     serve.add_argument("--seed", type=int, default=2019)
     serve.add_argument("--workers", type=_positive_int, default=1,
-                       help="pipeline workers for the fallback "
-                            "fresh-run source")
+                       help="serving processes; > 1 forks a "
+                            "SO_REUSEPORT fleet sharing one pre-fork "
+                            "index (frozen: no checkpoint watching)")
+    serve.add_argument("--pipeline-workers", type=_positive_int,
+                       default=1,
+                       help="worker processes for building the index "
+                            "source (pipeline extraction / store "
+                            "aggregation shards)")
     serve.add_argument("--batch-days", type=_positive_int, default=None,
                        help="feed plan override for journal-only "
                             "checkpoints")
@@ -580,16 +624,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(func=cmd_serve)
     bench = sub.add_parser(
         "bench",
-        help="benchmark harness; writes BENCH_scale.json / "
-             "BENCH_pipeline.json / BENCH_scan.json / BENCH_serve.json")
+        help="benchmark harness; writes BENCH_<suite>.json plus a "
+             "BENCH_history/ entry per run (suites: scale, pipeline, "
+             "scan, serve, ingest)")
     bench.add_argument("--suite",
                        choices=["scale", "pipeline", "scan", "serve",
-                                "all"],
+                                "ingest", "all"],
                        default="all")
     bench.add_argument("--scales", type=str, default=None,
                        help="comma-separated scale factors")
     bench.add_argument("--seed", type=int, default=2019)
     bench.add_argument("--workers", type=_positive_int, default=1)
+    bench.add_argument("--workers-list", type=str, default=None,
+                       help="comma-separated worker counts for the "
+                            "scale / serve lanes (e.g. 1,2,4)")
+    bench.add_argument("--prefetch", type=int, default=2,
+                       help="chunk prefetch depth for the scale lane")
+    bench.add_argument("--batch-days", type=_positive_int, default=30,
+                       help="feed-batch size for the ingest lane")
     bench.add_argument("--chunk-samples", type=_positive_int,
                        default=4096)
     bench.add_argument("--shards", type=_positive_int, default=8)

@@ -1,4 +1,4 @@
-"""Unified benchmark harness: scale, pipeline, scan and serve lanes.
+"""Unified benchmark harness: scale, pipeline, scan, serve and ingest.
 
 Each measurement point runs in a **fresh subprocess** — ``ru_maxrss``
 is a lifetime high-water mark, so points sharing a process would
@@ -6,12 +6,22 @@ inherit each other's peaks.  The child re-invokes this module with a
 ``--*-scale`` flag and prints one JSON object on stdout; the parent
 collects points into the committed artifacts:
 
-* ``BENCH_scale.json`` — the out-of-core pipeline's scaling curve
+* ``BENCH_scale.json`` — the out-of-core pipeline's scaling curve,
+  with one point per (scale, workers) pair (``--workers-list``)
 * ``BENCH_pipeline.json`` — batch-pipeline stage breakdown (tier-1)
 * ``BENCH_scan.json`` — one-pass scan kernel vs the legacy per-pattern
   path (throughput + equivalence)
-* ``BENCH_serve.json`` — sustained-QPS serving run with p50/p95/p99
-  latency and a mid-run hot swap (see :mod:`repro.serve.bench`)
+* ``BENCH_serve.json`` — sustained-QPS serving runs, one point per
+  worker count (single-process hot-swap run plus multi-process
+  fleets — see :mod:`repro.serve.bench`)
+* ``BENCH_ingest.json`` — checkpointed ingestion lane: batch
+  throughput plus the cost of a cold resume from the checkpoint
+
+Every suite write also appends a copy under ``BENCH_history/`` as
+``<suite>-<NNNN>.json`` — the committed bench trajectory.  The
+regression gate (:func:`compare_runs`, ``benchmarks/
+regression_gate.py``) compares a fresh run against the committed
+previous JSON point-by-point and fails on >25% throughput loss.
 
 Invoked via ``python -m repro.scale.bench``, ``python
 benchmarks/harness.py`` or ``repro bench`` — all the same code.
@@ -23,16 +33,20 @@ import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 __all__ = [
+    "compare_runs",
+    "measure_ingest_point",
     "measure_pipeline_point",
     "measure_scale_point",
     "measure_scan_point",
+    "run_ingest_suite",
     "run_point_subprocess",
     "run_scaling_suite",
     "run_scan_suite",
     "run_serve_suite",
+    "write_history_entry",
 ]
 
 #: the committed scaling curve: ~10k / ~100k / ~1M streamed samples
@@ -42,7 +56,7 @@ DEFAULT_SCALES = [0.072, 0.72, 6.35]
 
 def measure_scale_point(scale: float, seed: int = 2019, workers: int = 1,
                         chunk_samples: int = 4096, num_shards: int = 8,
-                        stride_days: int = 30) -> Dict:
+                        stride_days: int = 30, prefetch: int = 2) -> Dict:
     """One out-of-core pipeline run; returns its metrics dict.
 
     Call only in a fresh process if peak RSS matters (see module doc).
@@ -59,7 +73,7 @@ def measure_scale_point(scale: float, seed: int = 2019, workers: int = 1,
                              keep_sample_hashes=False)
     skeleton_s = time.perf_counter() - t0
     pipeline = ScalePipeline(corpus, workers=workers,
-                             num_shards=num_shards)
+                             num_shards=num_shards, prefetch=prefetch)
     t1 = time.perf_counter()
     result = pipeline.run()
     run_s = time.perf_counter() - t1
@@ -71,6 +85,7 @@ def measure_scale_point(scale: float, seed: int = 2019, workers: int = 1,
         "scale": scale,
         "seed": seed,
         "workers": workers,
+        "prefetch": prefetch,
         "chunk_samples": chunk_samples,
         "num_shards": num_shards,
         "samples": samples,
@@ -207,6 +222,65 @@ def measure_scan_point(scale: float = 0.02, seed: int = 2019,
     }
 
 
+def measure_ingest_point(scale: float = 0.02, seed: int = 2019,
+                         batch_days: int = 30) -> Dict:
+    """Checkpointed ingestion throughput plus cold-resume cost.
+
+    Runs the full feed replay through :class:`repro.ingest.service.
+    IngestionService` (fresh checkpoint, fsync off — the lane measures
+    compute, not the disk), then restores the finished checkpoint from
+    scratch and materialises its result — the cost a `repro serve
+    --checkpoint` start or a crash-resume actually pays.
+    """
+    import shutil
+    import tempfile
+
+    from repro.common.memory import peak_rss_mib
+    from repro.corpus.generator import generate_world
+    from repro.corpus.model import ScenarioConfig
+    from repro.ingest.service import IngestionService
+
+    world = generate_world(ScenarioConfig(seed=seed, scale=scale))
+    workdir = Path(tempfile.mkdtemp(prefix="repro-bench-ingest-"))
+    try:
+        service = IngestionService(world, workdir / "checkpoint",
+                                   batch_days=batch_days, fsync=False)
+        t0 = time.perf_counter()
+        ingest = service.run()
+        run_s = time.perf_counter() - t0
+        batches = len(ingest.batches)
+        analyzed = sum(b.analyzed for b in ingest.batches)
+
+        resumer = IngestionService(world, workdir / "checkpoint",
+                                   batch_days=batch_days, resume=True,
+                                   fsync=False)
+        t1 = time.perf_counter()
+        resumer.restore_state()
+        restored = resumer.current_result()
+        resume_s = time.perf_counter() - t1
+        return {
+            "suite": "ingest",
+            "scale": scale,
+            "seed": seed,
+            "batch_days": batch_days,
+            "batches": batches,
+            "samples": analyzed,
+            "records": len(ingest.result.records),
+            "campaigns": len(ingest.result.campaigns),
+            "run_s": round(run_s, 3),
+            "batches_per_s": round(batches / run_s, 2) if run_s else 0.0,
+            "samples_per_s": round(analyzed / run_s, 1) if run_s else 0.0,
+            #: cold restore of the finished checkpoint + materialise
+            "resume_s": round(resume_s, 3),
+            "resume_records": len(restored.records),
+            "resume_fraction": round(resume_s / run_s, 3) if run_s
+            else 0.0,
+            "peak_rss_mib": round(peak_rss_mib() or 0.0, 1),
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 def run_point_subprocess(argv: List[str], timeout: Optional[float] = None
                          ) -> Dict:
     """Run one point in a child interpreter; parse its JSON stdout."""
@@ -220,24 +294,31 @@ def run_point_subprocess(argv: List[str], timeout: Optional[float] = None
 
 
 def run_scaling_suite(scales: List[float], seed: int = 2019,
-                      workers: int = 1, chunk_samples: int = 4096,
-                      num_shards: int = 8) -> Dict:
-    """The scaling curve: one subprocess per scale point."""
+                      workers_list: Optional[List[int]] = None,
+                      chunk_samples: int = 4096,
+                      num_shards: int = 8,
+                      prefetch: int = 2) -> Dict:
+    """The scaling curve: one subprocess per (scale, workers) point."""
+    workers_list = workers_list or [1]
     points = []
     for scale in scales:
-        points.append(run_point_subprocess([
-            "--point-scale", str(scale), "--seed", str(seed),
-            "--workers", str(workers),
-            "--chunk-samples", str(chunk_samples),
-            "--shards", str(num_shards),
-        ]))
-        last = points[-1]
-        print(f"  scale={scale}: {last['samples']} samples in "
-              f"{last['total_s']}s, peak {last['peak_rss_mib']} MiB",
-              file=sys.stderr)
-    return {"bench": "scale", "seed": seed, "workers": workers,
+        for workers in workers_list:
+            points.append(run_point_subprocess([
+                "--point-scale", str(scale), "--seed", str(seed),
+                "--workers", str(workers),
+                "--prefetch", str(prefetch),
+                "--chunk-samples", str(chunk_samples),
+                "--shards", str(num_shards),
+            ]))
+            last = points[-1]
+            print(f"  scale={scale} workers={workers}: "
+                  f"{last['samples']} samples in {last['total_s']}s "
+                  f"({last['samples_per_s']}/s), "
+                  f"peak {last['peak_rss_mib']} MiB", file=sys.stderr)
+    return {"bench": "scale", "seed": seed,
+            "workers_list": workers_list,
             "chunk_samples": chunk_samples, "num_shards": num_shards,
-            "points": points}
+            "prefetch": prefetch, "points": points}
 
 
 def run_pipeline_suite(scale: float = 0.02, seed: int = 2019,
@@ -266,22 +347,136 @@ def run_scan_suite(scale: float = 0.02, seed: int = 2019,
 
 def run_serve_suite(scale: float = 0.02, seed: int = 2019,
                     duration_s: float = 8.0,
-                    concurrency: int = 8) -> Dict:
-    """Sustained-QPS serving lane, in its own subprocess."""
+                    concurrency: int = 8,
+                    workers_list: Optional[List[int]] = None) -> Dict:
+    """Sustained-QPS serving lane: one subprocess per worker count."""
+    workers_list = workers_list or [1]
+    points = []
+    for workers in workers_list:
+        point = run_point_subprocess([
+            "--serve-scale", str(scale), "--seed", str(seed),
+            "--duration", str(duration_s),
+            "--concurrency", str(concurrency),
+            "--workers", str(workers),
+        ], timeout=duration_s + 600)
+        points.append(point)
+        print(f"  serve workers={workers}: {point['qps']} qps over "
+              f"{point['duration_s']}s, p50={point['p50_ms']}ms "
+              f"p99={point['p99_ms']}ms, "
+              f"swap_clean={point['swap_clean']}, "
+              f"pids={point['serving_pids']}", file=sys.stderr)
+    return {"bench": "serve", "seed": seed,
+            "workers_list": workers_list, "points": points}
+
+
+def run_ingest_suite(scale: float = 0.02, seed: int = 2019,
+                     batch_days: int = 30) -> Dict:
+    """Checkpointed ingestion lane, in its own subprocess."""
     point = run_point_subprocess([
-        "--serve-scale", str(scale), "--seed", str(seed),
-        "--duration", str(duration_s),
-        "--concurrency", str(concurrency),
-    ], timeout=duration_s + 600)
-    print(f"  serve: {point['qps']} qps over {point['duration_s']}s, "
-          f"p50={point['p50_ms']}ms p99={point['p99_ms']}ms, "
-          f"swap_clean={point['swap_clean']}", file=sys.stderr)
-    return {"bench": "serve", "seed": seed, "points": [point]}
+        "--ingest-scale", str(scale), "--seed", str(seed),
+        "--batch-days", str(batch_days),
+    ])
+    print(f"  ingest: {point['batches']} batches in {point['run_s']}s "
+          f"({point['batches_per_s']} batches/s), "
+          f"resume {point['resume_s']}s", file=sys.stderr)
+    return {"bench": "ingest", "seed": seed, "points": [point]}
+
+
+# -- artifacts: committed JSON + history trail -------------------------------
+
+
+def write_history_entry(out_dir: Path, suite: str, payload: Dict) -> Path:
+    """Append this run under ``BENCH_history/<suite>-<NNNN>.json``.
+
+    Sequence numbers, not timestamps: they sort, they diff cleanly,
+    and the committed trail stays append-only.
+    """
+    history = Path(out_dir) / "BENCH_history"
+    history.mkdir(parents=True, exist_ok=True)
+    existing = sorted(history.glob(f"{suite}-*.json"))
+    next_id = 1
+    if existing:
+        last = existing[-1].stem.rsplit("-", 1)[-1]
+        next_id = int(last) + 1 if last.isdigit() else len(existing) + 1
+    path = history / f"{suite}-{next_id:04d}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def _write_json(path: Path, payload: Dict) -> None:
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}", file=sys.stderr)
+
+
+def _write_suite(out_dir: Path, suite: str, payload: Dict) -> None:
+    _write_json(out_dir / f"BENCH_{suite}.json", payload)
+    history_path = write_history_entry(out_dir, suite, payload)
+    print(f"wrote {history_path}", file=sys.stderr)
+
+
+# -- regression gate ---------------------------------------------------------
+
+#: suite -> (higher-is-better throughput metric, point-key fields).
+#: Points are matched on the key fields; points present on only one
+#: side are reported but never fail the gate (the curve may grow).
+GATE_METRICS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+    "scale": ("samples_per_s", ("scale", "workers")),
+    "pipeline": ("samples_per_s", ("scale", "workers")),
+    "scan": ("kernel_mib_per_s", ("scale",)),
+    "serve": ("qps", ("scale", "concurrency", "workers")),
+    "ingest": ("batches_per_s", ("scale", "batch_days")),
+}
+
+
+def _point_key(point: Dict, fields: Tuple[str, ...]) -> Tuple:
+    return tuple(point.get(field) for field in fields)
+
+
+def compare_runs(previous: Dict, current: Dict,
+                 threshold: float = 0.25) -> Tuple[List[str], List[str]]:
+    """Gate ``current`` against ``previous`` (same suite schema).
+
+    Returns ``(regressions, notes)``: a regression is a matched point
+    whose throughput metric dropped by more than ``threshold``
+    (fractional); notes cover unmatched points and the per-point
+    deltas.  Suites are identified by the payload's ``bench`` field.
+    """
+    suite = current.get("bench") or previous.get("bench")
+    if suite not in GATE_METRICS:
+        return [], [f"unknown suite {suite!r}: nothing gated"]
+    metric, key_fields = GATE_METRICS[suite]
+    prev_points = {_point_key(p, key_fields): p
+                   for p in previous.get("points", [])}
+    regressions: List[str] = []
+    notes: List[str] = []
+    matched = 0
+    for point in current.get("points", []):
+        key = _point_key(point, key_fields)
+        baseline = prev_points.pop(key, None)
+        label = ", ".join(f"{f}={v}" for f, v in zip(key_fields, key))
+        if baseline is None:
+            notes.append(f"{suite}[{label}]: new point "
+                         f"({metric}={point.get(metric)})")
+            continue
+        matched += 1
+        old = baseline.get(metric) or 0.0
+        new = point.get(metric) or 0.0
+        if old <= 0:
+            notes.append(f"{suite}[{label}]: no baseline {metric}")
+            continue
+        delta = (new - old) / old
+        line = (f"{suite}[{label}]: {metric} {old} -> {new} "
+                f"({delta:+.1%})")
+        if delta < -threshold:
+            regressions.append(line + f" exceeds -{threshold:.0%} gate")
+        else:
+            notes.append(line)
+    for key in prev_points:
+        label = ", ".join(f"{f}={v}" for f, v in zip(key_fields, key))
+        notes.append(f"{suite}[{label}]: dropped from current run")
+    if matched == 0:
+        notes.append(f"{suite}: no comparable points matched")
+    return regressions, notes
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -299,21 +494,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run ONE scan-kernel point, JSON on stdout")
     parser.add_argument("--serve-scale", type=float, default=None,
                         help="run ONE serving-QPS point, JSON on stdout")
+    parser.add_argument("--ingest-scale", type=float, default=None,
+                        help="run ONE ingestion point, JSON on stdout")
     parser.add_argument("--iterations", type=int, default=3,
                         help="best-of iterations for the scan lane")
     parser.add_argument("--duration", type=float, default=8.0,
                         help="sustained-load seconds for the serve lane")
     parser.add_argument("--concurrency", type=int, default=8,
                         help="client threads for the serve lane")
+    parser.add_argument("--batch-days", type=int, default=30,
+                        help="feed batch width for the ingest lane")
     parser.add_argument("--suite",
                         choices=["scale", "pipeline", "scan", "serve",
-                                 "all"],
+                                 "ingest", "all"],
                         default=None, help="full suite to run")
     parser.add_argument("--scales", type=str, default=None,
                         help="comma-separated scale factors for the "
                              "scaling suite")
     parser.add_argument("--seed", type=int, default=2019)
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--workers-list", type=str, default=None,
+                        help="comma-separated worker counts for the "
+                             "scale and serve suites (e.g. 1,2,4)")
+    parser.add_argument("--prefetch", type=int, default=2,
+                        help="chunk prefetch depth for scale points "
+                             "(0 disables the generator overlap)")
     parser.add_argument("--chunk-samples", type=int, default=4096)
     parser.add_argument("--shards", type=int, default=8)
     parser.add_argument("--out-dir", type=str, default=".",
@@ -326,7 +531,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.point_scale is not None:
             print(json.dumps(measure_scale_point(
                 args.point_scale, seed=args.seed, workers=args.workers,
-                chunk_samples=args.chunk_samples, num_shards=args.shards)))
+                chunk_samples=args.chunk_samples, num_shards=args.shards,
+                prefetch=args.prefetch)))
             return 0
         if args.pipeline_scale is not None:
             print(json.dumps(measure_pipeline_point(
@@ -342,7 +548,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(json.dumps(measure_serve_point(
                 args.serve_scale, seed=args.seed,
                 duration_s=args.duration,
-                concurrency=args.concurrency)))
+                concurrency=args.concurrency,
+                workers=args.workers)))
+            return 0
+        if args.ingest_scale is not None:
+            print(json.dumps(measure_ingest_point(
+                args.ingest_scale, seed=args.seed,
+                batch_days=args.batch_days)))
             return 0
 
     suite = args.suite or "all"
@@ -350,27 +562,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
     scales = ([float(s) for s in args.scales.split(",")]
               if args.scales else DEFAULT_SCALES)
+    workers_list = ([int(w) for w in args.workers_list.split(",")]
+                    if args.workers_list else [args.workers])
     if suite in ("scale", "all"):
-        _write_json(out_dir / "BENCH_scale.json",
-                    run_scaling_suite(scales, seed=args.seed,
-                                      workers=args.workers,
-                                      chunk_samples=args.chunk_samples,
-                                      num_shards=args.shards))
+        _write_suite(out_dir, "scale",
+                     run_scaling_suite(scales, seed=args.seed,
+                                       workers_list=workers_list,
+                                       chunk_samples=args.chunk_samples,
+                                       num_shards=args.shards,
+                                       prefetch=args.prefetch))
     if suite in ("pipeline", "all"):
-        _write_json(out_dir / "BENCH_pipeline.json",
-                    run_pipeline_suite(seed=args.seed,
-                                       workers=args.workers))
+        _write_suite(out_dir, "pipeline",
+                     run_pipeline_suite(seed=args.seed,
+                                        workers=args.workers))
     if suite in ("scan", "all"):
-        _write_json(out_dir / "BENCH_scan.json",
-                    run_scan_suite(args.scan_scale or 0.02,
-                                   seed=args.seed,
-                                   iterations=args.iterations))
-    if suite in ("serve", "all"):
-        _write_json(out_dir / "BENCH_serve.json",
-                    run_serve_suite(args.serve_scale or 0.02,
+        _write_suite(out_dir, "scan",
+                     run_scan_suite(args.scan_scale or 0.02,
                                     seed=args.seed,
-                                    duration_s=args.duration,
-                                    concurrency=args.concurrency))
+                                    iterations=args.iterations))
+    if suite in ("serve", "all"):
+        _write_suite(out_dir, "serve",
+                     run_serve_suite(args.serve_scale or 0.02,
+                                     seed=args.seed,
+                                     duration_s=args.duration,
+                                     concurrency=args.concurrency,
+                                     workers_list=workers_list))
+    if suite in ("ingest", "all"):
+        _write_suite(out_dir, "ingest",
+                     run_ingest_suite(args.ingest_scale or 0.02,
+                                      seed=args.seed,
+                                      batch_days=args.batch_days))
     return 0
 
 

@@ -62,7 +62,7 @@ from repro.perf.parallel import (
 )
 from repro.scale.columnar import RecordStore
 from repro.scale.shards import ShardedCampaignAggregator
-from repro.scale.stream import StreamingCorpus
+from repro.scale.stream import ChunkPrefetcher, StreamingCorpus
 
 __all__ = ["ScalePipeline", "ScaleResult"]
 
@@ -166,9 +166,16 @@ class ScalePipeline:
     ``workers > 1`` fans each chunk's stage-1/stage-2 maps over a
     short-lived fork pool built around a chunk-local world view —
     results stay bit-identical because outcomes merge in sample order
-    either way.  ``keep_verdicts=False`` (the default) drops the
-    per-sample verdict map, the one remaining O(samples) structure with
-    a non-trivial constant.
+    either way — and runs the independent per-shard aggregation passes
+    on the same-width fork pool.  ``prefetch`` (default 2) generates
+    the next corpus chunks on a background thread while the current one
+    is analysed (:class:`~repro.scale.stream.ChunkPrefetcher`); chunks
+    are consumed in generation order, so the stage-1-then-stage-2
+    ordering and every spill is byte-identical to the eager path —
+    ``prefetch=0`` disables the overlap entirely.
+    ``keep_verdicts=False`` (the default) drops the per-sample verdict
+    map, the one remaining O(samples) structure with a non-trivial
+    constant.
     """
 
     def __init__(self, corpus: StreamingCorpus,
@@ -181,12 +188,16 @@ class ScalePipeline:
                  workers: int = 1,
                  num_shards: int = 8,
                  segment_rows: int = 8192,
+                 prefetch: int = 2,
                  keep_verdicts: bool = False,
                  keep_campaign_records: bool = False) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if prefetch < 0:
+            raise ValueError("prefetch must be >= 0")
         self.corpus = corpus
         self.workers = workers
+        self.prefetch = prefetch
         self._policy = policy or GroupingPolicy.full()
         self._spec = AnalysisSpec(
             positives_threshold=positives_threshold,
@@ -312,7 +323,8 @@ class ScalePipeline:
             aggregator = ShardedCampaignAggregator(
                 self.corpus.osint, self._policy, proxy_ips=proxy_ips,
                 num_shards=self._num_shards,
-                keep_records=self._keep_campaign_records)
+                keep_records=self._keep_campaign_records,
+                workers=self.workers)
             campaigns = aggregator.aggregate_source(self.store.iter_records)
 
             return ScaleResult(
@@ -340,55 +352,74 @@ class ScalePipeline:
                 # caller supplied the store; nothing of theirs lives here
                 shutil.rmtree(self._workdir, ignore_errors=True)
 
+    def _chunk_stream(self):
+        """The corpus chunk iterator, prefetched when configured."""
+        chunks = self.corpus.chunks()
+        if self.prefetch > 0:
+            return ChunkPrefetcher(chunks, depth=self.prefetch)
+        return chunks
+
     def _stage1(self, stats: PipelineStats,
                 verdicts: Dict[str, SanityVerdict],
                 deferred: _Spill, rejected: _Spill) -> None:
         index = 0
-        for chunk in self.corpus.chunks():
-            stats.collected += len(chunk.samples)
-            self._index_parents(chunk.reports)
-            if self.workers == 1:
-                self._vt_view.swap(chunk.reports)
-                self._ha_view.swap(chunk.ha_reports)
-                outcomes = [
-                    stage1_analyze(sample, index + i,
-                                   self._checker, self._engine)
-                    for i, sample in enumerate(chunk.samples)]
-            else:
-                with self._chunk_engine(chunk.samples, chunk.reports,
-                                        chunk.ha_reports) as engine:
-                    outcomes = engine.map_stage1(
-                        range(len(chunk.samples)))
-                    for outcome in outcomes:
-                        outcome.index += index
-            for i, outcome in enumerate(outcomes):
-                sample = chunk.samples[i]
-                sha = outcome.sha256
-                if outcome.kind == "nonexec":
-                    if self._keep_verdicts:
-                        verdicts[sha] = outcome.verdict
-                    continue
-                stats.executables += 1
-                if outcome.kind == "deferred":
-                    deferred.put(sha, (sample, chunk.reports[sha],
-                                       chunk.ha_reports.get(sha)))
-                    continue
-                stats.malware += 1
-                stats.sandbox_analyses += 1
-                if outcome.has_network:
-                    stats.network_analyses += 1
-                if outcome.used_static:
-                    stats.binary_analyses += 1
+        chunks = self._chunk_stream()
+        try:
+            for chunk in chunks:
+                index = self._stage1_chunk(chunk, index, stats, verdicts,
+                                           deferred, rejected)
+        finally:
+            if isinstance(chunks, ChunkPrefetcher):
+                chunks.close()
+
+    def _stage1_chunk(self, chunk, index: int, stats: PipelineStats,
+                      verdicts: Dict[str, SanityVerdict],
+                      deferred: _Spill, rejected: _Spill) -> int:
+        """Stage-1 analysis of one chunk; returns the next sample index."""
+        stats.collected += len(chunk.samples)
+        self._index_parents(chunk.reports)
+        if self.workers == 1:
+            self._vt_view.swap(chunk.reports)
+            self._ha_view.swap(chunk.ha_reports)
+            outcomes = [
+                stage1_analyze(sample, index + i,
+                               self._checker, self._engine)
+                for i, sample in enumerate(chunk.samples)]
+        else:
+            with self._chunk_engine(chunk.samples, chunk.reports,
+                                    chunk.ha_reports) as engine:
+                outcomes = engine.map_stage1(
+                    range(len(chunk.samples)))
+                for outcome in outcomes:
+                    outcome.index += index
+        for i, outcome in enumerate(outcomes):
+            sample = chunk.samples[i]
+            sha = outcome.sha256
+            if outcome.kind == "nonexec":
                 if self._keep_verdicts:
                     verdicts[sha] = outcome.verdict
-                if outcome.kind == "miner":
-                    self._confirmed_wallets.update(
-                        outcome.record.identifiers)
-                    self._accept(outcome.record, sample, stats)
-                else:
-                    rejected.put(sha, (sample, chunk.reports[sha],
-                                       chunk.ha_reports.get(sha)))
-            index += len(chunk.samples)
+                continue
+            stats.executables += 1
+            if outcome.kind == "deferred":
+                deferred.put(sha, (sample, chunk.reports[sha],
+                                   chunk.ha_reports.get(sha)))
+                continue
+            stats.malware += 1
+            stats.sandbox_analyses += 1
+            if outcome.has_network:
+                stats.network_analyses += 1
+            if outcome.used_static:
+                stats.binary_analyses += 1
+            if self._keep_verdicts:
+                verdicts[sha] = outcome.verdict
+            if outcome.kind == "miner":
+                self._confirmed_wallets.update(
+                    outcome.record.identifiers)
+                self._accept(outcome.record, sample, stats)
+            else:
+                rejected.put(sha, (sample, chunk.reports[sha],
+                                   chunk.ha_reports.get(sha)))
+        return index + len(chunk.samples)
 
     def _stage2(self, stats: PipelineStats,
                 verdicts: Dict[str, SanityVerdict],

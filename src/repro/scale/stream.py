@@ -17,7 +17,9 @@ reports sha-for-sha — :func:`materialize_stream` rebuilds a full
 equivalence suite asserts it equals the batch one.
 """
 
-from typing import Iterator, List, Optional
+import queue
+import threading
+from typing import Iterable, Iterator, List, Optional, TypeVar
 
 from repro.corpus.generator import EcosystemGenerator
 from repro.corpus.model import (
@@ -28,7 +30,93 @@ from repro.corpus.model import (
 )
 from repro.forums.corpus import ForumCorpus, generate_forum_corpus
 
-__all__ = ["StreamingCorpus", "materialize_stream"]
+__all__ = ["ChunkPrefetcher", "StreamingCorpus", "materialize_stream"]
+
+_T = TypeVar("_T")
+
+
+class ChunkPrefetcher(Iterator[_T]):
+    """Bounded producer/consumer wrapper over a chunk iterator.
+
+    A daemon thread drives the wrapped iterator and parks results in a
+    queue of depth ``depth``, so generating chunk N+1 overlaps with the
+    consumer's analysis of chunk N instead of serialising with it (the
+    win is largest when the consumer hands its work to a process pool
+    and would otherwise sit idle while the generator runs).  Items come
+    out in exactly the order the iterator produced them — one producer,
+    one FIFO queue — so a prefetched stream is element-for-element
+    equal to the eager one; only the timing changes.
+
+    A producer-side exception is re-raised at the consumer's next
+    ``next()``, at the position it occurred.  ``close()`` stops the
+    producer early (consumers abandoning the stream mid-way must call
+    it, or use the context-manager form, so the thread does not linger
+    blocked on a full queue).
+    """
+
+    #: queue sentinel marking normal exhaustion.
+    _DONE = object()
+
+    def __init__(self, iterable: Iterable[_T], depth: int = 2) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self._iterator = iter(iterable)
+        self._queue: "queue.Queue" = queue.Queue(maxsize=depth)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._produce, daemon=True, name="chunk-prefetch")
+        self._thread.start()
+
+    def _produce(self) -> None:
+        try:
+            for item in self._iterator:
+                self._put((False, item))
+                if self._stop.is_set():
+                    return
+            self._put((False, self._DONE))
+        except BaseException as exc:  # noqa: BLE001 — relayed to consumer
+            self._put((True, exc))
+
+    def _put(self, payload) -> None:
+        """Queue ``payload`` without deadlocking against close()."""
+        while not self._stop.is_set():
+            try:
+                self._queue.put(payload, timeout=0.1)
+                return
+            except queue.Full:
+                continue
+
+    def __iter__(self) -> "ChunkPrefetcher[_T]":
+        return self
+
+    def __next__(self) -> _T:
+        if self._stop.is_set():
+            raise StopIteration
+        failed, item = self._queue.get()
+        if failed:
+            self.close()
+            raise item
+        if item is self._DONE:
+            self.close()
+            raise StopIteration
+        return item
+
+    def close(self) -> None:
+        """Stop the producer and release its thread."""
+        self._stop.set()
+        # unblock a producer parked on a full queue
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "ChunkPrefetcher[_T]":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
 
 class StreamingCorpus:

@@ -20,6 +20,7 @@ coroutine): tests call it directly, the HTTP front end and the bench
 wire it to sockets.
 """
 
+import os
 import time
 from typing import Any, Awaitable, Callable, Dict, List, Optional
 
@@ -126,8 +127,11 @@ class IntelService:
         t0 = self._clock()
         endpoint = self._endpoint_label(request)
         if request.path == "/v1/healthz":
+            # pid identifies which fleet worker answered (single-process
+            # servers just report their own)
             response = json_response(
-                {"status": "ok", "generation": self.generation})
+                {"status": "ok", "generation": self.generation,
+                 "pid": os.getpid()})
             self._observe(endpoint, response, t0, self.generation, "")
             return response
         presented = request.header("x-api-key")

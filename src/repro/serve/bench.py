@@ -9,6 +9,13 @@ hot-swapped in under full load — the report asserts no request was
 dropped and every response carried exactly one generation, which is
 the acceptance property the swap design promises.
 
+``workers > 1`` benchmarks the multi-process fleet instead
+(:class:`~repro.serve.fleet.ServerFleet`): the index is built once
+pre-fork and shared copy-on-write, the mid-run swap is skipped (a
+fleet serves one frozen generation), and the point records which
+worker pids actually answered plus the run's peak RSS — the
+flat-memory evidence for N workers sharing one index.
+
 Wired into the unified harness (``repro bench --suite serve``) which
 runs this in a fresh subprocess and commits ``BENCH_serve.json``.
 """
@@ -17,9 +24,11 @@ import threading
 import time
 from typing import Any, Dict, List
 
+from repro.common.memory import peak_rss_mib, rss_supported
 from repro.serve.app import IntelService
 from repro.serve.auth import ApiKeyRegistry
 from repro.serve.client import IntelClient
+from repro.serve.fleet import ServerFleet
 from repro.serve.http import BackgroundServer
 from repro.serve.index import build_index
 from repro.serve.metrics import latency_summary
@@ -52,9 +61,14 @@ def _query_plan(index, scan_every: int) -> List[tuple]:
 
 
 def _worker(host: str, port: int, plan: List[tuple], offset: int,
-            deadline: float, out: List[Dict[str, Any]]) -> None:
+            deadline: float, out: List[Dict[str, Any]],
+            served_by: List[int]) -> None:
     observations: List[Dict[str, Any]] = []
     with IntelClient(host, port, api_key=_BENCH_KEY) as client:
+        # which server process holds this keep-alive connection
+        status, payload = client.request("GET", "/v1/healthz")
+        if status == 200 and payload.get("pid") is not None:
+            served_by.append(payload["pid"])
         position = offset
         while time.perf_counter() < deadline:
             kind, value = plan[position % len(plan)]
@@ -75,10 +89,42 @@ def _worker(host: str, port: int, plan: List[tuple], offset: int,
     out.extend(observations)
 
 
+def _run_load(host: str, port: int, plan: List[tuple],
+              duration_s: float, concurrency: int,
+              mid_run=None) -> tuple:
+    """Drive ``concurrency`` client threads; returns (observations,
+    pids that served them)."""
+    observations: List[Dict[str, Any]] = []
+    served_by: List[int] = []
+    deadline = time.perf_counter() + duration_s
+    threads = []
+    for worker_id in range(concurrency):
+        thread = threading.Thread(
+            target=_worker,
+            args=(host, port, plan, worker_id * 7, deadline,
+                  observations, served_by),
+            daemon=True)
+        thread.start()
+        threads.append(thread)
+    if mid_run is not None:
+        time.sleep(duration_s / 2)
+        mid_run()
+    for thread in threads:
+        thread.join(timeout=duration_s + 30)
+    return observations, sorted(set(served_by))
+
+
 def measure_serve_point(scale: float = 0.01, seed: int = 2019,
                         duration_s: float = 8.0, concurrency: int = 8,
-                        scan_every: int = 10) -> Dict[str, Any]:
-    """One sustained-load run; returns the BENCH_serve point dict."""
+                        scan_every: int = 10,
+                        workers: int = 1) -> Dict[str, Any]:
+    """One sustained-load run; returns the BENCH_serve point dict.
+
+    ``workers=1`` exercises the single-process server including the
+    mid-run hot swap; ``workers>1`` benchmarks a :class:`ServerFleet`
+    of that many forked processes sharing the pre-fork index (no swap
+    — a fleet serves one frozen generation).
+    """
     from repro.core.pipeline import MeasurementPipeline
     from repro.corpus.generator import generate_world
     from repro.corpus.model import ScenarioConfig
@@ -96,26 +142,27 @@ def measure_serve_point(scale: float = 0.01, seed: int = 2019,
     registry.add(_BENCH_KEY, name="bench")
     service = IntelService(index, registry)
     plan = _query_plan(index, scan_every)
-    observations: List[Dict[str, Any]] = []
-    with BackgroundServer(service.handle) as server:
-        deadline = time.perf_counter() + duration_s
-        threads = []
-        for worker_id in range(concurrency):
-            thread = threading.Thread(
-                target=_worker,
-                args=(server.host, server.port, plan,
-                      worker_id * 7, deadline, observations),
-                daemon=True)
-            thread.start()
-            threads.append(thread)
-        # halfway: rebuild the same snapshot as generation 2 and swap
-        # it in under full load (the lock-free flip acceptance check).
-        time.sleep(duration_s / 2)
-        second = build_index(result, generation=2,
-                             source=index.source)
-        server.call_soon(lambda: service.swap(second))
-        for thread in threads:
-            thread.join(timeout=duration_s + 30)
+    swaps = 0
+    if workers > 1:
+        with ServerFleet(service.handle, workers=workers) as fleet:
+            observations, served_by = _run_load(
+                fleet.host, fleet.port, plan, duration_s, concurrency)
+            workers_alive = len(fleet.alive())
+    else:
+        with BackgroundServer(service.handle) as server:
+            # halfway: rebuild the same snapshot as generation 2 and
+            # swap it in under full load (the lock-free flip
+            # acceptance check).
+            def hot_swap():
+                second = build_index(result, generation=2,
+                                     source=index.source)
+                server.call_soon(lambda: service.swap(second))
+
+            observations, served_by = _run_load(
+                server.host, server.port, plan, duration_s,
+                concurrency, mid_run=hot_swap)
+            swaps = 1
+            workers_alive = 1
 
     latencies = [o["latency_s"] for o in observations]
     by_kind: Dict[str, Any] = {}
@@ -128,27 +175,37 @@ def measure_serve_point(scale: float = 0.01, seed: int = 2019,
     errors = sum(1 for o in observations if o["status"] >= 400)
     generations = sorted({o["generation"] for o in observations
                           if o["generation"] is not None})
+    expected_gens = {1, 2} if swaps else {1}
     point: Dict[str, Any] = {
         "suite": "serve",
         "scale": scale,
         "seed": seed,
         "duration_s": duration_s,
         "concurrency": concurrency,
+        "workers": workers,
         "requests": len(observations),
         "qps": round(len(observations) / duration_s, 1),
         "errors": errors,
         "index": index.counts(),
         "pipeline_s": round(pipeline_s, 3),
         "index_build_s": round(build_s, 3),
-        "swaps": 1,
+        "swaps": swaps,
         "generations_seen": generations,
-        # every response carried exactly one generation and none failed
-        # across the mid-run swap:
+        # every response carried exactly one generation and none
+        # failed (across the mid-run swap in single-process mode):
         "swap_clean": (errors == 0
                        and all(o["generation"] is not None
                                for o in observations)
-                       and set(generations) <= {1, 2}),
+                       and set(generations) <= expected_gens),
+        #: distinct server processes that held client connections —
+        #: > 1 proves the kernel actually spread the fleet's load
+        "serving_pids": len(served_by),
+        "workers_alive_at_stop": workers_alive,
         "by_kind": by_kind,
     }
+    if rss_supported():
+        # one pre-fork index shared COW across every worker: the whole
+        # run (pipeline + index build + N servers) under one ceiling
+        point["peak_rss_mib"] = round(peak_rss_mib(), 1)
     point.update(latency_summary(latencies))
     return point

@@ -12,6 +12,7 @@ synchronous callers (tests, the bench harness, CI smoke).
 
 import asyncio
 import json
+import socket
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Dict, Optional
@@ -22,6 +23,7 @@ __all__ = [
     "HttpRequest",
     "HttpResponse",
     "HttpServer",
+    "create_listen_socket",
     "json_response",
     "read_request",
 ]
@@ -134,21 +136,67 @@ async def read_request(reader: asyncio.StreamReader
 Handler = Callable[[HttpRequest], Awaitable[HttpResponse]]
 
 
+def create_listen_socket(host: str, port: int,
+                         reuse_port: bool = False,
+                         listen: bool = True) -> socket.socket:
+    """A bound TCP socket, ready for :class:`HttpServer` (``sock=``).
+
+    ``reuse_port`` sets ``SO_REUSEPORT`` before binding, letting N
+    independent server processes listen on the same (host, port) with
+    the kernel balancing accepted connections across them — the
+    multi-process serving fleet's socket strategy.  ``listen=False``
+    binds without listening (the fleet parent holds such a socket
+    purely as a port reservation; a non-listening ``SO_REUSEPORT``
+    socket never receives connections).
+
+    Raises OSError if ``reuse_port`` is requested on a platform
+    without ``SO_REUSEPORT`` — callers fall back to fork-inherited
+    listen sockets (see :class:`repro.serve.fleet.ServerFleet`).
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise OSError("SO_REUSEPORT not supported")
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        if listen:
+            sock.listen(128)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
 class HttpServer:
-    """asyncio streams server around one async request handler."""
+    """asyncio streams server around one async request handler.
+
+    ``sock`` (a pre-bound listening socket) overrides host/port
+    binding — the multi-process fleet passes each worker its own
+    ``SO_REUSEPORT`` socket, or the fork-inherited parent one.
+    """
 
     def __init__(self, handler: Handler, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0,
+                 sock: Optional[socket.socket] = None) -> None:
         self.handler = handler
         self.host = host
         self.port = port
+        self._sock = sock
         self._server: Optional[asyncio.AbstractServer] = None
 
     async def start(self) -> "HttpServer":
-        """Bind and start accepting; resolves the real port."""
-        self._server = await asyncio.start_server(
-            self._handle_connection, host=self.host, port=self.port,
-            limit=MAX_HEADER_BYTES)
+        """Bind (or adopt ``sock``) and start accepting; resolves the
+        real port."""
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._sock,
+                limit=MAX_HEADER_BYTES)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port,
+                limit=MAX_HEADER_BYTES)
         self.port = self._server.sockets[0].getsockname()[1]
         return self
 

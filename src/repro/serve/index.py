@@ -19,6 +19,7 @@ kernel: every known indicator becomes a needle, and a submitted IoC
 blob is matched in a single pass regardless of indicator count.
 """
 
+from heapq import nsmallest
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
 
@@ -130,12 +131,16 @@ class IntelIndex:
         return out
 
     def examples(self, limit: int = 8) -> Dict[str, List[Any]]:
-        """A few indicators per table (bench / smoke query seeds)."""
+        """A few indicators per table (bench / smoke query seeds).
+
+        ``nsmallest`` instead of a full sort: the hash table is
+        corpus-sized and this runs per bench point / smoke probe.
+        """
         return {
-            "hashes": sorted(self._hashes)[:limit],
-            "wallets": sorted(self._wallets)[:limit],
-            "domains": sorted(self._domains)[:limit],
-            "campaigns": sorted(self._campaigns)[:limit],
+            "hashes": nsmallest(limit, self._hashes),
+            "wallets": nsmallest(limit, self._wallets),
+            "domains": nsmallest(limit, self._domains),
+            "campaigns": nsmallest(limit, self._campaigns),
         }
 
 

@@ -19,10 +19,11 @@ the ``stamp()`` / ``build()`` protocol the snapshot watcher polls.
 """
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.core.aggregation import GroupingPolicy
+from repro.core.aggregation import Campaign, GroupingPolicy
 from repro.core.enrichment import CampaignEnricher
 from repro.core.pipeline import (
     MeasurementResult,
@@ -31,14 +32,17 @@ from repro.core.pipeline import (
 )
 from repro.core.profit import ProfitAnalyzer, WalletProfile
 from repro.core.records import MinerRecord
+from repro.core.sanity import SanityVerdict
 from repro.corpus.model import SyntheticWorld
 from repro.ingest.aggregator import IncrementalAggregator
 from repro.ingest.checkpoint import SNAPSHOT_NAME, CheckpointStore
 from repro.ingest.service import IngestionService
+from repro.scale.shards import ShardedCampaignAggregator
 from repro.serve.index import IntelIndex, build_index
 
 __all__ = [
     "CheckpointIndexSource",
+    "StoreResult",
     "checkpoint_plan",
     "derive_result_from_records",
     "measurement_from_checkpoint",
@@ -132,9 +136,73 @@ def derive_result_from_records(world: SyntheticWorld,
                              stats=stats, proxy_ips=proxies)
 
 
-def result_from_store(world: SyntheticWorld, store) -> MeasurementResult:
-    """Derive a result straight from a columnar record store."""
-    return derive_result_from_records(world, store.iter_records())
+@dataclass
+class StoreResult:
+    """A store-backed serving result: everything :func:`repro.serve.
+    index.build_index` needs, with the record payload left on disk.
+
+    :func:`repro.core.pipeline.iter_result_records` sees the ``store``
+    attribute and streams straight from its columnar segments, so an
+    index build over this never materialises the record list.
+    Campaigns carry no records (enrichment already ran, streaming).
+    """
+
+    store: Any
+    campaigns: List[Campaign]
+    profiles: Dict[str, WalletProfile]
+    stats: PipelineStats
+    proxy_ips: Set[str]
+    verdicts: Dict[str, SanityVerdict] = field(default_factory=dict)
+
+
+def result_from_store(world: SyntheticWorld, store,
+                      num_shards: int = 8,
+                      workers: int = 1) -> StoreResult:
+    """Derive a serving result straight from a columnar record store.
+
+    Same pure derivations as :func:`derive_result_from_records`, but
+    never holding the record list: profiles and proxies come from two
+    streaming passes over the segments, campaigns from the sharded
+    aggregator (fanned over ``workers`` processes when > 1), and
+    enrichment runs per campaign through the aggregator's
+    ``campaign_hook`` — before each campaign's records are dropped.
+    Peak memory is the index tables plus one aggregation shard, not
+    the corpus.
+    """
+    profit = ProfitAnalyzer(world.pool_directory)
+    profiles: Dict[str, WalletProfile] = {}
+    profiled = set()
+    stats = PipelineStats()
+    for record in store.iter_records():
+        if record.is_miner:
+            stats.miners += 1
+        else:
+            stats.ancillaries += 1
+        for identifier in record.identifiers:
+            if identifier in profiled:
+                continue
+            profiled.add(identifier)
+            profile = profit.profile_wallet(identifier)
+            if profile.records:
+                profiles[identifier] = profile
+    proxies: Set[str] = set()
+    for record in store.iter_records():
+        candidate = proxy_candidate_ip(record)
+        if candidate is None:
+            continue
+        if any(identifier in profiles
+               for identifier in record.identifiers):
+            proxies.add(candidate)
+    enricher = CampaignEnricher(world.vt, world.stock_catalog,
+                                world.sample_by_hash)
+    aggregator = ShardedCampaignAggregator(
+        world.osint, GroupingPolicy.full(), proxy_ips=proxies,
+        num_shards=num_shards, keep_records=False, workers=workers,
+        campaign_hook=lambda c: enricher.enrich(c, profiles))
+    campaigns = aggregator.aggregate_source(store.iter_records)
+    return StoreResult(store=store, campaigns=campaigns,
+                       profiles=profiles, stats=stats,
+                       proxy_ips=proxies)
 
 
 class CheckpointIndexSource:

@@ -77,6 +77,27 @@ class TestScalePipelineOptions:
         assert pooled.verdicts == scale_result.verdicts
         assert pooled.campaigns == scale_result.campaigns
 
+    def test_prefetch_disabled_identical(self, scale_result):
+        """The module fixture runs with the default prefetch (2); the
+        eager path must produce byte-identical records, spills and
+        campaigns — prefetch changes timing, never content."""
+        corpus = StreamingCorpus(_CONFIG, chunk_samples=512)
+        eager = ScalePipeline(corpus, prefetch=0, num_shards=8,
+                              keep_verdicts=True,
+                              keep_campaign_records=True).run()
+        assert {r.sha256: r for r in eager.records()} == \
+            {r.sha256: r for r in scale_result.records()}
+        assert eager.verdicts == scale_result.verdicts
+        assert eager.campaigns == scale_result.campaigns
+        assert eager.stats == scale_result.stats
+        assert eager.deferred_spilled == scale_result.deferred_spilled
+        assert eager.rejected_spilled == scale_result.rejected_spilled
+
+    def test_rejects_negative_prefetch(self):
+        corpus = StreamingCorpus(_CONFIG, chunk_samples=512)
+        with pytest.raises(ValueError):
+            ScalePipeline(corpus, prefetch=-1)
+
     def test_small_segments_identical(self, scale_result):
         corpus = StreamingCorpus(_CONFIG, chunk_samples=512)
         chunked = ScalePipeline(corpus, segment_rows=64,

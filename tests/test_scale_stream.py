@@ -7,12 +7,18 @@ flows compared as ``FlowRecord`` lists.
 """
 
 import dataclasses
+import threading
+import time
 
 import pytest
 
 from repro.corpus.generator import generate_world
 from repro.corpus.model import ScenarioConfig
-from repro.scale.stream import StreamingCorpus, materialize_stream
+from repro.scale.stream import (
+    ChunkPrefetcher,
+    StreamingCorpus,
+    materialize_stream,
+)
 
 _CONFIG = ScenarioConfig(seed=1, scale=0.01)
 
@@ -116,3 +122,73 @@ class TestStreamingCorpus:
                    if c.sample_hashes and c.fixed_sample_count is None]
         # non-fixture campaigns shed their per-sample hash lists
         assert len(tracked) < len(corpus.ground_truth) / 2
+
+
+class TestChunkPrefetcher:
+    def test_preserves_order_and_content(self):
+        items = list(range(100))
+        assert list(ChunkPrefetcher(iter(items), depth=2)) == items
+
+    def test_prefetched_chunks_equal_eager_chunks(self):
+        eager = [[s.sha256 for s in chunk.samples]
+                 for chunk in StreamingCorpus(_CONFIG, 256).chunks()]
+        fetched = [[s.sha256 for s in chunk.samples]
+                   for chunk in ChunkPrefetcher(
+                       StreamingCorpus(_CONFIG, 256).chunks(), depth=2)]
+        assert fetched == eager
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            ChunkPrefetcher(iter([]), depth=0)
+
+    def test_producer_exception_relayed_in_position(self):
+        def faulty():
+            yield 1
+            yield 2
+            raise RuntimeError("generator died")
+
+        prefetcher = ChunkPrefetcher(faulty(), depth=2)
+        assert next(prefetcher) == 1
+        assert next(prefetcher) == 2
+        with pytest.raises(RuntimeError, match="generator died"):
+            next(prefetcher)
+        # a failed stream is terminated, not resumable
+        with pytest.raises(StopIteration):
+            next(prefetcher)
+
+    def test_close_releases_blocked_producer(self):
+        produced = []
+
+        def endless():
+            i = 0
+            while True:
+                produced.append(i)
+                yield i
+                i += 1
+
+        prefetcher = ChunkPrefetcher(endless(), depth=2)
+        assert next(prefetcher) == 0
+        prefetcher.close()
+        assert not prefetcher._thread.is_alive()
+        # producer stopped near the depth bound, not at the consumer's pace
+        assert len(produced) <= 8
+
+    def test_context_manager_closes(self):
+        with ChunkPrefetcher(iter(range(1000)), depth=2) as prefetcher:
+            assert next(prefetcher) == 0
+        assert not prefetcher._thread.is_alive()
+        assert threading.active_count() >= 1  # no lingering producer
+
+    def test_bounded_readahead(self):
+        """The producer never runs more than depth+1 items ahead."""
+        pulled = []
+
+        def tracking():
+            for i in range(50):
+                pulled.append(i)
+                yield i
+
+        prefetcher = ChunkPrefetcher(tracking(), depth=2)
+        time.sleep(0.2)  # give the producer every chance to overrun
+        assert len(pulled) <= 3  # queue depth 2 + one in-hand item
+        assert list(prefetcher) == list(range(50))

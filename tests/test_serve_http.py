@@ -57,7 +57,9 @@ class TestAuth:
         status, payload = _call(_service(index),
                                 _req("GET", "/v1/healthz", key=None))
         assert status == 200
-        assert payload == {"status": "ok", "generation": 1}
+        assert payload["status"] == "ok"
+        assert payload["generation"] == 1
+        assert payload["pid"] > 0
 
     def test_missing_key_is_401(self, index):
         status, _ = _call(_service(index), _req("GET", "/v1/info",

@@ -8,8 +8,12 @@ direct query against the measurement result would say.
 import pytest
 
 from repro.reporting.dataset_export import campaign_summary
+from repro.scale.columnar import RecordStore
 from repro.serve.index import build_index
-from repro.serve.snapshot import derive_result_from_records
+from repro.serve.snapshot import (
+    derive_result_from_records,
+    result_from_store,
+)
 
 
 @pytest.fixture(scope="module")
@@ -135,3 +139,38 @@ class TestDerivedResultEquivalence:
         for sha, intel in index._hashes.items():
             expected = dict(intel, malware=None)
             assert other._hashes[sha] == expected
+
+
+class TestStoreResultEquivalence:
+    """Index built streaming from a columnar store, never holding the
+    record list — the multi-process-serve / million-sample path."""
+
+    @pytest.fixture(scope="class")
+    def store(self, tmp_path_factory, pipeline_result):
+        store = RecordStore(tmp_path_factory.mktemp("segments"))
+        records = pipeline_result.records
+        half = len(records) // 2
+        store.append_segment(records[:half], "seg-0000")
+        store.append_segment(records[half:], "seg-0001")
+        return store
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_matches_derived_index_tables(self, index, small_world,
+                                          pipeline_result, store,
+                                          workers):
+        result = result_from_store(small_world, store, workers=workers)
+        other = build_index(result, generation=1, source="store")
+        assert other.counts() == index.counts()
+        assert other._campaigns == index._campaigns
+        assert other._wallets == index._wallets
+        assert other._domains == index._domains
+        for sha, intel in index._hashes.items():
+            assert other._hashes[sha] == dict(intel, malware=None)
+
+    def test_campaigns_carry_no_records(self, small_world, store):
+        result = result_from_store(small_world, store)
+        assert result.campaigns
+        assert all(c.records == [] for c in result.campaigns)
+        # ...yet enrichment ran (it needs records while they exist)
+        assert any(c.first_seen is not None for c in result.campaigns)
+        assert any(c.packers for c in result.campaigns)
