@@ -12,10 +12,16 @@ metric dropped by more than the threshold (default 25%)::
 Points are matched on their identifying fields (see
 ``repro.scale.bench.GATE_METRICS``): scale points on (scale, workers),
 serve points on (scale, concurrency, workers), ingest points on
-(scale, batch_days).  Points present on only one side — a grown or
-shrunk curve — are reported but never fail the gate, so CI smoke runs
-covering a subset of the committed curve still gate the overlap.  A
-missing baseline file is a pass (first run of a new lane).
+(scale, batch_days), lint points on (mode, workers).  Points present
+on only one side — a grown or shrunk curve — are reported but never
+fail the gate, so CI smoke runs covering a subset of the committed
+curve still gate the overlap.  A missing baseline file is a pass
+(first run of a new lane).
+
+When both sides carry a ``calibration`` stamp
+(:mod:`repro.common.calibrate`), deltas are taken over
+machine-normalised ratios, so baselines committed from a faster or
+slower box gate code changes rather than hardware.
 """
 
 import argparse

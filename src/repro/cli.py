@@ -446,10 +446,15 @@ def cmd_lint(args) -> int:
     baseline = Path(args.baseline) if args.baseline else None
     if args.graph:
         from repro.lint import build_project_index
-        from repro.lint.callgraph import render_contracts, render_graph
+        from repro.lint.callgraph import (
+            render_concurrency,
+            render_contracts,
+            render_graph,
+        )
         index = build_project_index(root)
         print(render_graph(index), end="")
         print(render_contracts(index), end="")
+        print(render_concurrency(index), end="")
         return 0
     run = lint_source_tree(root=root, baseline_path=baseline,
                            workers=args.workers,

@@ -1,0 +1,43 @@
+"""Cross-machine bench normalisation: a fixed CPU microbenchmark.
+
+``BENCH_*.json`` baselines are committed from whatever machine last
+ran them; CI runners and dev boxes differ by 2-3x in single-core
+speed, so raw point-to-point throughput comparisons gate machine
+noise, not code.  Every suite payload gets stamped with
+:func:`calibration_score` — the throughput of a fixed,
+dependency-free workload measured in the same process right before
+the suite — and the regression gate compares *machine-normalised*
+ratios (``metric / score``) whenever both sides carry a stamp,
+falling back to raw metrics against pre-stamp baselines.
+
+The workload is sha256 over a fixed in-memory buffer: pure CPU, no
+allocation churn, no disk, stable across Python patch versions, and
+large enough (16 MiB per pass) that timer jitter stays under a
+percent.  Best-of-three absorbs scheduler blips.
+"""
+
+import hashlib
+import time
+
+__all__ = ["calibration_score"]
+
+#: 4 KiB block, repeated _BLOCKS times per pass = 16 MiB hashed.
+_BLOCK = bytes(range(256)) * 16
+_BLOCKS = 4096
+_PASSES = 3
+
+
+def calibration_score() -> float:
+    """MiB/s of sha256 over a fixed buffer — best of three passes."""
+    mib = _BLOCKS * len(_BLOCK) / (1024 * 1024)
+    best = 0.0
+    for _ in range(_PASSES):
+        digest = hashlib.sha256()
+        start = time.perf_counter()
+        for _ in range(_BLOCKS):
+            digest.update(_BLOCK)
+        digest.digest()
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, mib / elapsed)
+    return round(best, 1)

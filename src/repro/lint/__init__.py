@@ -29,7 +29,11 @@ from pathlib import Path
 from typing import List, Optional, Tuple
 
 from repro.lint.baseline import Baseline, find_baseline
-from repro.lint.callgraph import ProjectIndex, render_graph
+from repro.lint.callgraph import (
+    ProjectIndex,
+    render_concurrency,
+    render_graph,
+)
 from repro.lint.engine import LintEngine, ProjectRule, Rule, lint_tree
 from repro.lint.findings import (
     Finding,
@@ -56,6 +60,7 @@ __all__ = [
     "known_rule",
     "lint_source_tree",
     "lint_tree",
+    "render_concurrency",
     "render_graph",
 ]
 

@@ -23,7 +23,8 @@ from repro.lint.facts import ModuleSummary
 
 #: bump whenever the fact schema or extraction semantics change —
 #: a version mismatch silently invalidates the whole cache file.
-CACHE_VERSION = 1
+#: 2: concurrency + resource-lifecycle fact kinds (FORK/ASYNC/THR/RES).
+CACHE_VERSION = 2
 
 #: (st_mtime_ns, st_size) — cheap staleness check, no content hash.
 Stamp = Tuple[int, int]

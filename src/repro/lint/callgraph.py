@@ -179,6 +179,20 @@ class ProjectIndex:
         if local_type is not None and len(parts) == 2:
             ctor = self._resolve_text(local_type, summary, fact,
                                       hops - 1)
+            if ctor is not None and ctor.kind == "function":
+                # the local is bound from a *factory* call — follow the
+                # factory's return annotation to the instance class
+                # (``engine = self._chunk_engine(...)`` with
+                # ``-> ParallelExtractionEngine``).
+                owner = self.by_dotted[ctor.module]
+                target = owner.functions.get(ctor.qualname)
+                annotation = (target.ret_annotation
+                              if target is not None else None)
+                if annotation:
+                    ctor = self._resolve_text(annotation, owner, target,
+                                              hops - 1)
+                else:
+                    ctor = None
             if ctor is not None and ctor.kind == "class":
                 owner = self.by_dotted[ctor.module]
                 qual = f"{ctor.qualname}.{parts[1]}"
@@ -345,6 +359,52 @@ def render_contracts(index: ProjectIndex) -> str:
             if rows:
                 lines.append(f"{summary.dotted}.{qualname}")
                 lines.extend(rows)
+    return "\n".join(lines) + "\n"
+
+
+def render_concurrency(index: ProjectIndex) -> str:
+    """The thread/fork/coroutine fact summary for ``--graph``.
+
+    One line per concurrency-relevant site — thread spawns (with their
+    targets), fork points, coroutines, blocking calls and resource
+    acquisitions — so the CI artifact shows exactly which surfaces the
+    FORK/ASYNC/THR/RES passes reason about.
+    """
+    lines: List[str] = ["# concurrency facts "
+                        "(thread / fork / coroutine / resource sites)"]
+    spawns = forks = coroutines = blocking = acquires = 0
+    for summary in index.summaries:
+        rows: List[str] = []
+        for qualname in sorted(summary.functions):
+            fact = summary.functions[qualname]
+            if fact.is_async:
+                coroutines += 1
+                rows.append(f"  async {qualname} (line {fact.line})")
+            for line in fact.thread_spawns:
+                spawns += 1
+                target = next((t for t, tl in fact.thread_targets
+                               if tl == line), None)
+                suffix = f" target={target}" if target else ""
+                rows.append(f"  thread-spawn {qualname}:{line}{suffix}")
+            for line in fact.fork_points:
+                forks += 1
+                rows.append(f"  fork-point {qualname}:{line}")
+            for line, callee in fact.blocking_calls:
+                blocking += 1
+                rows.append(f"  blocking {qualname}:{line} {callee}()")
+            for acq in fact.acquires:
+                acquires += 1
+                state = "with" if acq.managed else \
+                    ("self" if acq.stored_attr else
+                     acq.name or "unbound")
+                rows.append(f"  acquire {qualname}:{acq.line} "
+                            f"{acq.kind} [{state}]")
+        if rows:
+            lines.append(summary.dotted)
+            lines.extend(rows)
+    lines.append(f"# {spawns} thread spawns, {forks} fork points, "
+                 f"{coroutines} coroutines, {blocking} blocking sites, "
+                 f"{acquires} resource acquisitions")
     return "\n".join(lines) + "\n"
 
 

@@ -45,3 +45,97 @@ CHECKPOINT_SINK_METHODS = frozenset({
 #: DEAD001 only runs when the analyzed project contains at least one
 #: entrypoint module, so linting a lone module stays conservative.
 ENTRYPOINT_STEMS = frozenset({"cli", "__main__"})
+
+# -- concurrency discipline (FORK/ASYNC/THR families) ----------------------
+
+#: constructor names (last dotted segment) that start an OS thread.
+THREAD_SPAWN_CALLS = frozenset({"Thread", "Timer"})
+
+#: constructor names (last dotted segment) that fork worker processes.
+#: ``os.fork`` is matched by its full dotted text (see FORK_POINT_TEXTS)
+#: because a bare ``fork`` attribute is too ambiguous.
+FORK_POINT_CALLS = frozenset({"ProcessPoolExecutor", "Pool", "Process"})
+FORK_POINT_TEXTS = frozenset({"os.fork"})
+
+#: method names that establish a fork-safety barrier: every thread the
+#: caller owns is parked at a lock-free point for the duration (the
+#: sanctioned pattern is ``with prefetcher.quiesced(): engine forks``,
+#: or an engine constructed with a ``fork_barrier=`` hook that wraps
+#: its own pool creation).  A fork-ward call preceded by one of these
+#: in the same function is considered safe by FORK001.
+FORK_BARRIER_CALLS = frozenset({"quiesced", "fork_barrier",
+                                "_fork_barrier"})
+
+#: method names that retire a live thread (or drain its owner).  A
+#: thread spawned at line S is considered live until the first such
+#: call after S in the same function.
+THREAD_RELEASE_CALLS = frozenset({"close", "join", "stop", "shutdown"})
+
+#: call texts that block the calling thread — poison inside a
+#: coroutine body (ASYNC001).  Dotted texts match exactly; prefixes
+#: match whole leading segments ("subprocess" covers subprocess.run).
+BLOCKING_CALL_TEXTS = frozenset({
+    "time.sleep", "socket.create_connection", "select.select",
+    "urllib.request.urlopen", "input", "open",
+})
+BLOCKING_CALL_PREFIXES = frozenset({"subprocess"})
+
+#: method names (attribute calls only) that block: raw socket I/O and
+#: synchronous file reads.  An *awaited* call is never blocking — the
+#: async stream APIs share these names.
+BLOCKING_METHODS = frozenset({
+    "recv", "recv_into", "accept", "connect", "sendall",
+    "read", "readinto", "readlines",
+})
+
+#: executor hand-off calls: work scheduled through these runs off the
+#: event loop, so their callable arguments are not coroutine-reachable.
+EXECUTOR_HOP_CALLS = frozenset({"run_in_executor", "to_thread"})
+
+#: call names that *schedule* a coroutine object (ASYNC002 accepts a
+#: coroutine call appearing as an argument to any of these in lieu of
+#: ``await``).
+COROUTINE_SCHEDULE_CALLS = frozenset({
+    "create_task", "ensure_future", "gather", "run",
+    "run_until_complete", "wait", "wait_for",
+    "run_coroutine_threadsafe", "shield",
+})
+
+#: loop-marshalling calls: a callback handed to these runs on the
+#: event-loop thread, so loop-affine flips inside count as on-loop.
+LOOP_MARSHAL_CALLS = frozenset({"call_soon", "call_soon_threadsafe",
+                                "call_later"})
+
+#: method names that flip lock-free hot-swap state readers race on.
+#: Calls resolving to one of these on a class that also defines
+#: coroutines must come from the loop thread (async caller or a
+#: LOOP_MARSHAL_CALLS callback) — ASYNC002's affinity half.
+LOOP_AFFINE_METHODS = frozenset({"swap"})
+
+#: module-level mutable initialisers exempt from THR001: these types
+#: are the sanctioned cross-thread channels.
+THREAD_SAFE_TYPES = frozenset({
+    "Queue", "LifoQueue", "PriorityQueue", "SimpleQueue", "Event",
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "Barrier", "deque", "local",
+})
+
+# -- resource lifecycle (RES family) ---------------------------------------
+
+#: acquisition calls that hand back an OS-backed resource needing
+#: explicit release.  Same matching split as the blocking sets.
+RESOURCE_FACTORY_TEXTS = frozenset({
+    "open", "mmap.mmap", "socket.socket", "socket.create_connection",
+    "os.pipe",
+})
+RESOURCE_FACTORY_CALLS = frozenset({
+    "NamedTemporaryFile", "TemporaryFile", "SpooledTemporaryFile",
+})
+
+#: method names that release a held resource (RES001's close half,
+#: and the class-level escape check: storing a resource on ``self`` is
+#: fine iff the owning class defines one of these).
+RESOURCE_RELEASE_METHODS = frozenset({
+    "close", "release", "shutdown", "stop", "terminate",
+    "__exit__", "__del__",
+})

@@ -8,9 +8,14 @@ per-module cost is one parse + one walk regardless of how many rule
 families ship).  The same parse also distils the module into a
 picklable fact summary (:mod:`repro.lint.facts`); after every module
 is in, the *project rules* — interprocedural taint, schema contracts,
-dead-symbol reachability — run over the joined
+dead-symbol reachability, fork/thread/asyncio safety and resource
+lifecycle — run over the joined
 :class:`~repro.lint.callgraph.ProjectIndex` without touching an AST
-again.
+again.  The concurrency and resource families are whole-program by
+construction: a blocking call is only a defect if a coroutine can
+*reach* it, a thread spawn only matters at a *later* fork point, so
+their facts flow through the same resolved call graph
+(:func:`repro.lint.interproc.resolved_program`) the taint pass uses.
 
 Because per-module work only needs the facts back, it parallelises
 over a process pool (``workers=N``) with a deterministic path-sorted

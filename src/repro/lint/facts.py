@@ -18,10 +18,25 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.lint.contracts import (
+    BLOCKING_CALL_PREFIXES,
+    BLOCKING_CALL_TEXTS,
+    BLOCKING_METHODS,
     CHECKPOINT_SINK_METHODS,
+    COROUTINE_SCHEDULE_CALLS,
     ENTRYPOINT_STEMS,
+    EXECUTOR_HOP_CALLS,
+    FORK_BARRIER_CALLS,
+    FORK_POINT_CALLS,
+    FORK_POINT_TEXTS,
     GROUPING_FUNCTIONS,
+    LOOP_MARSHAL_CALLS,
+    RESOURCE_FACTORY_CALLS,
+    RESOURCE_FACTORY_TEXTS,
+    RESOURCE_RELEASE_METHODS,
     TAINTED_ATTRIBUTES,
+    THREAD_RELEASE_CALLS,
+    THREAD_SAFE_TYPES,
+    THREAD_SPAWN_CALLS,
 )
 from repro.lint.pragmas import PragmaIndex
 from repro.lint.symbols import (
@@ -119,6 +134,23 @@ class NameUse:
                 and not self.open_writes)
 
 
+@dataclass(frozen=True)
+class AcquireFact:
+    """One resource-acquisition site (``open``, ``mmap`` ...)."""
+
+    line: int
+    col: int
+    kind: str                    # "open", "mmap.mmap", "socket.socket" ...
+    #: local name the resource is bound to, or None when unbound.
+    name: Optional[str] = None
+    #: acquired directly as a ``with`` context expression.
+    managed: bool = False
+    #: the acquisition is the value of a ``self.attr = ...`` store.
+    stored_attr: bool = False
+    #: index into the function's call list (interprocedural matching).
+    call_index: Optional[int] = None
+
+
 @dataclass
 class FunctionFact:
     """Everything the project passes know about one function."""
@@ -145,6 +177,54 @@ class FunctionFact:
         field(default_factory=dict)
     #: every Name load + dotted chain read in scope (reachability).
     reads_all: FrozenSet[str] = frozenset()
+    #: resolved text of the return annotation, for instance typing of
+    #: locals bound from factory calls ("ParallelExtractionEngine").
+    ret_annotation: Optional[str] = None
+    # -- concurrency facts (FORK/ASYNC/THR rule families) ------------------
+    is_async: bool = False
+    #: names declared ``global`` inside the body.
+    global_names: FrozenSet[str] = frozenset()
+    #: call indices appearing directly under an ``await``.
+    awaited_calls: FrozenSet[int] = frozenset()
+    #: call indices nested in arguments of a scheduling/marshalling
+    #: call (``asyncio.run(main())``, ``call_soon(lambda: f())``).
+    sched_arg_calls: FrozenSet[int] = frozenset()
+    #: call indices nested in arguments of an executor hop
+    #: (``run_in_executor``/``to_thread``) — they run *off* the loop,
+    #: so ASYNC001 must not follow them.
+    hop_arg_calls: FrozenSet[int] = frozenset()
+    #: lines of direct thread constructions (``threading.Thread``).
+    thread_spawns: Tuple[int, ...] = ()
+    #: (target callee text, line) per thread construction with a
+    #: ``target=`` keyword.
+    thread_targets: Tuple[Tuple[str, int], ...] = ()
+    #: lines of direct fork points (``ProcessPoolExecutor``/``os.fork``).
+    fork_points: Tuple[int, ...] = ()
+    #: lines of fork-barrier calls (``.quiesced()``/``fork_barrier()``).
+    barrier_lines: Tuple[int, ...] = ()
+    #: lines of thread-release calls (``.close``/``.join``/``.stop``).
+    release_lines: Tuple[int, ...] = ()
+    #: (line, description) of syntactically blocking, non-awaited calls.
+    blocking_calls: Tuple[Tuple[int, str], ...] = ()
+    #: (name, line, assigned-None) per simple local assignment, in
+    #: source order — the FORK002 set-before-fork ordering substrate.
+    assign_events: Tuple[Tuple[str, int, bool], ...] = ()
+    # -- resource-lifecycle facts (RES family) -----------------------------
+    acquires: Tuple[AcquireFact, ...] = ()
+    #: names a release method is called on anywhere in the body.
+    closed_names: FrozenSet[str] = frozenset()
+    #: subset of closed_names whose release sits in a ``finally``.
+    finally_closed_names: FrozenSet[str] = frozenset()
+    #: names later used as ``with name:`` context expressions.
+    with_names: FrozenSet[str] = frozenset()
+    #: call indices used directly as ``with`` context expressions.
+    with_call_indices: FrozenSet[int] = frozenset()
+    #: call indices whose value is stored onto an attribute
+    #: (``self.sock = make_socket()``) — ownership moves to the object.
+    attr_store_call_indices: FrozenSet[int] = frozenset()
+    #: names whose value escapes the function: returned, yielded,
+    #: stored on an attribute, or passed whole to another call.
+    escaping_names: FrozenSet[str] = frozenset()
 
     def param_index(self, name: str) -> Optional[int]:
         """Positional index of parameter ``name``, or None."""
@@ -186,6 +266,12 @@ class ModuleSummary:
     exported: FrozenSet[str] = frozenset()
     is_grouping: bool = False
     is_entrypoint: bool = False
+    #: module-level simple assignments: name -> first line.
+    module_assigns: Dict[str, int] = field(default_factory=dict)
+    #: module-level names initialised to a *mutable* value (dict/list/
+    #: set displays or constructors) that is not a sanctioned
+    #: cross-thread type — the THR001 candidate set.
+    module_mutables: Dict[str, int] = field(default_factory=dict)
 
 
 # --------------------------------------------------------------------------
@@ -376,6 +462,8 @@ class _FunctionSummarizer:
         self._collect_returns(fact)
         self._collect_name_uses(fact)
         self._collect_attr_reads(fact)
+        self._collect_concurrency(fact)
+        self._collect_resources(fact)
         # liveness references made inside nested defs and lambdas
         # count for the enclosing function, so after the (cached)
         # own-scope nodes we descend into each nested scope too.
@@ -636,6 +724,204 @@ class _FunctionSummarizer:
                     fact.param_attr_reads.setdefault(index, []).append(
                         (node.attr, node.lineno))
 
+    # -- concurrency facts -------------------------------------------------
+
+    def _collect_concurrency(self, fact: FunctionFact) -> None:
+        fact.is_async = isinstance(self.func, ast.AsyncFunctionDef)
+        fact.ret_annotation = _annotation_text(self.func.returns)
+        global_names: Set[str] = set()
+        awaited: Set[int] = set()
+        assign_events: List[Tuple[str, int, bool]] = []
+        for node in self.scope_nodes:
+            if isinstance(node, ast.Global):
+                global_names.update(node.names)
+            elif isinstance(node, ast.Await) and \
+                    isinstance(node.value, ast.Call):
+                ci = self.call_index.get(id(node.value))
+                if ci is not None:
+                    awaited.add(ci)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign,
+                                   ast.AugAssign)):
+                value = node.value
+                if value is None:
+                    continue
+                targets = (node.targets
+                           if isinstance(node, ast.Assign)
+                           else [node.target])
+                is_none = (isinstance(value, ast.Constant)
+                           and value.value is None)
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        assign_events.append(
+                            (target.id, node.lineno, is_none))
+        fact.global_names = frozenset(global_names)
+        fact.awaited_calls = frozenset(awaited)
+        fact.assign_events = tuple(
+            sorted(assign_events, key=lambda e: e[1]))
+
+        spawns: List[int] = []
+        targets: List[Tuple[str, int]] = []
+        for node in self.call_nodes:
+            callee = dotted_name(node.func)
+            if callee is None or \
+                    callee.split(".")[-1] not in THREAD_SPAWN_CALLS:
+                continue
+            spawns.append(node.lineno)
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    text = dotted_name(kw.value)
+                    if text is not None:
+                        targets.append((text, node.lineno))
+        fact.thread_spawns = tuple(spawns)
+        fact.thread_targets = tuple(targets)
+
+        forks: List[int] = []
+        barriers: List[int] = []
+        releases: List[int] = []
+        blocking: List[Tuple[int, str]] = []
+        sched_args: Set[int] = set()
+        hop_args: Set[int] = set()
+        # first pass: scheduling/hop argument membership, which the
+        # blocking-call pass below needs for *every* call, including
+        # ones indexed before their scheduler
+        # (``await wait_for(reader.read(n), ...)``).
+        for call in fact.calls:
+            callee = call.callee
+            if callee is None:
+                continue
+            last = callee.split(".")[-1]
+            if last in COROUTINE_SCHEDULE_CALLS or \
+                    last in LOOP_MARSHAL_CALLS:
+                target = sched_args
+            elif last in EXECUTOR_HOP_CALLS:
+                target = hop_args
+            else:
+                continue
+            for arg in call.args:
+                target.update(arg.calls)
+                if arg.is_call is not None:
+                    target.add(arg.is_call)
+            for _, arg in call.kwargs:
+                target.update(arg.calls)
+                if arg.is_call is not None:
+                    target.add(arg.is_call)
+        for ci, call in enumerate(fact.calls):
+            callee = call.callee
+            if callee is None:
+                continue
+            last = callee.split(".")[-1]
+            if not call.submitted and (last in FORK_POINT_CALLS
+                                       or callee in FORK_POINT_TEXTS):
+                forks.append(call.line)
+            if last in FORK_BARRIER_CALLS:
+                barriers.append(call.line)
+            if "." in callee and last in THREAD_RELEASE_CALLS and \
+                    not call.submitted:
+                releases.append(call.line)
+            if ci in awaited or call.submitted or \
+                    ci in sched_args or ci in hop_args:
+                # awaited, pool-submitted, scheduler-wrapped and
+                # executor-hopped calls never block the loop
+                continue
+            if callee in BLOCKING_CALL_TEXTS or \
+                    callee.split(".")[0] in BLOCKING_CALL_PREFIXES or \
+                    ("." in callee and last in BLOCKING_METHODS):
+                blocking.append((call.line, callee))
+        fact.fork_points = tuple(forks)
+        fact.barrier_lines = tuple(sorted(barriers))
+        fact.release_lines = tuple(sorted(releases))
+        fact.blocking_calls = tuple(blocking)
+        fact.sched_arg_calls = frozenset(sched_args)
+        fact.hop_arg_calls = frozenset(hop_args)
+
+    # -- resource-lifecycle facts ------------------------------------------
+
+    def _collect_resources(self, fact: FunctionFact) -> None:
+        with_call_ids: Set[int] = set()
+        with_names: Set[str] = set()
+        attr_store_ids: Set[int] = set()
+        escaping: Set[str] = set(fact.returned_names)
+        bound_name: Dict[int, str] = {}
+        for names, value in self.assign_pairs:
+            if isinstance(value, ast.Call) and len(names) == 1:
+                bound_name[id(value)] = names[0]
+        for node in self.scope_nodes:
+            if isinstance(node, ast.withitem):
+                ctx = node.context_expr
+                if isinstance(ctx, ast.Call):
+                    with_call_ids.add(id(ctx))
+                elif isinstance(ctx, ast.Name):
+                    with_names.add(ctx.id)
+                elif isinstance(ctx, ast.Attribute):
+                    chain = dotted_name(ctx)
+                    if chain is not None:  # "self._lock" guard texts
+                        with_names.add(chain)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Attribute):
+                if isinstance(node.value, ast.Call):
+                    attr_store_ids.add(id(node.value))
+                elif isinstance(node.value, ast.Name):
+                    escaping.add(node.value.id)
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)) and \
+                    isinstance(node.value, ast.Name):
+                escaping.add(node.value.id)
+        for call in fact.calls:
+            for arg in call.args:
+                if arg.is_name is not None:
+                    escaping.add(arg.is_name)
+            for _, arg in call.kwargs:
+                if arg.is_name is not None:
+                    escaping.add(arg.is_name)
+
+        closed: Set[str] = set()
+        for node in self.call_nodes:
+            func = node.func
+            if isinstance(func, ast.Attribute) and \
+                    isinstance(func.value, ast.Name) and \
+                    func.attr in RESOURCE_RELEASE_METHODS:
+                closed.add(func.value.id)
+        finally_closed: Set[str] = set()
+        for node in self.scope_nodes:
+            if not isinstance(node, ast.Try) or not node.finalbody:
+                continue
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Call) and \
+                            isinstance(sub.func, ast.Attribute) and \
+                            isinstance(sub.func.value, ast.Name) and \
+                            sub.func.attr in RESOURCE_RELEASE_METHODS:
+                        finally_closed.add(sub.func.value.id)
+
+        acquires: List[AcquireFact] = []
+        for node in self.call_nodes:
+            callee = dotted_name(node.func)
+            if callee is None:
+                continue
+            last = callee.split(".")[-1]
+            if callee in RESOURCE_FACTORY_TEXTS:
+                kind = callee
+            elif last in RESOURCE_FACTORY_CALLS:
+                kind = last
+            else:
+                continue
+            acquires.append(AcquireFact(
+                line=node.lineno, col=node.col_offset + 1, kind=kind,
+                name=bound_name.get(id(node)),
+                managed=id(node) in with_call_ids,
+                stored_attr=id(node) in attr_store_ids,
+                call_index=self.call_index.get(id(node))))
+        fact.acquires = tuple(acquires)
+        fact.closed_names = frozenset(closed)
+        fact.finally_closed_names = frozenset(finally_closed)
+        fact.with_names = frozenset(with_names)
+        fact.with_call_indices = frozenset(
+            ci for ci in (self.call_index.get(i)
+                          for i in with_call_ids) if ci is not None)
+        fact.attr_store_call_indices = frozenset(
+            ci for ci in (self.call_index.get(i)
+                          for i in attr_store_ids) if ci is not None)
+        fact.escaping_names = frozenset(escaping)
+
 
 # --------------------------------------------------------------------------
 # Per-class and per-module extraction
@@ -717,6 +1003,51 @@ def _exported_names(tree: ast.Module) -> FrozenSet[str]:
     return frozenset()
 
 
+#: constructor names whose results are ordinary mutable containers.
+_MUTABLE_CTORS = frozenset({"dict", "list", "set", "defaultdict",
+                            "OrderedDict", "Counter"})
+
+_MUTABLE_DISPLAYS = (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                     ast.ListComp, ast.SetComp)
+
+
+def _module_assignments(tree: ast.Module) -> Tuple[Dict[str, int],
+                                                   Dict[str, int]]:
+    """(all module-level simple assigns, the mutable subset) by name.
+
+    The mutable subset feeds THR001: names initialised to a plain
+    dict/list/set (display or constructor) are unsafe to share between
+    a thread target and the main path; the sanctioned channel types
+    (:data:`THREAD_SAFE_TYPES`) are excluded.
+    """
+    assigns: Dict[str, int] = {}
+    mutables: Dict[str, int] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t for t in node.targets
+                       if isinstance(t, ast.Name)]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and \
+                isinstance(node.target, ast.Name) and \
+                node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        mutable = isinstance(value, _MUTABLE_DISPLAYS)
+        if isinstance(value, ast.Call):
+            callee = dotted_name(value.func)
+            if callee is not None:
+                last = callee.split(".")[-1]
+                mutable = (last in _MUTABLE_CTORS
+                           and last not in THREAD_SAFE_TYPES)
+        for target in targets:
+            assigns.setdefault(target.id, node.lineno)
+            if mutable:
+                mutables.setdefault(target.id, node.lineno)
+    return assigns, mutables
+
+
 def _is_grouping(module: ModuleInfo) -> bool:
     """Mirror of the TAINT applicability test, without the rule import."""
     if GROUPING_FUNCTIONS.intersection(module.module_functions):
@@ -743,6 +1074,8 @@ def summarize_module(module: ModuleInfo) -> ModuleSummary:
         is_grouping=_is_grouping(module),
         is_entrypoint=module.parts[-1] in ENTRYPOINT_STEMS,
     )
+    summary.module_assigns, summary.module_mutables = \
+        _module_assignments(module.tree)
     for name, func in module.module_functions.items():
         summary.functions[name] = _FunctionSummarizer(
             func, name).summarize()

@@ -380,3 +380,101 @@ def run_taint_analysis(index: ProjectIndex) -> List[TaintFinding]:
     engine = TaintEngine(index)
     engine.solve()
     return engine.report()
+
+
+# --------------------------------------------------------------------------
+# Shared resolved-call-graph substrate for the reachability passes
+# --------------------------------------------------------------------------
+
+
+class ResolvedProgram:
+    """Memoised call-site resolutions + caller edges over one index.
+
+    The concurrency (FORK/ASYNC/THR) and resource-lifecycle (RES)
+    passes all need the same three things the taint engine builds
+    privately: a flat ``FnKey -> (summary, fact)`` map, a memo of
+    per-call-site :class:`Resolution` results, and reverse caller
+    edges for worklist propagation.  This class extracts that
+    substrate so one set of resolutions feeds every pass (the 2.5s
+    full-tree budget rules out re-resolving the tree per rule) and
+    adds the one lookup taint never needed: constructor calls
+    (``kind == "class"``) mapped onto the class's ``__init__`` so
+    thread spawns and resource acquisitions inside constructors
+    propagate to the instantiation site.
+    """
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.facts: Dict[FnKey, Tuple[ModuleSummary, FunctionFact]] = {}
+        for summary in index.summaries:
+            for qualname in sorted(summary.functions):
+                self.facts[(summary.dotted, qualname)] = \
+                    (summary, summary.functions[qualname])
+        self._resolutions: Dict[Tuple[str, str, int],
+                                Optional[Resolution]] = {}
+        self._edges: Dict[FnKey,
+                          Tuple[Tuple[int, int, FnKey], ...]] = {}
+        self._callers: Optional[Dict[FnKey, Tuple[FnKey, ...]]] = None
+
+    def resolve(self, key: FnKey, call_idx: int) -> Optional[Resolution]:
+        """The (memoised) resolution of one call site."""
+        memo_key = (key[0], key[1], call_idx)
+        if memo_key not in self._resolutions:
+            summary, fact = self.facts[key]
+            self._resolutions[memo_key] = self.index.resolve_call(
+                fact.calls[call_idx], fact, summary)
+        return self._resolutions[memo_key]
+
+    def callee_key(self, res: Optional[Resolution]) -> Optional[FnKey]:
+        """FnKey a resolution lands on: functions directly,
+        constructor calls on the class's ``__init__``."""
+        if res is None:
+            return None
+        if res.kind == "function":
+            key = (res.module, res.qualname)
+            return key if key in self.facts else None
+        if res.kind == "class":
+            key = (res.module, f"{res.qualname}.__init__")
+            return key if key in self.facts else None
+        return None
+
+    def edges(self, key: FnKey) -> Tuple[Tuple[int, int, FnKey], ...]:
+        """``(call index, line, callee FnKey)`` for every resolved,
+        in-project call inside ``key`` (memoised)."""
+        cached = self._edges.get(key)
+        if cached is not None:
+            return cached
+        _, fact = self.facts[key]
+        out: List[Tuple[int, int, FnKey]] = []
+        for ci, call in enumerate(fact.calls):
+            callee = self.callee_key(self.resolve(key, ci))
+            if callee is not None:
+                out.append((ci, call.line, callee))
+        result = tuple(out)
+        self._edges[key] = result
+        return result
+
+    def callers(self, key: FnKey) -> Tuple[FnKey, ...]:
+        """Reverse edges (built lazily over the *whole* program)."""
+        if self._callers is None:
+            callers: Dict[FnKey, Set[FnKey]] = {}
+            for caller in self.facts:
+                for _ci, _line, callee in self.edges(caller):
+                    callers.setdefault(callee, set()).add(caller)
+            self._callers = {k: tuple(sorted(v))
+                             for k, v in callers.items()}
+        return self._callers.get(key, ())
+
+
+def resolved_program(index: ProjectIndex) -> ResolvedProgram:
+    """One shared :class:`ResolvedProgram` per index.
+
+    The concurrency and resource rules run back to back inside one
+    lint invocation; caching the program on the index keeps the
+    (expensive) whole-tree resolution pass single-shot.
+    """
+    program = getattr(index, "_resolved_program", None)
+    if program is None or program.index is not index:
+        program = ResolvedProgram(index)
+        index._resolved_program = program
+    return program

@@ -11,12 +11,14 @@ from typing import List
 
 from repro.lint.engine import ProjectRule, Rule
 from repro.lint.rules.cache_keys import CacheKeyRule
+from repro.lint.rules.concurrency import ConcurrencyRule
 from repro.lint.rules.deadcode import DeadCodeRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.durability import DurabilityRule
 from repro.lint.rules.exception_hygiene import ExceptionHygieneRule
 from repro.lint.rules.parallel_safety import ParallelSafetyRule
 from repro.lint.rules.pragma_hygiene import PRAGMA001  # noqa: F401
+from repro.lint.rules.resources import ResourceLifecycleRule
 from repro.lint.rules.schema import SchemaContractRule
 from repro.lint.rules.taint import (
     InterproceduralTaintRule,
@@ -25,12 +27,14 @@ from repro.lint.rules.taint import (
 
 __all__ = [
     "CacheKeyRule",
+    "ConcurrencyRule",
     "DeadCodeRule",
     "DeterminismRule",
     "DurabilityRule",
     "ExceptionHygieneRule",
     "InterproceduralTaintRule",
     "ParallelSafetyRule",
+    "ResourceLifecycleRule",
     "SchemaContractRule",
     "TaintSeparationRule",
     "default_project_rules",
@@ -56,4 +60,6 @@ def default_project_rules() -> List[ProjectRule]:
         InterproceduralTaintRule(),
         SchemaContractRule(),
         DeadCodeRule(),
+        ConcurrencyRule(),
+        ResourceLifecycleRule(),
     ]

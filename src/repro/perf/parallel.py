@@ -17,8 +17,9 @@ no pool, no pickling and no extra processes.
 import math
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.records import MinerRecord
 from repro.core.sanity import SanityVerdict
@@ -113,11 +114,20 @@ def stage2_sweep(sample: SampleRecord, index: int,
 _WORKER_STATE: Optional[tuple] = None
 
 
-def _init_worker(world: SyntheticWorld, spec: AnalysisSpec) -> None:
+def _init_worker(world: SyntheticWorld, spec: AnalysisSpec,
+                 forked: Optional[object] = None) -> None:
     global _WORKER_STATE
+    if forked is not None:
+        # rendezvous first: the parent's quiesce window only needs to
+        # cover the forks themselves, not the component builds.
+        forked.wait(timeout=60)
     from repro.core.pipeline import build_analysis_components
     checker, engine = build_analysis_components(world, spec)
     _WORKER_STATE = (world, checker, engine)
+
+
+def _noop() -> None:
+    """Pre-start filler task (see ``_prestart_workers``)."""
 
 
 def _stage1_chunk(indices: Sequence[int]) -> List[SampleOutcome]:
@@ -163,7 +173,8 @@ class ParallelExtractionEngine:
     def __init__(self, world: SyntheticWorld, spec: AnalysisSpec,
                  workers: int = 1,
                  local_components: Optional[tuple] = None,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None,
+                 fork_barrier: Optional[Callable] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self._world = world
@@ -172,6 +183,11 @@ class ParallelExtractionEngine:
         self._local = local_components
         self._chunk_size = chunk_size
         self._executor: Optional[ProcessPoolExecutor] = None
+        #: context-manager factory bracketing worker creation — owners
+        #: of live threads (the chunk prefetcher) pass their
+        #: ``quiesced`` hook so every fork happens while those threads
+        #: are parked at a lock-free point (FORK001).
+        self._fork_barrier = fork_barrier or nullcontext
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -197,10 +213,35 @@ class ParallelExtractionEngine:
                 context = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX platforms
                 context = multiprocessing.get_context()
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=context,
-                initializer=_init_worker, initargs=(self._world, self._spec))
+            # a barrier in initargs is inheritable under fork only;
+            # without fork there is nothing to quiesce for anyway.
+            forked = (context.Barrier(self.workers + 1)
+                      if context.get_start_method() == "fork" else None)
+            with self._fork_barrier():
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context,
+                    initializer=_init_worker,
+                    initargs=(self._world, self._spec, forked))
+                if forked is not None:
+                    self._prestart_workers(forked)
         return self._executor
+
+    def _prestart_workers(self, forked) -> None:
+        """Fork the full worker complement inside the barrier window.
+
+        ``ProcessPoolExecutor`` forks lazily, one process per submit
+        with no idle worker — so ``workers`` filler tasks force every
+        fork now, while the ``fork_barrier`` context is held.  Each
+        new process blocks in its initializer on ``forked`` (none can
+        go idle early and absorb the next filler), and the parent
+        joins the same barrier, holding the quiesce window open until
+        the last fork has happened.
+        """
+        futures = [self._executor.submit(_noop)
+                   for _ in range(self.workers)]
+        forked.wait(timeout=60)
+        for future in futures:
+            future.result()
 
     def _components(self) -> tuple:
         if self._local is None:

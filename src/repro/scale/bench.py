@@ -16,12 +16,20 @@ collects points into the committed artifacts:
   fleets — see :mod:`repro.serve.bench`)
 * ``BENCH_ingest.json`` — checkpointed ingestion lane: batch
   throughput plus the cost of a cold resume from the checkpoint
+* ``BENCH_lint.json`` — reprolint over the real source tree: cold
+  full-tree runs across ``--workers``, plus the warm ``--changed``
+  fast path served from the fact cache
 
 Every suite write also appends a copy under ``BENCH_history/`` as
-``<suite>-<NNNN>.json`` — the committed bench trajectory.  The
-regression gate (:func:`compare_runs`, ``benchmarks/
-regression_gate.py``) compares a fresh run against the committed
-previous JSON point-by-point and fails on >25% throughput loss.
+``<suite>-<NNNN>.json`` — the committed bench trajectory — and stamps
+the payload with :func:`repro.common.calibrate.calibration_score`, a
+fixed CPU microbench measured on the writing machine.  The regression
+gate (:func:`compare_runs`, ``benchmarks/regression_gate.py``)
+compares a fresh run against the committed previous JSON
+point-by-point and fails on >25% throughput loss; when both sides
+carry a calibration stamp the comparison is machine-normalised
+(``metric / score``), so a baseline committed from a fast dev box
+does not fail CI on a slow runner.
 
 Invoked via ``python -m repro.scale.bench``, ``python
 benchmarks/harness.py`` or ``repro bench`` — all the same code.
@@ -38,10 +46,12 @@ from typing import Dict, List, Optional, Tuple
 __all__ = [
     "compare_runs",
     "measure_ingest_point",
+    "measure_lint_point",
     "measure_pipeline_point",
     "measure_scale_point",
     "measure_scan_point",
     "run_ingest_suite",
+    "run_lint_suite",
     "run_point_subprocess",
     "run_scaling_suite",
     "run_scan_suite",
@@ -281,6 +291,50 @@ def measure_ingest_point(scale: float = 0.02, seed: int = 2019,
         shutil.rmtree(workdir, ignore_errors=True)
 
 
+def measure_lint_point(mode: str = "cold", workers: int = 1) -> Dict:
+    """One reprolint run over the real source tree.
+
+    ``cold`` lints the full tree from a fresh index (the CI strict
+    gate's cost); ``warm`` measures the ``--changed`` fast path — a
+    priming run fills the fact cache, then the timed run focuses one
+    module and serves every other summary from cache.
+    """
+    import shutil
+    import tempfile
+
+    from repro.common.memory import peak_rss_mib
+    from repro.lint import LintEngine, default_source_root
+
+    root = default_source_root()
+    workdir = Path(tempfile.mkdtemp(prefix="repro-bench-lint-"))
+    try:
+        focus = None
+        cache = None
+        if mode == "warm":
+            cache = workdir / "reprolint-cache"
+            focus = ["cli.py"]
+            LintEngine(cache_path=cache).run(root, focus=focus)
+        engine = LintEngine(workers=workers, cache_path=cache)
+        t0 = time.perf_counter()
+        report = engine.run(root, focus=focus)
+        lint_s = time.perf_counter() - t0
+        modules = report.modules_scanned
+        return {
+            "suite": "lint",
+            "mode": mode,
+            "workers": workers,
+            "modules": modules,
+            "findings": len(report.findings),
+            "parse_errors": len(report.parse_errors),
+            "lint_s": round(lint_s, 3),
+            "modules_per_s": round(modules / lint_s, 1) if lint_s
+            else 0.0,
+            "peak_rss_mib": round(peak_rss_mib() or 0.0, 1),
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 def run_point_subprocess(argv: List[str], timeout: Optional[float] = None
                          ) -> Dict:
     """Run one point in a child interpreter; parse its JSON stdout."""
@@ -382,6 +436,25 @@ def run_ingest_suite(scale: float = 0.02, seed: int = 2019,
     return {"bench": "ingest", "seed": seed, "points": [point]}
 
 
+def run_lint_suite(workers_list: Optional[List[int]] = None) -> Dict:
+    """Lint lane: cold full-tree across workers, plus the warm path."""
+    workers_list = workers_list or [1, 2, 4]
+    points = []
+    for workers in workers_list:
+        point = run_point_subprocess([
+            "--lint-mode", "cold", "--workers", str(workers)])
+        points.append(point)
+        print(f"  lint cold workers={workers}: {point['modules']} "
+              f"modules in {point['lint_s']}s "
+              f"({point['modules_per_s']}/s)", file=sys.stderr)
+    point = run_point_subprocess(["--lint-mode", "warm"])
+    points.append(point)
+    print(f"  lint warm: {point['modules']} focus module(s) in "
+          f"{point['lint_s']}s", file=sys.stderr)
+    return {"bench": "lint", "workers_list": workers_list,
+            "points": points}
+
+
 # -- artifacts: committed JSON + history trail -------------------------------
 
 
@@ -409,6 +482,8 @@ def _write_json(path: Path, payload: Dict) -> None:
 
 
 def _write_suite(out_dir: Path, suite: str, payload: Dict) -> None:
+    from repro.common.calibrate import calibration_score
+    payload.setdefault("calibration", calibration_score())
     _write_json(out_dir / f"BENCH_{suite}.json", payload)
     history_path = write_history_entry(out_dir, suite, payload)
     print(f"wrote {history_path}", file=sys.stderr)
@@ -425,6 +500,7 @@ GATE_METRICS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "scan": ("kernel_mib_per_s", ("scale",)),
     "serve": ("qps", ("scale", "concurrency", "workers")),
     "ingest": ("batches_per_s", ("scale", "batch_days")),
+    "lint": ("modules_per_s", ("mode", "workers")),
 }
 
 
@@ -440,15 +516,27 @@ def compare_runs(previous: Dict, current: Dict,
     whose throughput metric dropped by more than ``threshold``
     (fractional); notes cover unmatched points and the per-point
     deltas.  Suites are identified by the payload's ``bench`` field.
+
+    When both payloads carry a top-level ``calibration`` stamp (see
+    :mod:`repro.common.calibrate`), each side's metric is divided by
+    its own machine's score before the delta is taken, so baselines
+    committed from a faster or slower machine gate code changes, not
+    hardware.  Old stamp-less baselines compare raw.
     """
     suite = current.get("bench") or previous.get("bench")
     if suite not in GATE_METRICS:
         return [], [f"unknown suite {suite!r}: nothing gated"]
     metric, key_fields = GATE_METRICS[suite]
+    prev_cal = previous.get("calibration") or 0.0
+    cur_cal = current.get("calibration") or 0.0
+    normalised = prev_cal > 0 and cur_cal > 0
     prev_points = {_point_key(p, key_fields): p
                    for p in previous.get("points", [])}
     regressions: List[str] = []
     notes: List[str] = []
+    if normalised:
+        notes.append(f"{suite}: machine-normalised "
+                     f"(calibration {prev_cal} -> {cur_cal})")
     matched = 0
     for point in current.get("points", []):
         key = _point_key(point, key_fields)
@@ -464,9 +552,13 @@ def compare_runs(previous: Dict, current: Dict,
         if old <= 0:
             notes.append(f"{suite}[{label}]: no baseline {metric}")
             continue
-        delta = (new - old) / old
+        if normalised:
+            delta = (new / cur_cal - old / prev_cal) / (old / prev_cal)
+        else:
+            delta = (new - old) / old
         line = (f"{suite}[{label}]: {metric} {old} -> {new} "
-                f"({delta:+.1%})")
+                f"({delta:+.1%}"
+                f"{' normalised' if normalised else ''})")
         if delta < -threshold:
             regressions.append(line + f" exceeds -{threshold:.0%} gate")
         else:
@@ -496,6 +588,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run ONE serving-QPS point, JSON on stdout")
     parser.add_argument("--ingest-scale", type=float, default=None,
                         help="run ONE ingestion point, JSON on stdout")
+    parser.add_argument("--lint-mode", choices=["cold", "warm"],
+                        default=None,
+                        help="run ONE reprolint point, JSON on stdout")
     parser.add_argument("--iterations", type=int, default=3,
                         help="best-of iterations for the scan lane")
     parser.add_argument("--duration", type=float, default=8.0,
@@ -506,7 +601,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="feed batch width for the ingest lane")
     parser.add_argument("--suite",
                         choices=["scale", "pipeline", "scan", "serve",
-                                 "ingest", "all"],
+                                 "ingest", "lint", "all"],
                         default=None, help="full suite to run")
     parser.add_argument("--scales", type=str, default=None,
                         help="comma-separated scale factors for the "
@@ -556,6 +651,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.ingest_scale, seed=args.seed,
                 batch_days=args.batch_days)))
             return 0
+        if args.lint_mode is not None:
+            print(json.dumps(measure_lint_point(
+                args.lint_mode, workers=args.workers)))
+            return 0
 
     suite = args.suite or "all"
     out_dir = Path(args.out_dir)
@@ -592,6 +691,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                      run_ingest_suite(args.ingest_scale or 0.02,
                                       seed=args.seed,
                                       batch_days=args.batch_days))
+    if suite in ("lint", "all"):
+        lint_workers = (workers_list if args.workers_list
+                        else [1, 2, 4])
+        _write_suite(out_dir, "lint",
+                     run_lint_suite(workers_list=lint_workers))
     return 0
 
 

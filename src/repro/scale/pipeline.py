@@ -231,6 +231,9 @@ class ScalePipeline:
         self._buffer: List[MinerRecord] = []
         self._segment_counter = 0
         self._recovered = 0
+        #: the stage-1 prefetcher while it is live — chunk engines fork
+        #: inside its quiesce window (FORK001).
+        self._active_prefetcher: Optional[ChunkPrefetcher] = None
 
     # -- world facades -----------------------------------------------------
 
@@ -261,8 +264,14 @@ class ScalePipeline:
         vt.swap(reports)
         ha.swap(ha_reports)
         world = self._skeleton_world(samples, vt=vt, ha=ha)
+        # while the prefetcher thread is live, every fork must happen
+        # inside its quiesce window: a forked child inherits the chunk
+        # queue's lock in whatever state the producer left it.
+        barrier = (self._active_prefetcher.quiesced
+                   if self._active_prefetcher is not None else None)
         return ParallelExtractionEngine(world, self._spec,
-                                        workers=self.workers)
+                                        workers=self.workers,
+                                        fork_barrier=barrier)
 
     # -- acceptance bookkeeping --------------------------------------------
 
@@ -364,11 +373,14 @@ class ScalePipeline:
                 deferred: _Spill, rejected: _Spill) -> None:
         index = 0
         chunks = self._chunk_stream()
+        if isinstance(chunks, ChunkPrefetcher):
+            self._active_prefetcher = chunks
         try:
             for chunk in chunks:
                 index = self._stage1_chunk(chunk, index, stats, verdicts,
                                            deferred, rejected)
         finally:
+            self._active_prefetcher = None
             if isinstance(chunks, ChunkPrefetcher):
                 chunks.close()
 

@@ -1,0 +1,43 @@
+"""ASYNC positive fixture: blocked loops and dropped coroutines."""
+
+import time
+
+
+async def poll_share(job):
+    time.sleep(0.1)  # ASYNC001 blocking directly in the coroutine
+    return job
+
+
+def _read_manifest(path):
+    with open(path) as handle:  # ASYNC001 laundered two hops down
+        return handle.readline()
+
+
+def _load_stats(path):
+    return _read_manifest(path)
+
+
+async def report_stats(path):
+    return _load_stats(path)
+
+
+async def _refresh(cache):
+    cache.clear()
+
+
+def tick(cache):
+    _refresh(cache)  # ASYNC002 coroutine built but never awaited
+
+
+class HotIndex:
+    async def lookup(self, key):
+        return self._live[key]
+
+    def swap(self, snapshot):
+        self._live = snapshot
+
+
+def refresh_index(snapshot):
+    index = HotIndex()
+    index.swap(snapshot)  # ASYNC002 loop-affine call from sync code
+    return index

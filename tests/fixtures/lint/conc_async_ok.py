@@ -1,0 +1,49 @@
+"""ASYNC negative fixture: hops, scheduling and loop-affinity done right."""
+
+import asyncio
+import time
+
+
+def _slow_probe(host):
+    time.sleep(0.5)  # only ever runs in an executor thread
+    return host
+
+
+async def probe(loop, host):
+    return await loop.run_in_executor(None, _slow_probe, host)
+
+
+async def _tick(state):
+    state["beat"] = state.get("beat", 0) + 1
+
+
+def schedule_tick(state):
+    return asyncio.run(_tick(state))  # scheduled, not dropped
+
+
+async def gather_ticks(state):
+    pending = _tick(state)  # bound for the await below
+    await asyncio.gather(pending)
+
+
+class HotCache:
+    async def get(self, key):
+        return self._live[key]
+
+    def swap(self, snapshot):
+        self._live = snapshot
+
+    def adopt(self, snapshot):
+        self.swap(snapshot)  # the class manages its own affinity
+
+
+async def adopt_on_loop(snapshot):
+    cache = HotCache()
+    cache.swap(snapshot)  # async caller: already on the loop
+    return cache
+
+
+def marshal_swap(loop, snapshot):
+    cache = HotCache()
+    loop.call_soon_threadsafe(cache.swap, snapshot)  # marshalled flip
+    return cache

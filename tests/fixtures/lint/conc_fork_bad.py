@@ -1,0 +1,51 @@
+"""FORK positive fixture: live threads and late worker state at forks."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_POOL_STATE = None
+
+
+def _drain(bucket):
+    bucket.append(1)
+
+
+def _scale_chunk(items):
+    return [_POOL_STATE[i] for i in items]
+
+
+def fork_with_live_thread(items, bucket):
+    feeder = threading.Thread(target=_drain, args=(bucket,))
+    feeder.start()
+    with ProcessPoolExecutor(max_workers=2) as pool:  # FORK001 direct
+        return pool.submit(_drain, bucket).result()
+
+
+def _start_feeder(bucket):
+    feeder = threading.Thread(target=_drain, args=(bucket,))
+    feeder.start()
+    return feeder
+
+
+def _build_pool():
+    return ProcessPoolExecutor(max_workers=2)
+
+
+def fork_via_helpers(items, bucket):
+    _start_feeder(bucket)
+    return _build_pool()  # FORK001 through both helpers
+
+
+def fork_then_set_state(items):
+    global _POOL_STATE
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        _POOL_STATE = dict.fromkeys(items, 0)  # FORK002 set after fork
+        return pool.submit(_scale_chunk, items).result()
+
+
+def refork_with_mutation(items):
+    global _POOL_STATE
+    _POOL_STATE = dict.fromkeys(items, 0)
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        pool.submit(_scale_chunk, items)
+    _POOL_STATE = dict.fromkeys(items, 1)  # FORK002 mutated after fork

@@ -1,0 +1,41 @@
+"""FORK negative fixture: quiesced forks and pre-fork worker state."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_POOL_STATE = None
+
+
+def _consume(bucket):
+    return len(bucket)
+
+
+def _scale_chunk(items):
+    return [_POOL_STATE[i] for i in items]
+
+
+def fork_with_parked_producer(prefetcher, items):
+    feeder = threading.Thread(target=_consume, args=(items,))
+    feeder.start()
+    with prefetcher.quiesced():  # the sanctioned fork barrier
+        pool = ProcessPoolExecutor(max_workers=2)
+    feeder.join()
+    return pool
+
+
+def fork_after_join(items):
+    feeder = threading.Thread(target=_consume, args=(items,))
+    feeder.start()
+    feeder.join()  # nothing lives across the fork
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return pool.submit(_consume, items).result()
+
+
+def fork_with_prestate(items):
+    global _POOL_STATE
+    _POOL_STATE = dict.fromkeys(items, 0)  # set before forking
+    try:
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            return pool.submit(_scale_chunk, items).result()
+    finally:
+        _POOL_STATE = None  # clearing to None is sanctioned

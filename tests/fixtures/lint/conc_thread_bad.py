@@ -1,0 +1,19 @@
+"""THR positive fixture: unguarded module state shared with a thread."""
+
+import threading
+
+_PROGRESS = {}  # THR001 mutated by the thread, read by the main path
+
+
+def _track(done):
+    _PROGRESS["done"] = done
+
+
+def start_tracker(done):
+    worker = threading.Thread(target=_track, args=(done,))
+    worker.start()
+    return worker
+
+
+def render_progress():
+    return dict(_PROGRESS)

@@ -1,0 +1,39 @@
+"""THR negative fixture: queue hand-off and lock-guarded mutation."""
+
+import queue
+import threading
+
+_EVENTS = queue.Queue()  # thread-safe hand-off type
+_STATS = {}
+_STATS_LOCK = threading.Lock()
+
+
+def _pump(batch):
+    for item in batch:
+        _EVENTS.put(item)
+
+
+def start_pump(batch):
+    worker = threading.Thread(target=_pump, args=(batch,))
+    worker.start()
+    return worker
+
+
+def drain():
+    return _EVENTS.get_nowait()
+
+
+def _count(batch):
+    with _STATS_LOCK:  # every mutation holds the lock
+        _STATS["seen"] = _STATS.get("seen", 0) + len(batch)
+
+
+def start_counter(batch):
+    worker = threading.Thread(target=_count, args=(batch,))
+    worker.start()
+    return worker
+
+
+def snapshot():
+    with _STATS_LOCK:
+        return dict(_STATS)

@@ -1,0 +1,38 @@
+"""RES positive fixture: handles that can exit without release."""
+
+import socket
+
+
+def read_segment(path):
+    handle = open(path, "rb")  # RES001 released only on the happy path
+    payload = handle.readline()
+    handle.close()
+    return payload
+
+
+def probe_pool(host):
+    sock = socket.create_connection((host, 3333))  # RES001 never released
+    sock.sendall(b"ping")
+    return True
+
+
+def touch_marker(path):
+    open(path, "wb")  # RES001 acquired and immediately dropped
+    return path
+
+
+class SegmentCursor:
+    def __init__(self, path):
+        self._handle = open(path, "rb")  # RES001 class has no release
+
+
+def _open_spill(path):
+    return open(path, "w+b")  # factory: the caller inherits the handle
+
+
+def merge_spills(paths):
+    total = 0
+    for path in paths:
+        spill = _open_spill(path)  # RES001 never released
+        total += len(spill.readline())
+    return total

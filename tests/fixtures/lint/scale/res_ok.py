@@ -1,0 +1,40 @@
+"""RES negative fixture: every ownership transfer the rule sanctions."""
+
+
+def read_all(path):
+    with open(path, "rb") as handle:  # `with` management
+        return handle.readline()
+
+
+def read_guarded(path):
+    handle = open(path, "rb")
+    try:
+        return handle.readline()
+    finally:
+        handle.close()  # released on every path
+
+
+def open_spill(path):
+    return open(path, "w+b")  # ownership moves to the caller
+
+
+def register(registry, path):
+    handle = open(path, "rb")
+    registry.adopt(handle)  # ownership transferred as an argument
+    return registry
+
+
+class SpillReader:
+    def __init__(self, path):
+        self._handle = open(path, "rb")  # the class owns the release
+
+    def close(self):
+        self._handle.close()
+
+
+def sum_spill(path):
+    reader = SpillReader(path)
+    try:
+        return len(reader._handle.readline())
+    finally:
+        reader.close()

@@ -126,6 +126,61 @@ class TestDurabilityRules:
         assert LintEngine().run(tmp_path).findings == []
 
 
+class TestConcurrencyRules:
+    def test_fork_positive(self):
+        report = lint_fixture("conc_fork_bad.py")
+        assert {line for _, line in found(report, "FORK001")} == \
+            set(marked_lines("conc_fork_bad.py", "FORK001"))
+        assert {line for _, line in found(report, "FORK002")} == \
+            set(marked_lines("conc_fork_bad.py", "FORK002"))
+
+    def test_async_positive(self):
+        report = lint_fixture("conc_async_bad.py")
+        assert {line for _, line in found(report, "ASYNC001")} == \
+            set(marked_lines("conc_async_bad.py", "ASYNC001"))
+        assert {line for _, line in found(report, "ASYNC002")} == \
+            set(marked_lines("conc_async_bad.py", "ASYNC002"))
+
+    def test_blocking_call_laundered_two_hops(self):
+        # report_stats -> _load_stats -> _read_manifest: the open()
+        # two sync hops down is still attributed to the coroutine.
+        report = lint_fixture("conc_async_bad.py")
+        laundered = [f for f in report.findings
+                     if f.rule_id == "ASYNC001"
+                     and f.symbol == "_read_manifest"]
+        assert len(laundered) == 1
+        assert "report_stats" in laundered[0].message
+
+    def test_thread_positive(self):
+        report = lint_fixture("conc_thread_bad.py")
+        assert {line for _, line in found(report, "THR001")} == \
+            set(marked_lines("conc_thread_bad.py", "THR001"))
+
+    @pytest.mark.parametrize("name", ["conc_fork_ok.py",
+                                      "conc_async_ok.py",
+                                      "conc_thread_ok.py"])
+    def test_negative(self, name):
+        assert lint_fixture(name).findings == []
+
+
+class TestResourceRules:
+    def test_positive(self):
+        report = lint_fixture("scale/res_bad.py")
+        assert {line for _, line in found(report, "RES001")} == \
+            set(marked_lines("scale/res_bad.py", "RES001"))
+
+    def test_negative(self):
+        assert lint_fixture("scale/res_ok.py").findings == []
+
+    def test_out_of_scope_directory(self, tmp_path):
+        # ownership is enforced in the handle-owning subsystems only
+        module = tmp_path / "reports" / "writer.py"
+        module.parent.mkdir()
+        module.write_text("def probe(path):\n"
+                          "    open(path, 'rb')\n")
+        assert LintEngine().run(tmp_path).findings == []
+
+
 class TestCacheKeyRules:
     def test_positive(self):
         report = lint_fixture("cache_bad.py")
@@ -326,9 +381,10 @@ class TestPragmaParsing:
 
 
 class TestParallelEngine:
-    def test_workers_match_serial(self):
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_workers_match_serial(self, workers):
         serial = LintEngine().run(FIXTURES)
-        parallel = LintEngine(workers=2).run(FIXTURES)
+        parallel = LintEngine(workers=workers).run(FIXTURES)
         assert [f.render() for f in serial.findings] == \
             [f.render() for f in parallel.findings]
         assert sorted(f.render() for f in serial.suppressed) == \
@@ -379,6 +435,33 @@ class TestFocusAndChanged:
         helpers.write_text(
             helpers.read_text().replace(
                 "campaign.stock_tools", "campaign.first_seen"))
+        second = LintEngine(cache_path=cache).run(tmp_path,
+                                                  focus=focus)
+        assert second.findings == []
+
+    def test_summary_cache_invalidates_on_thread_spawn_edit(
+            self, tmp_path):
+        pkg = tmp_path / "scalepkg"
+        pkg.mkdir()
+        (pkg / "spawner.py").write_text(
+            "import threading\n\n\n"
+            "def start(bucket):\n"
+            "    worker = threading.Thread(target=bucket.append)\n"
+            "    worker.start()\n")
+        (pkg / "driver.py").write_text(
+            "from concurrent.futures import ProcessPoolExecutor\n\n"
+            "from scalepkg.spawner import start\n\n\n"
+            "def run(bucket):\n"
+            "    start(bucket)\n"
+            "    return ProcessPoolExecutor(max_workers=2)\n")
+        cache = tmp_path / "reprolint-cache"
+        focus = ["scalepkg/driver.py"]
+        first = LintEngine(cache_path=cache).run(tmp_path, focus=focus)
+        assert [f.rule_id for f in first.findings] == ["FORK001"]
+        # joining the thread in the out-of-focus spawner must reach
+        # the whole-program pass through the fact cache.
+        spawner = pkg / "spawner.py"
+        spawner.write_text(spawner.read_text() + "    worker.join()\n")
         second = LintEngine(cache_path=cache).run(tmp_path,
                                                   focus=focus)
         assert second.findings == []
@@ -452,4 +535,5 @@ class TestSelfCheck:
         assert families == {"taint", "determinism", "parallel-safety",
                             "durability", "cache-keys",
                             "exception-hygiene", "schema",
-                            "dead-code", "pragma-hygiene"}
+                            "dead-code", "pragma-hygiene",
+                            "concurrency", "resource-lifecycle"}

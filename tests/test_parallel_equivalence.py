@@ -62,6 +62,40 @@ def test_profiles_and_proxies_identical(serial_result, parallel_result):
     assert serial_result.proxy_ips == parallel_result.proxy_ips
 
 
+def test_fork_barrier_brackets_pool_creation(eq_world):
+    """A supplied fork_barrier is held across every worker fork, once.
+
+    Owners of live threads (the chunk prefetcher) pass their
+    ``quiesced`` hook here; the engine must enter it exactly once —
+    around lazy pool creation plus the prestart that forks the full
+    worker complement — and never again for later map calls.
+    """
+    from contextlib import contextmanager
+
+    from repro.perf.parallel import ParallelExtractionEngine
+
+    spec = MeasurementPipeline(eq_world)._spec
+    events = []
+
+    @contextmanager
+    def barrier():
+        events.append("enter")
+        yield
+        events.append("exit")
+
+    clear_caches()
+    with ParallelExtractionEngine(eq_world, spec, workers=2,
+                                  fork_barrier=barrier) as pooled:
+        first = pooled.map_stage1(range(4))
+        assert events == ["enter", "exit"]  # one window, already closed
+        again = pooled.map_stage1(range(4, 6))
+        assert events == ["enter", "exit"]  # pool reused, no re-fork
+
+    clear_caches()
+    with ParallelExtractionEngine(eq_world, spec, workers=1) as serial:
+        assert first + again == serial.map_stage1(range(6))
+
+
 def test_workers_validated(eq_world):
     with pytest.raises(ValueError):
         MeasurementPipeline(eq_world, workers=0)
