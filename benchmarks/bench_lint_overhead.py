@@ -31,7 +31,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_lint_overhead.py \
         [--iterations 3] [--budget-s 5.0] [--workers 4] \
-        [--changed-budget-s 1.0]
+        [--changed-budget-s 1.5]
 """
 
 import argparse
@@ -68,7 +68,11 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=4,
                         help="process-pool width for the parallel "
                              "configuration")
-    parser.add_argument("--changed-budget-s", type=float, default=1.0,
+    # 1.0s until the unit/kind pass landed; that pass is whole-program
+    # (the fixpoint + checks run even when one file changed, ~0.2s on
+    # the reference core), so the lane's floor moved and the budget
+    # moved with it — same ~40% headroom the cold budget carries.
+    parser.add_argument("--changed-budget-s", type=float, default=1.5,
                         help="fail when the one-file --changed path "
                              "takes longer than this")
     args = parser.parse_args(argv)

@@ -16,6 +16,7 @@ Subcommands::
                                    ingest|all] [--workers-list 1,2,4]
     python -m repro.cli lint      [--strict] [--update-baseline]
                                   [--changed] [--graph] [--workers N]
+                                  [--json | --sarif]
 
 ``measure`` runs the full pipeline and prints the funnel; ``exhibits``
 renders the main paper tables; ``casestudy`` deep-dives one of the §V
@@ -475,6 +476,10 @@ def cmd_lint(args) -> int:
         print(f"baseline updated: {target} "
               f"({len(fresh.entries)} entries)")
         return 0
+    if args.sarif:
+        from repro.lint.sarif import render_sarif
+        print(render_sarif(report, run.regressions))
+        return 0 if run.ok(strict=args.strict) else 1
     if args.json:
         print(json.dumps({
             "modules": report.modules_scanned,
@@ -686,6 +691,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "current findings")
     lint.add_argument("--json", action="store_true",
                       help="machine-readable report on stdout")
+    lint.add_argument("--sarif", action="store_true",
+                      help="SARIF 2.1.0 report on stdout (new "
+                           "findings carry baselineState: new)")
     lint.set_defaults(func=cmd_lint)
     return parser
 

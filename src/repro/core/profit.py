@@ -12,7 +12,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.common.errors import PoolError
 from repro.common.simtime import Date
 from repro.core.records import WalletRecord
-from repro.market.rates import RATES, AVERAGE_XMR_USD, ExchangeRates
+from repro.market.rates import RATES, ExchangeRates
 from repro.pools.directory import PoolDirectory
 from repro.pools.pool import Transparency
 
@@ -105,7 +105,7 @@ class ProfitAnalyzer:
                 payments=list(stats.payments or []),
                 hashrate_history=list(stats.hashrate_history or []),
             )
-            record.usd = self._to_usd(record, rates, pool.config.coin)
+            record.usd = self._to_usd(record, rates)
             profile.records.append(record)
         return profile
 
@@ -119,7 +119,7 @@ class ProfitAnalyzer:
         return out
 
     def _to_usd(self, record: WalletRecord,
-                rates: Optional[ExchangeRates], coin: str) -> float:
+                rates: Optional[ExchangeRates]) -> float:
         """Paper's conversion: per-payment historical rate when dated
         payments exist; the flat average for bare totals."""
         if rates is None:
@@ -128,14 +128,12 @@ class ProfitAnalyzer:
             usd = sum(rates.to_usd(amount, when)
                       for when, amount in record.payments)
             # payments may only cover a window; convert the uncovered
-            # remainder at the flat average.
+            # remainder at the coin's flat average (AVERAGE_XMR_USD
+            # for XMR, the derived era average otherwise — previously
+            # the non-XMR remainder converted at $0 and vanished).
             covered = sum(amount for _, amount in record.payments)
             remainder = max(0.0, record.total_paid - covered)
-            if remainder > 0 and coin == "XMR":
-                usd += remainder * AVERAGE_XMR_USD
-            elif remainder > 0:
+            if remainder > 0:
                 usd += rates.to_usd(remainder, None)
             return usd
-        if coin == "XMR":
-            return record.total_paid * AVERAGE_XMR_USD
         return rates.to_usd(record.total_paid, None)

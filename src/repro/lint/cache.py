@@ -20,11 +20,25 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.lint.facts import ModuleSummary
+from repro.lint.units import seed_fingerprint
 
 #: bump whenever the fact schema or extraction semantics change —
 #: a version mismatch silently invalidates the whole cache file.
 #: 2: concurrency + resource-lifecycle fact kinds (FORK/ASYNC/THR/RES).
-CACHE_VERSION = 2
+#: 3: unit/kind flow facts (UNIT/KIND) — extraction also filters its
+#:    sink and key events through the seed tables, so the cache keys
+#:    on their fingerprint too (see ``_cache_key``).
+CACHE_VERSION = 3
+
+
+def _cache_key() -> Tuple[int, str]:
+    """What must match for a cache file to be trusted at all.
+
+    The seed fingerprint covers every unit/kind table: editing a
+    contract re-extracts the whole tree even though no source file's
+    stamp moved.
+    """
+    return (CACHE_VERSION, seed_fingerprint())
 
 #: (st_mtime_ns, st_size) — cheap staleness check, no content hash.
 Stamp = Tuple[int, int]
@@ -56,7 +70,7 @@ class SummaryCache:
             with open(self.path, "rb") as handle:
                 payload = pickle.load(handle)
             if isinstance(payload, dict) and \
-                    payload.get("version") == CACHE_VERSION:
+                    payload.get("version") == _cache_key():
                 self._entries = payload["modules"]
         except Exception:  # noqa: BLE001 - any corrupt cache is a miss
             self._entries = {}
@@ -84,7 +98,7 @@ class SummaryCache:
         """Atomically persist the cache (tmp file + rename)."""
         if not self._dirty:
             return
-        payload = {"version": CACHE_VERSION, "modules": self._entries}
+        payload = {"version": _cache_key(), "modules": self._entries}
         tmp = self.path.with_name(self.path.name + ".tmp")
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)

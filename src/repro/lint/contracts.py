@@ -120,6 +120,126 @@ THREAD_SAFE_TYPES = frozenset({
     "Barrier", "deque", "local",
 })
 
+# -- domain kinds & quantity units (UNIT/KIND families) ---------------------
+
+#: Per-field semantic declarations for the paper's record schemas:
+#: ``class name -> field name -> (unit, kind)``, where either slot may
+#: be None.  Units are quantity dimensions ("XMR", the generic "coin",
+#: "USD", the "usd_per_coin" rate, "hs" hashrate, cumulative "hashes",
+#: "shares", simulated "date"); kinds are identifier namespaces
+#: ("sha256", "wallet", "domain", "campaign-id", "pool-url", "email").
+#: This table is the single source of truth the SCHEMA pass checks for
+#: drift against the real dataclasses and the UNIT/KIND pass flattens
+#: into its seed maps (:mod:`repro.lint.units`).
+RECORD_FIELD_CONTRACTS = {
+    # core/records.py — Table I
+    "MinerRecord": {
+        "sha256": (None, "sha256"),
+        "user": (None, "wallet"),
+        "url_pool": (None, "pool-url"),
+        "first_seen": ("date", None),
+        "identifiers": (None, "wallet"),
+    },
+    # core/records.py — Table II
+    "WalletRecord": {
+        "user": (None, "wallet"),
+        "hashes": ("hashes", None),
+        "hashrate": ("hs", None),
+        "last_share": ("date", None),
+        "balance": ("coin", None),
+        "total_paid": ("coin", None),
+        "date_query": ("date", None),
+        "usd": ("USD", None),
+    },
+    # pools/pool.py — the public API view and the internal ledger
+    "WalletStats": {
+        "identifier": (None, "wallet"),
+        "hashes": ("hashes", None),
+        "last_hashrate": ("hs", None),
+        "last_share": ("date", None),
+        "balance": ("coin", None),
+        "total_paid": ("coin", None),
+    },
+    "_WalletAccount": {
+        "identifier": (None, "wallet"),
+        "hashes": ("hashes", None),
+        "balance": ("coin", None),
+        "total_paid": ("coin", None),
+        "last_share": ("date", None),
+        "last_hashrate": ("hs", None),
+        "banned_on": ("date", None),
+    },
+    # core/profit.py
+    "WalletProfile": {
+        "identifier": (None, "wallet"),
+    },
+    # core/aggregation.py
+    "Campaign": {
+        "campaign_id": (None, "campaign-id"),
+        "sample_hashes": (None, "sha256"),
+        "identifiers": (None, "wallet"),
+        "total_xmr": ("XMR", None),
+        "total_usd": ("USD", None),
+        "first_seen": ("date", None),
+        "last_seen": ("date", None),
+        "last_share": ("date", None),
+    },
+}
+
+#: Mapping names (``self._attr`` attributes or well-known locals)
+#: whose *keys* live in one identifier namespace — the serve-layer
+#: IntelIndex tables and the aggregation/index joins.  KIND002 flags a
+#: key of a different kind flowing into one of these.
+MAPPING_KEY_KINDS = {
+    # serve/index.py — IntelIndex tables
+    "_hashes": "sha256",
+    "_wallets": "wallet",
+    "_campaigns": "campaign-id",
+    "_domains": "domain",
+    # serve/index.py — build_index joins and payload tables
+    "campaign_of_sample": "sha256",
+    "campaign_of_wallet": "wallet",
+    "wallet_samples": "wallet",
+    "wallet_coin": "wallet",
+    "hashes": "sha256",
+    "domains": "domain",
+    "campaigns": "campaign-id",
+    # pools/pool.py — the per-wallet ledger
+    "_accounts": "wallet",
+    # core/aggregation.py — per-identifier coin attribution
+    "identifier_coins": "wallet",
+}
+
+#: Functions (matched on the qualname's last segment, or the full
+#: dotted call text) with seeded parameter semantics:
+#: ``name -> {param name: (unit, kind)}``.
+FUNCTION_PARAM_CONTRACTS = {
+    "to_usd": {"amount": ("coin", None)},
+    "hash_intel": {"sha256": (None, "sha256")},
+    "wallet_intel": {"identifier": (None, "wallet")},
+    "campaign_intel": {"campaign_id": (None, "campaign-id")},
+    "domain_intel": {"name": (None, "domain")},
+    "api_wallet_stats": {"identifier": (None, "wallet")},
+    "credit_mining_day": {"hashrate_hs": ("hs", None)},
+}
+
+#: Functions whose *return value* has a seeded unit or kind (the
+#: conversion witnesses among them make UNIT002's "converted" edge:
+#: a value produced by ``to_usd`` *is* USD).
+FUNCTION_RETURN_CONTRACTS = {
+    "to_usd": ("USD", None),
+    "rate": ("usd_per_coin", None),
+    "credit_mining_day": ("coin", None),
+    "daily_emission": ("coin", None),
+    "network_hashrate_hs": ("hs", None),
+}
+
+#: Module-level constants with a seeded unit (matched on the bare
+#: name or the last dotted segment of a read).
+CONSTANT_UNITS = {
+    "AVERAGE_XMR_USD": "usd_per_coin",
+}
+
 # -- resource lifecycle (RES family) ---------------------------------------
 
 #: acquisition calls that hand back an OS-backed resource needing

@@ -39,6 +39,7 @@ from repro.lint.contracts import (
     THREAD_SPAWN_CALLS,
 )
 from repro.lint.pragmas import PragmaIndex
+from repro.lint.units import KEY_KINDS, SLOT_KINDS, SLOT_UNITS
 from repro.lint.symbols import (
     FUNCTION_NODES,
     ModuleInfo,
@@ -49,8 +50,88 @@ from repro.lint.symbols import (
 #: dict methods whose constant first argument is a key *read*.
 _KEY_READ_METHODS = frozenset({"get", "pop"})
 
+#: operator spellings for the UNIT/KIND value sketches.
+_BINOP_TEXT = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*",
+               ast.Div: "/", ast.FloorDiv: "//", ast.Mod: "%"}
+_CMP_TEXT = {ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<",
+             ast.LtE: "<=", ast.Gt: ">", ast.GtE: ">=",
+             ast.In: "in", ast.NotIn: "in"}
+
+#: mapping methods whose first argument is a key (KIND002 flow).
+_KEYED_METHODS = frozenset({"get", "pop", "setdefault",
+                            "__contains__"})
+
+#: value-sketch recursion cap — deep expressions go opaque.
+_VALUE_DEPTH = 6
+
 #: dict methods that erase key precision (full-shape reads).
 _SHAPE_READ_METHODS = frozenset({"keys", "values", "items", "copy"})
+
+
+@dataclass(frozen=True)
+class ValueFact:
+    """Structural sketch of one expression for the UNIT/KIND pass.
+
+    A small recursive tree over the forms the unit algebra can
+    evaluate — names, ``base.attr`` loads, constant-key subscripts,
+    calls (by index into the function's call list), numeric literals,
+    binary arithmetic and single comparisons.  ``merge`` covers
+    conditional expressions (both branches), ``elt`` a comprehension's
+    element (what ``sum(...)`` aggregates); anything else is
+    ``opaque``.  Depth-capped at extraction so pickled summaries stay
+    compact.
+    """
+
+    line: int
+    form: str                     # "name"|"attr"|"key"|"call"|"num"|
+    #                               "const"|"binop"|"compare"|"merge"|
+    #                               "elt"|"opaque"
+    name: Optional[str] = None    # the name, or the base's dotted text
+    attr: Optional[str] = None    # attribute / constant key text
+    call: Optional[int] = None    # index into FunctionFact.calls
+    op: Optional[str] = None      # "+", "-", "*", "/", "==", "in" ...
+    left: Optional["ValueFact"] = None
+    right: Optional["ValueFact"] = None
+
+
+#: interned leaf sketches — the unit algebra never reads ``line`` off
+#: these forms (leaves carry no emit site; witnesses come from attr /
+#: key / call facts), so every occurrence shares one instance and the
+#: pickled summary cache stays close to its pre-units size.
+_OPAQUE_FACT = ValueFact(line=0, form="opaque")
+_CONST_FACT = ValueFact(line=0, form="const")
+_NUM_FACT = ValueFact(line=0, form="num")
+_NAME_FACTS: Dict[str, ValueFact] = {}
+
+
+def _name_fact(name: str) -> ValueFact:
+    fact = _NAME_FACTS.get(name)
+    if fact is None:
+        fact = _NAME_FACTS.setdefault(
+            name, ValueFact(line=0, form="name", name=name))
+    return fact
+
+
+@dataclass(frozen=True)
+class SinkWriteFact:
+    """One store into a unit/kind-seeded field or record slot."""
+
+    line: int
+    col: int
+    field: str                    # the seeded attr / key / slot name
+    value: ValueFact
+    aug: bool = False             # ``+=`` family
+    target: str = "attr"          # "attr" | "key" | "slot" (dict display)
+
+
+@dataclass(frozen=True)
+class KeyFlowFact:
+    """One non-constant key flowing into a kind-seeded mapping."""
+
+    line: int
+    col: int
+    base: str                     # the mapping's seeded name
+    key: ValueFact
 
 
 @dataclass(frozen=True)
@@ -67,6 +148,8 @@ class ArgFact:
     is_name: Optional[str] = None
     #: the argument is exactly one call (index into the call list).
     is_call: Optional[int] = None
+    #: structural sketch for the UNIT/KIND pass.
+    value: Optional[ValueFact] = None
 
 
 @dataclass(frozen=True)
@@ -209,6 +292,18 @@ class FunctionFact:
     #: (name, line, assigned-None) per simple local assignment, in
     #: source order — the FORK002 set-before-fork ordering substrate.
     assign_events: Tuple[Tuple[str, int, bool], ...] = ()
+    # -- kind/unit facts (UNIT/KIND rule families) -------------------------
+    #: outermost arithmetic / comparison expressions in the body.
+    arith_events: Tuple[ValueFact, ...] = ()
+    #: (name, RHS sketch) per simple single-name assignment;
+    #: ``x += v`` is recorded as ``x = x <op> v``.
+    unit_binds: Tuple[Tuple[str, ValueFact], ...] = ()
+    #: stores into seeded fields / record slots (UNIT002/003 sinks).
+    sink_writes: Tuple[SinkWriteFact, ...] = ()
+    #: non-constant keys into kind-seeded mappings (KIND002).
+    key_flows: Tuple[KeyFlowFact, ...] = ()
+    #: sketch of every ``return`` expression (interprocedural units).
+    ret_values: Tuple[ValueFact, ...] = ()
     # -- resource-lifecycle facts (RES family) -----------------------------
     acquires: Tuple[AcquireFact, ...] = ()
     #: names a release method is called on anywhere in the body.
@@ -449,7 +544,68 @@ class _FunctionSummarizer:
         return ArgFact(
             reads=reads, direct=direct,
             calls=calls, is_name=is_name,
-            is_call=is_call)
+            is_call=is_call, value=self._value_fact(expr))
+
+    def _value_fact(self, expr: ast.AST,
+                    depth: int = 0) -> ValueFact:
+        """Structural sketch of ``expr`` for the unit algebra."""
+        line = getattr(expr, "lineno", 0)
+        if depth > _VALUE_DEPTH:
+            return _OPAQUE_FACT
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, (int, float)) and \
+                    not isinstance(expr.value, bool):
+                return _NUM_FACT
+            return _CONST_FACT
+        if isinstance(expr, ast.Name):
+            return _name_fact(expr.id)
+        if isinstance(expr, ast.Attribute):
+            return ValueFact(line=line, form="attr",
+                             name=dotted_name(expr.value),
+                             attr=expr.attr)
+        if isinstance(expr, ast.Subscript):
+            key = _const_str(expr.slice)
+            if key is not None:
+                return ValueFact(line=line, form="key",
+                                 name=dotted_name(expr.value),
+                                 attr=key)
+            return _OPAQUE_FACT
+        if isinstance(expr, ast.Call):
+            return ValueFact(line=line, form="call",
+                             call=self.call_index.get(id(expr)),
+                             name=dotted_name(expr.func))
+        if isinstance(expr, ast.BinOp):
+            op = _BINOP_TEXT.get(type(expr.op))
+            if op is None:
+                return _OPAQUE_FACT
+            return ValueFact(
+                line=line, form="binop", op=op,
+                left=self._value_fact(expr.left, depth + 1),
+                right=self._value_fact(expr.right, depth + 1))
+        if isinstance(expr, ast.Compare) and len(expr.ops) == 1:
+            op = _CMP_TEXT.get(type(expr.ops[0]))
+            if op is None:
+                return _OPAQUE_FACT
+            return ValueFact(
+                line=line, form="compare", op=op,
+                left=self._value_fact(expr.left, depth + 1),
+                right=self._value_fact(expr.comparators[0],
+                                       depth + 1))
+        if isinstance(expr, ast.UnaryOp):
+            return self._value_fact(expr.operand, depth + 1)
+        if isinstance(expr, ast.IfExp):
+            return ValueFact(
+                line=line, form="merge",
+                left=self._value_fact(expr.body, depth + 1),
+                right=self._value_fact(expr.orelse, depth + 1))
+        if isinstance(expr, (ast.GeneratorExp, ast.ListComp,
+                             ast.SetComp)):
+            return ValueFact(
+                line=line, form="elt",
+                left=self._value_fact(expr.elt, depth + 1))
+        if isinstance(expr, ast.Starred):
+            return self._value_fact(expr.value, depth + 1)
+        return _OPAQUE_FACT
 
     # -- the pass ----------------------------------------------------------
 
@@ -464,6 +620,7 @@ class _FunctionSummarizer:
         self._collect_attr_reads(fact)
         self._collect_concurrency(fact)
         self._collect_resources(fact)
+        self._collect_units(fact)
         # liveness references made inside nested defs and lambdas
         # count for the enclosing function, so after the (cached)
         # own-scope nodes we descend into each nested scope too.
@@ -723,6 +880,133 @@ class _FunctionSummarizer:
                 if index is not None:
                     fact.param_attr_reads.setdefault(index, []).append(
                         (node.attr, node.lineno))
+
+    # -- kind/unit facts ---------------------------------------------------
+
+    @staticmethod
+    def _seeded_slot(name: Optional[str]) -> bool:
+        return name is not None and (name in SLOT_UNITS
+                                     or name in SLOT_KINDS)
+
+    @staticmethod
+    def _mapping_base(expr: ast.AST) -> Optional[str]:
+        """Seeded-mapping name of a subscript/method base, or None."""
+        if isinstance(expr, ast.Name) and expr.id in KEY_KINDS:
+            return expr.id
+        if isinstance(expr, ast.Attribute) and expr.attr in KEY_KINDS:
+            return expr.attr
+        return None
+
+    def _collect_units(self, fact: FunctionFact) -> None:
+        """Arithmetic events, seeded-sink writes and key flows.
+
+        Sink and key events are filtered through the seed tables
+        (:mod:`repro.lint.units`) at extraction time, which is why the
+        summary cache keys on the seed fingerprint.
+        """
+        arith: List[ValueFact] = []
+        nested: Set[int] = set()
+        unit_binds: List[Tuple[str, ValueFact]] = []
+        sinks: List[SinkWriteFact] = []
+        flows: List[KeyFlowFact] = []
+        rets: List[ValueFact] = []
+        for node in self.scope_nodes:
+            if isinstance(node, (ast.BinOp, ast.Compare)) and \
+                    id(node) not in nested:
+                sketch = self._value_fact(node)
+                if sketch.form in ("binop", "compare"):
+                    arith.append(sketch)
+                for sub in ast.walk(node):
+                    if sub is not node and \
+                            isinstance(sub, (ast.BinOp, ast.Compare)):
+                        nested.add(id(sub))
+            elif isinstance(node, ast.Return) and \
+                    node.value is not None:
+                rets.append(self._value_fact(node.value))
+            elif isinstance(node, ast.Dict):
+                for key, value in zip(node.keys, node.values):
+                    text = (_const_str(key)
+                            if key is not None else None)
+                    if text is not None and self._seeded_slot(text):
+                        sinks.append(SinkWriteFact(
+                            line=value.lineno,
+                            col=value.col_offset + 1, field=text,
+                            value=self._value_fact(value),
+                            target="slot"))
+            elif isinstance(node, ast.Subscript):
+                base = self._mapping_base(node.value)
+                if base is not None and \
+                        not isinstance(node.slice,
+                                       (ast.Constant, ast.Slice,
+                                        ast.Tuple)):
+                    flows.append(KeyFlowFact(
+                        line=node.lineno, col=node.col_offset + 1,
+                        base=base,
+                        key=self._value_fact(node.slice)))
+
+        for node in self.scope_nodes:
+            if isinstance(node, ast.Assign):
+                targets, value, op = node.targets, node.value, None
+            elif isinstance(node, ast.AnnAssign) and \
+                    node.value is not None:
+                targets, value, op = [node.target], node.value, None
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+                value = node.value
+                op = _BINOP_TEXT.get(type(node.op))
+            else:
+                continue
+            sketch: Optional[ValueFact] = None
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if sketch is None:
+                        sketch = self._value_fact(value)
+                    rhs = sketch
+                    if op is not None:
+                        rhs = ValueFact(
+                            line=node.lineno, form="binop", op=op,
+                            left=ValueFact(line=node.lineno,
+                                           form="name",
+                                           name=target.id),
+                            right=sketch)
+                    unit_binds.append((target.id, rhs))
+                elif isinstance(target, ast.Attribute) and \
+                        self._seeded_slot(target.attr):
+                    if sketch is None:
+                        sketch = self._value_fact(value)
+                    sinks.append(SinkWriteFact(
+                        line=node.lineno,
+                        col=target.col_offset + 1,
+                        field=target.attr, value=sketch,
+                        aug=op is not None))
+                elif isinstance(target, ast.Subscript):
+                    key = _const_str(target.slice)
+                    if key is not None and self._seeded_slot(key):
+                        if sketch is None:
+                            sketch = self._value_fact(value)
+                        sinks.append(SinkWriteFact(
+                            line=node.lineno,
+                            col=target.col_offset + 1,
+                            field=key, value=sketch,
+                            aug=op is not None, target="key"))
+
+        for node in self.call_nodes:
+            func = node.func
+            if isinstance(func, ast.Attribute) and \
+                    func.attr in _KEYED_METHODS and node.args:
+                base = self._mapping_base(func.value)
+                if base is not None and not isinstance(
+                        node.args[0], ast.Constant):
+                    flows.append(KeyFlowFact(
+                        line=node.lineno,
+                        col=node.col_offset + 1, base=base,
+                        key=self._value_fact(node.args[0])))
+
+        fact.arith_events = tuple(arith)
+        fact.unit_binds = tuple(unit_binds)
+        fact.sink_writes = tuple(sinks)
+        fact.key_flows = tuple(flows)
+        fact.ret_values = tuple(rets)
 
     # -- concurrency facts -------------------------------------------------
 

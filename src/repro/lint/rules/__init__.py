@@ -24,6 +24,7 @@ from repro.lint.rules.taint import (
     InterproceduralTaintRule,
     TaintSeparationRule,
 )
+from repro.lint.rules.units import UnitKindRule
 
 __all__ = [
     "CacheKeyRule",
@@ -37,6 +38,7 @@ __all__ = [
     "ResourceLifecycleRule",
     "SchemaContractRule",
     "TaintSeparationRule",
+    "UnitKindRule",
     "default_project_rules",
     "default_rules",
 ]
@@ -62,4 +64,5 @@ def default_project_rules() -> List[ProjectRule]:
         DeadCodeRule(),
         ConcurrencyRule(),
         ResourceLifecycleRule(),
+        UnitKindRule(),
     ]

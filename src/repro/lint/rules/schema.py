@@ -26,6 +26,7 @@ checks every resolvable boundary:
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.lint.callgraph import ProjectIndex, Resolution
+from repro.lint.contracts import RECORD_FIELD_CONTRACTS
 from repro.lint.engine import ProjectEmitter, ProjectRule
 from repro.lint.facts import ClassFact, FunctionFact, ModuleSummary
 from repro.lint.findings import register_rule
@@ -58,6 +59,7 @@ class SchemaContractRule(ProjectRule):
         self._check_returned_shapes(index, eff, emitter)
         self._check_boundaries(index, eff, emitter)
         self._check_dataclass_drift(index, emitter)
+        self._check_contract_drift(index, emitter)
 
     # -- shared plumbing ----------------------------------------------------
 
@@ -441,6 +443,34 @@ class SchemaContractRule(ProjectRule):
                     f"{res.origin}(**{data_name}) but the dataclass "
                     f"has no such field — snapshot/codec drift",
                     symbol=fact.qualname)
+
+    def _check_contract_drift(self, index: ProjectIndex,
+                              emitter: ProjectEmitter) -> None:
+        """The unit/kind contract table may not outlive the schema.
+
+        Every field :data:`RECORD_FIELD_CONTRACTS` declares a unit or
+        kind for must still exist on the real class (fields, methods
+        or ``self.X`` stores) — otherwise the UNIT/KIND seeds silently
+        stop matching anything and the contract is dead weight.
+        Classes absent from the analysed tree are skipped, so linting
+        a partial tree stays quiet.
+        """
+        for summary in index.summaries:
+            for qualname in sorted(summary.classes):
+                cls = summary.classes[qualname]
+                contract = RECORD_FIELD_CONTRACTS.get(
+                    qualname.rsplit(".", 1)[-1])
+                if contract is None:
+                    continue
+                for name in sorted(contract):
+                    if name in cls.attrs or name in cls.fields:
+                        continue
+                    emitter.emit(
+                        SCHEMA003.rule_id, summary.dotted, cls.line, 1,
+                        f"unit/kind contract declares field '{name}' "
+                        f"on {qualname} but the class defines no such "
+                        f"field — update RECORD_FIELD_CONTRACTS",
+                        symbol=qualname)
 
     def _check_annotated_params(self, index: ProjectIndex,
                                 summary: ModuleSummary,

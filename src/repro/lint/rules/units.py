@@ -1,0 +1,39 @@
+"""UNIT/KIND — domain units and identifier kinds, whole-program.
+
+The thin rule wrapper over :mod:`repro.lint.unitflow`: registers the
+five rule IDs and replays the solved engine's findings through the
+project emitter.  See the engine module for the semantics and
+:mod:`repro.lint.units` for the seed tables.
+"""
+
+from repro.lint.engine import ProjectEmitter, ProjectRule
+from repro.lint.findings import register_rule
+from repro.lint.interproc import resolved_program
+from repro.lint.unitflow import run_unit_analysis
+
+UNIT001 = register_rule(
+    "UNIT001", "units",
+    "mixed-unit arithmetic (e.g. XMR + USD) without a conversion")
+UNIT002 = register_rule(
+    "UNIT002", "units",
+    "coin amount reaches a USD-labelled field without a conversion "
+    "witness")
+UNIT003 = register_rule(
+    "UNIT003", "units",
+    "rate-vs-cumulative confusion (hashrate used as a total)")
+KIND001 = register_rule(
+    "KIND001", "units",
+    "cross-kind identifier equality/membership/join")
+KIND002 = register_rule(
+    "KIND002", "units",
+    "wrong-kind key into a kind-typed mapping")
+
+
+class UnitKindRule(ProjectRule):
+    """Solve the unit/kind fixpoint and emit every violation."""
+
+    def run(self, index, emitter: ProjectEmitter) -> None:
+        for finding in run_unit_analysis(resolved_program(index)):
+            emitter.emit(finding.rule_id, finding.module,
+                         finding.line, finding.col, finding.message,
+                         symbol=finding.symbol)

@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 serialization for reprolint reports.
+
+One run, one tool, one result per finding — the minimal valid subset
+code-scanning UIs ingest (GitHub code scanning, VS Code SARIF viewer).
+Rules are emitted once in the driver's ``rules`` array (index-linked
+from each result), findings become ``results`` with a single physical
+location, and baseline state is conveyed through SARIF's own
+``baselineState`` field: a finding already granted in
+``lint_baseline.toml`` is ``unchanged``, a fresh one is ``new``.
+
+Deliberately dependency-free and deterministic: plain dicts, sorted
+rule order, stable finding order (the report is already sorted), so
+the same tree always serializes byte-identically.
+"""
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.findings import Finding, LintReport, RULE_REGISTRY
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: reprolint's stable identity within SARIF tooling.
+TOOL_NAME = "reprolint"
+TOOL_URI = "docs/static-analysis.md"
+
+
+def _rule_descriptor(rule_id: str) -> Dict:
+    spec = RULE_REGISTRY.get(rule_id)
+    descriptor: Dict = {"id": rule_id}
+    if spec is not None:
+        descriptor["shortDescription"] = {"text": spec.summary}
+        descriptor["properties"] = {"family": spec.family}
+    return descriptor
+
+
+def _result(finding: Finding, rule_index: Dict[str, int],
+            new_ids: Optional[set]) -> Dict:
+    result: Dict = {
+        "ruleId": finding.rule_id,
+        "ruleIndex": rule_index[finding.rule_id],
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {"startLine": finding.line,
+                           "startColumn": finding.col},
+            },
+        }],
+    }
+    if finding.symbol:
+        result["locations"][0]["logicalLocations"] = [
+            {"fullyQualifiedName": finding.symbol}]
+    if new_ids is not None:
+        key = (finding.rule_id, finding.path, finding.line,
+               finding.col, finding.message)
+        result["baselineState"] = ("new" if key in new_ids
+                                   else "unchanged")
+    return result
+
+
+def to_sarif(report: LintReport,
+             regressions: Optional[Sequence[Finding]] = None) -> Dict:
+    """The SARIF document (as a plain dict) for one lint report.
+
+    ``regressions`` — the subset of findings not covered by the
+    baseline — drives ``baselineState``; pass None to omit the field
+    entirely (e.g. when linting without a baseline).
+    """
+    fired = sorted({f.rule_id for f in report.findings})
+    rule_index = {rule_id: i for i, rule_id in enumerate(fired)}
+    new_ids = None
+    if regressions is not None:
+        new_ids = {(f.rule_id, f.path, f.line, f.col, f.message)
+                   for f in regressions}
+    results: List[Dict] = [
+        _result(finding, rule_index, new_ids)
+        for finding in report.findings]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": TOOL_NAME,
+                "informationUri": TOOL_URI,
+                "rules": [_rule_descriptor(r) for r in fired],
+            }},
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+
+
+def render_sarif(report: LintReport,
+                 regressions: Optional[Sequence[Finding]] = None) -> str:
+    """``to_sarif`` as stable, indented JSON text."""
+    return json.dumps(to_sarif(report, regressions), indent=2,
+                      sort_keys=True)

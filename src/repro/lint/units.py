@@ -1,0 +1,252 @@
+"""Seed tables and algebra for the domain kind & unit pass.
+
+The paper's two load-bearing computations — per-payment XMR→USD
+conversion (§III-D) and campaign aggregation over typed identifiers
+(§III-E) — are both silently wrong if a coin amount skips conversion
+or a lookup crosses identifier namespaces.  This module turns the
+per-field declarations in :data:`repro.lint.contracts.
+RECORD_FIELD_CONTRACTS` into the flat, attribute-name-keyed seed maps
+the fact extractor and the whole-program pass consume, and defines the
+tiny unit algebra the UNIT rules evaluate expressions under.
+
+Units form flat dimension families rather than a lattice:
+
+* money: ``XMR`` and the generic ``coin`` are compatible (their join
+  is ``coin``); ``USD`` is its own dimension; ``usd_per_coin`` is the
+  conversion rate between them.  ``coin * usd_per_coin -> USD`` is the
+  *conversion witness* UNIT002 looks for.
+* work: ``hs`` (a rate, H/s) vs the cumulative ``hashes`` and
+  ``shares`` — mixing rate and cumulative is UNIT003's
+  rate-vs-cumulative confusion.  Multiplying ``hs`` by a plain number
+  deliberately yields *unknown*: a numeric factor may be a seconds
+  span (``hashrate_hs * 86400`` legitimately produces hashes).
+* time: ``date`` (simulated calendar dates).  ``date - date`` is a
+  span, not a date, so subtraction demotes to unknown.
+
+Kinds (``sha256``, ``wallet``, ``domain``, ``campaign-id``,
+``pool-url``, ``email``) never combine; equality/membership across two
+different kinds is KIND001, and a wrong-kind key into a seeded mapping
+(:data:`repro.lint.contracts.MAPPING_KEY_KINDS`) is KIND002.
+``wallet`` and ``email`` are deliberately compatible: the paper's
+login identifiers mix wallet addresses and pool e-mail logins in one
+namespace.
+
+Because fact extraction filters its unit/kind events through these
+tables, the summary cache keys on :func:`seed_fingerprint` — editing a
+seed invalidates every cached module summary.
+"""
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from repro.lint.contracts import (
+    CONSTANT_UNITS,
+    FUNCTION_PARAM_CONTRACTS,
+    FUNCTION_RETURN_CONTRACTS,
+    MAPPING_KEY_KINDS,
+    RECORD_FIELD_CONTRACTS,
+)
+
+#: every declared quantity unit, for validation.
+UNITS = frozenset({"XMR", "coin", "USD", "usd_per_coin",
+                   "hs", "hashes", "shares", "date"})
+
+#: every declared identifier kind.
+KINDS = frozenset({"sha256", "wallet", "domain", "campaign-id",
+                   "pool-url", "email"})
+
+#: units measuring an amount of money (the UNIT001/UNIT002 family).
+MONEY_UNITS = frozenset({"XMR", "coin", "USD", "usd_per_coin"})
+
+#: units measuring mining work (the UNIT003 family).
+WORK_UNITS = frozenset({"hs", "hashes", "shares"})
+
+
+def _flatten() -> Tuple[Dict[str, str], Dict[str, str]]:
+    """``attr/field name -> unit`` and ``-> kind`` over every class.
+
+    Field names are matched bare (``record.total_paid`` and
+    ``row["total_paid"]`` alike), mirroring the TAINTED_ATTRIBUTES
+    precedent; the declarations must therefore agree wherever a name
+    repeats across classes — checked here so contracts cannot drift.
+    """
+    units: Dict[str, str] = {}
+    kinds: Dict[str, str] = {}
+    for cls, fields in sorted(RECORD_FIELD_CONTRACTS.items()):
+        for name, (unit, kind) in fields.items():
+            if unit is not None:
+                if units.setdefault(name, unit) != unit:
+                    raise ValueError(
+                        f"conflicting unit for field '{name}' "
+                        f"({units[name]} vs {unit} in {cls})")
+                if unit not in UNITS:
+                    raise ValueError(f"unknown unit {unit!r} on "
+                                     f"{cls}.{name}")
+            if kind is not None:
+                if kinds.setdefault(name, kind) != kind:
+                    raise ValueError(
+                        f"conflicting kind for field '{name}' "
+                        f"({kinds[name]} vs {kind} in {cls})")
+                if kind not in KINDS:
+                    raise ValueError(f"unknown kind {kind!r} on "
+                                     f"{cls}.{name}")
+    return units, kinds
+
+
+#: bare field/attr/key name -> quantity unit ("total_paid" -> "coin").
+ATTR_UNITS, ATTR_KINDS = _flatten()
+
+#: extra dict-slot names that carry a unit but are not dataclass
+#: fields (serve payloads, exhibit accumulator rows).
+SLOT_UNITS: Dict[str, str] = {
+    "total_xmr": "XMR",
+    "total_usd": "USD",
+    "xmr": "XMR",
+    "usd": "USD",
+}
+SLOT_UNITS.update(ATTR_UNITS)
+
+#: bare name -> kind for dict slots ("sha256" key in a payload row).
+SLOT_KINDS: Dict[str, str] = dict(ATTR_KINDS)
+
+#: re-exports so the pass has one import surface.
+KEY_KINDS = MAPPING_KEY_KINDS
+PARAM_SEEDS = FUNCTION_PARAM_CONTRACTS
+RETURN_SEEDS = FUNCTION_RETURN_CONTRACTS
+NAME_UNITS = CONSTANT_UNITS
+
+#: positional index of each seeded parameter (after self/cls), so the
+#: call-site check can match positional arguments without resolving
+#: the callee.  A seeded param missing here is matched by keyword only.
+PARAM_POSITIONS: Dict[Tuple[str, str], int] = {
+    ("to_usd", "amount"): 0,
+    ("hash_intel", "sha256"): 0,
+    ("wallet_intel", "identifier"): 0,
+    ("campaign_intel", "campaign_id"): 0,
+    ("domain_intel", "name"): 0,
+    ("api_wallet_stats", "identifier"): 0,
+    ("credit_mining_day", "hashrate_hs"): 2,
+}
+
+
+def seed_fingerprint() -> str:
+    """Stable digest of every seed table (cache invalidation key)."""
+    payload = repr((
+        sorted(ATTR_UNITS.items()), sorted(ATTR_KINDS.items()),
+        sorted(SLOT_UNITS.items()), sorted(SLOT_KINDS.items()),
+        sorted(KEY_KINDS.items()), sorted(NAME_UNITS.items()),
+        sorted((k, sorted(v.items())) for k, v in PARAM_SEEDS.items()),
+        sorted(RETURN_SEEDS.items()),
+    ))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+# --------------------------------------------------------------------------
+# The unit algebra
+# --------------------------------------------------------------------------
+
+
+def units_compatible(a: Optional[str], b: Optional[str]) -> bool:
+    """Whether two units may meet in +/-/comparison."""
+    if a is None or b is None or a == b:
+        return True
+    if "num" in (a, b):
+        return True
+    if {a, b} <= {"XMR", "coin"}:
+        return True
+    return False
+
+
+def join_units(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Unit of ``a + b`` (compatible operands; None is unknown).
+
+    An unknown or plain-number side takes the known side's unit —
+    optimistic, which is what lets a laundered remainder keep its coin
+    unit through ``max(0.0, total - covered)``.
+    """
+    if a is None or a == "num":
+        return b
+    if b is None or b == "num":
+        return a
+    if a == b:
+        return a
+    if {a, b} == {"XMR", "coin"}:
+        return "coin"
+    return None
+
+
+def kinds_compatible(a: Optional[str], b: Optional[str]) -> bool:
+    """Whether two identifier kinds may meet in ==/in/joins."""
+    if a is None or b is None or a == b:
+        return True
+    if {a, b} == {"wallet", "email"}:
+        return True  # the paper's shared login-identifier namespace
+    return False
+
+
+#: units where a plain-number factor is (or may be) a dimension
+#: change rather than a scale: rates times a time span, dates plus a
+#: day count.  Multiplying/dividing these by "num" demotes to unknown.
+_SPAN_SENSITIVE = frozenset({"hs", "hashes", "shares", "date"})
+
+
+def multiply_units(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Unit of ``a * b`` (symmetric)."""
+    if a == "num" and b == "num":
+        return "num"
+    for left, right in ((a, b), (b, a)):
+        if left in ("XMR", "coin") and right == "usd_per_coin":
+            return "USD"  # the conversion witness
+        if right == "num":
+            # a plain number is a scale factor for money, but an
+            # unknown-span factor for rates (hs * 86400 -> hashes).
+            return None if left in _SPAN_SENSITIVE else left
+    return None
+
+
+def divide_units(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Unit of ``a / b``."""
+    if a == "USD" and b in ("XMR", "coin"):
+        return "usd_per_coin"
+    if a == "USD" and b == "usd_per_coin":
+        return "coin"
+    if a is not None and a == b:
+        return "num"
+    if b == "num":
+        return None if a in _SPAN_SENSITIVE else a
+    return None
+
+
+def arith_result(op: str, a: Optional[str],
+                 b: Optional[str]) -> Optional[str]:
+    """Resulting unit of one arithmetic step (no violation checking).
+
+    ``date`` never survives additive arithmetic: date-date is a span
+    and date+number is calendar stepping, neither of which the table
+    models.
+    """
+    if op == "*":
+        return multiply_units(a, b)
+    if op in ("/", "//"):
+        return divide_units(a, b)
+    if op in ("+", "-", "%"):
+        if a == "date" or b == "date":
+            return None
+        return join_units(a, b)
+    return None
+
+
+def mix_rule(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Which rule (if any) an additive/comparison mix violates.
+
+    Returns "UNIT003" for a rate-vs-cumulative mix inside the work
+    family, "UNIT001" for any other incompatible pair, None when the
+    operands may meet.
+    """
+    if a in (None, "num") or b in (None, "num"):
+        return None
+    if units_compatible(a, b):
+        return None
+    if a in WORK_UNITS and b in WORK_UNITS:
+        return "UNIT003"
+    return "UNIT001"

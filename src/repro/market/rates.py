@@ -72,6 +72,13 @@ class ExchangeRates:
         self.ticker = ticker
         self._anchors = sorted(anchors)
         self._dates = [d for d, _ in self._anchors]
+        if fallback is None:
+            # Era-average fallback: the geometric mean of the anchor
+            # rates, consistent with the log-linear interpolation.
+            # Without this, undated non-XMR payments converted at $0
+            # and silently vanished from every USD total.
+            logs = [math.log(r) for _, r in self._anchors]
+            fallback = math.exp(sum(logs) / len(logs))
         self._fallback = fallback
         self._wobble = wobble
 
@@ -105,13 +112,14 @@ class ExchangeRates:
     def to_usd(self, amount: float, when: Optional[Date]) -> float:
         """Convert ``amount`` coins to USD, with the paper's fallback.
 
-        A dated payment uses that day's rate; an undated one (or a date
-        before the price series starts) uses the fallback when one is
-        configured, else 0.
+        A dated payment uses that day's rate; an undated one (or a
+        date before the price series starts) uses the configured
+        fallback — the paper's period average for XMR, the derived
+        era average for every other coin.
         """
         rate = self.rate(when) if when is not None else None
         if rate is None:
-            rate = self._fallback or 0.0
+            rate = self._fallback
         return amount * rate
 
 

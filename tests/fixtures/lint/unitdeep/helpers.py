@@ -1,0 +1,6 @@
+"""Shared helper for the interprocedural UNIT fixtures: the result
+keeps its coin unit through ``max`` and the subtraction."""
+
+
+def uncovered_remainder(record, covered):
+    return max(0.0, record.total_paid - covered)

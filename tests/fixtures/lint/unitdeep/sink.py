@@ -1,0 +1,8 @@
+"""Two-hop laundering: an unconverted coin remainder crosses a helper
+call before landing in a USD slot — only the fixpoint sees it."""
+
+from unitdeep.helpers import uncovered_remainder
+
+
+def summarize(record, row):
+    row["usd"] = uncovered_remainder(record, 1.0)  # UNIT002

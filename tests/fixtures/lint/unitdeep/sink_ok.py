@@ -1,0 +1,7 @@
+"""The same two-hop flow with a conversion witness: silent."""
+
+from unitdeep.helpers import uncovered_remainder
+
+
+def summarize(record, row, rates):
+    row["usd"] = rates.to_usd(uncovered_remainder(record, 1.0), None)

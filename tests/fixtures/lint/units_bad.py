@@ -1,0 +1,41 @@
+"""UNIT/KIND positive fixture: every mixed-unit and crossed-kind
+violation the domain pass must flag, one marker comment per line.
+
+``record`` plays a WalletRecord/MinerRecord, ``campaign`` a Campaign —
+the seeds match on bare attribute names, so no imports are needed."""
+
+
+def mixed_money(record, campaign):
+    return record.total_paid + campaign.total_usd  # UNIT001
+
+
+def compared_money(record, campaign):
+    return record.balance < campaign.total_usd  # UNIT001
+
+
+def unconverted_slot(record, row):
+    row["usd"] = record.total_paid  # UNIT002
+
+
+def unconverted_attr(record, other):
+    other.usd = record.balance  # UNIT002
+
+
+def rate_as_total(record):
+    return record.hashrate + record.hashes  # UNIT003
+
+
+def crossed_equality(record, campaign):
+    return record.sha256 == campaign.campaign_id  # KIND001
+
+
+def crossed_membership(record, campaign):
+    return record.user in campaign.sample_hashes  # KIND001
+
+
+def wrong_key_kind(campaign_of_sample, record):
+    return campaign_of_sample.get(record.user)  # KIND002
+
+
+def wrong_subscript_kind(wallet_samples, record):
+    return wallet_samples[record.sha256]  # KIND002

@@ -1,0 +1,36 @@
+"""UNIT/KIND negative fixture: unit-correct money flows and
+same-kind lookups that must all stay silent.
+
+Covers each rule's happy path: converted USD writes (both witnesses),
+the XMR/coin join, span-multiplied rates, and same-kind keys."""
+
+AVERAGE_XMR_USD = 54.0
+
+
+def converted_by_call(record, row, rates):
+    row["usd"] = rates.to_usd(record.total_paid, None)
+
+
+def converted_by_rate(record, row):
+    row["usd"] = record.total_paid * AVERAGE_XMR_USD
+
+
+def xmr_joins_coin(record, entry):
+    entry["xmr"] = record.total_paid
+    return entry["xmr"] + record.balance
+
+
+def rate_times_span(account):
+    account.hashes += account.last_hashrate * 86400
+
+
+def same_kind_key(campaign_of_sample, record):
+    return campaign_of_sample.get(record.sha256)
+
+
+def same_kind_compare(record, stats):
+    return stats.identifier == record.user
+
+
+def coin_arithmetic(record):
+    return record.balance + record.total_paid

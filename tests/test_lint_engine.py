@@ -315,6 +315,86 @@ class TestSchemaRules:
         assert lint_fixture("schema_ok.py").findings == []
 
 
+class TestUnitKindRules:
+    ALL = ("UNIT001", "UNIT002", "UNIT003", "KIND001", "KIND002")
+
+    def test_positive_line_precise(self):
+        report = lint_fixture("units_bad.py")
+        for rule in self.ALL:
+            assert {line for _, line in found(report, rule)} == \
+                set(marked_lines("units_bad.py", rule)), rule
+        assert len(report.findings) == sum(
+            len(marked_lines("units_bad.py", rule))
+            for rule in self.ALL)
+
+    def test_negative(self):
+        assert lint_fixture("units_ok.py").findings == []
+
+    def test_two_hop_laundered_remainder(self):
+        # the coin unit survives max() and the helper call boundary
+        report = lint_fixture("unitdeep/sink.py",
+                              "unitdeep/helpers.py")
+        assert found(report, "UNIT002") == [
+            ("unitdeep/sink.py", line)
+            for line in marked_lines("unitdeep/sink.py", "UNIT002")]
+        assert len(report.findings) == 1
+
+    def test_two_hop_with_conversion_witness_is_clean(self):
+        report = lint_fixture("unitdeep/sink_ok.py",
+                              "unitdeep/helpers.py")
+        assert report.findings == []
+
+    def test_helpers_alone_are_clean(self):
+        assert lint_fixture("unitdeep/helpers.py").findings == []
+
+    def test_contract_drift_flagged(self, tmp_path):
+        # a contracted field the real dataclass no longer defines
+        module = tmp_path / "records.py"
+        module.write_text(
+            "import dataclasses\n\n\n"
+            "@dataclasses.dataclass\n"
+            "class WalletRecord:\n"
+            "    user: str\n"
+            "    hashes: float = 0.0\n"
+            "    hashrate: float = 0.0\n"
+            "    last_share: object = None\n"
+            "    balance: float = 0.0\n"
+            "    date_query: object = None\n"
+            "    usd: float = 0.0\n")
+        report = LintEngine().run(tmp_path)
+        assert [(f.rule_id, f.path) for f in report.findings] == \
+            [("SCHEMA003", "records.py")]
+        assert "total_paid" in report.findings[0].message
+
+    def test_seed_fingerprint_invalidates_summary_cache(
+            self, tmp_path, monkeypatch):
+        from repro.lint.cache import SummaryCache, cache_stamp
+        from repro.lint.facts import summarize_module
+        from repro.lint.symbols import build_module_info
+
+        module = tmp_path / "mod.py"
+        module.write_text("def f(record, row):\n"
+                          "    row['usd'] = record.total_paid\n")
+        stamp = cache_stamp(module)
+        summary = summarize_module(
+            build_module_info(module, tmp_path, with_pragmas=False))
+
+        cache = SummaryCache(tmp_path / "cache.bin")
+        cache.put("mod.py", stamp, summary)
+        cache.save()
+        assert SummaryCache(
+            tmp_path / "cache.bin").get("mod.py", stamp) is not None
+
+        # editing a seed table re-fingerprints and drops the cache,
+        # even though the module file itself is untouched.
+        import repro.lint.units as units
+        patched = dict(units.SLOT_UNITS)
+        patched["grand_total"] = "USD"
+        monkeypatch.setattr(units, "SLOT_UNITS", patched)
+        assert SummaryCache(
+            tmp_path / "cache.bin").get("mod.py", stamp) is None
+
+
 class TestDeadCode:
     def test_unreachable_function_flagged(self):
         report = lint_fixture("deadpkg/cli.py", "deadpkg/lib.py")
@@ -486,6 +566,46 @@ class TestFocusAndChanged:
                              base_refs=("main",)) == ["b.py"]
 
 
+# -- SARIF serialization ----------------------------------------------------
+
+
+class TestSarif:
+    def test_findings_round_trip(self):
+        import json
+
+        from repro.lint.sarif import render_sarif, to_sarif
+
+        report = lint_fixture("units_bad.py")
+        doc = to_sarif(report, regressions=report.findings)
+        (run,) = doc["runs"]
+        rules = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rules == sorted(set(rules))  # deduped, stable order
+        assert set(rules) == {f.rule_id for f in report.findings}
+        assert len(run["results"]) == len(report.findings)
+        first = run["results"][0]
+        loc = first["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "units_bad.py"
+        assert loc["region"]["startLine"] == report.findings[0].line
+        assert first["baselineState"] == "new"
+        assert first["ruleId"] == rules[first["ruleIndex"]]
+        # text form parses back to the same document
+        assert json.loads(render_sarif(
+            report, report.findings)) == json.loads(
+                json.dumps(doc, sort_keys=True))
+
+    def test_baseline_state_partition(self):
+        from repro.lint.sarif import to_sarif
+
+        report = lint_fixture("units_bad.py")
+        granted = to_sarif(report, regressions=[])
+        states = {r["baselineState"]
+                  for r in granted["runs"][0]["results"]}
+        assert states == {"unchanged"}
+        no_baseline = to_sarif(report, regressions=None)
+        assert all("baselineState" not in r
+                   for r in no_baseline["runs"][0]["results"])
+
+
 # -- baseline edge cases ----------------------------------------------------
 
 
@@ -536,4 +656,5 @@ class TestSelfCheck:
                             "durability", "cache-keys",
                             "exception-hygiene", "schema",
                             "dead-code", "pragma-hygiene",
-                            "concurrency", "resource-lifecycle"}
+                            "concurrency", "resource-lifecycle",
+                            "units"}

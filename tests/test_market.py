@@ -46,8 +46,14 @@ class TestConversion:
         assert RATES["XMR"].to_usd(10.0, D(2012, 1, 1)) == \
             pytest.approx(10.0 * AVERAGE_XMR_USD)
 
-    def test_no_fallback_configured(self):
-        assert RATES["ETN"].to_usd(10.0, None) == 0.0
+    def test_derived_fallback_for_undated(self):
+        """Coins without an explicit fallback get an era average, not
+        $0 — undated ETN/BTC payments must not vanish from totals."""
+        usd = RATES["ETN"].to_usd(10.0, None)
+        assert 10.0 * 0.007 < usd < 10.0 * 0.16  # within anchor range
+
+    def test_derived_fallback_before_series(self):
+        assert RATES["BTC"].to_usd(1.0, D(2009, 1, 1)) > 0.0
 
     def test_btc_2014(self):
         """Huang et al.: 4.5K BTC was worth ~$3.2M around 2014."""
